@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one artifact of the paper (Figure 1,
+Table 1) or one stated performance claim (experiments E1–E15, ablations
+A1–A2); see DESIGN.md section 4 for the index.  Every benchmark prints
+the table the paper's claim corresponds to and asserts the claim's
+*shape* — winners, orderings, crossovers — not absolute numbers.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Crash in the middle of a commit — and walk away unharmed.
+
+The reliability half of the paper: tentative data items, the
+intentions list, the intention flag on mirrored stable storage, and
+idempotent redo.  The disk is crashed at *every* write position inside
+a committing transaction; after each crash the volume recovers and the
+file is verified to hold entirely-old or entirely-new data, never a
+mixture.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import AttributedName, ClusterConfig, LockingLevel, RhodosCluster
+from repro.common.errors import DiskCrashedError
+from repro.common.units import BLOCK_SIZE
+
+FILE = AttributedName.file("/db/table")
+OLD = b"O" * (2 * BLOCK_SIZE)
+NEW = b"N" * (2 * BLOCK_SIZE)
+
+
+def one_crash_run(crash_at_write: int) -> str:
+    cluster = RhodosCluster(ClusterConfig())
+    host = cluster.machine.transactions
+    server = cluster.file_servers[0]
+
+    tid = host.tbegin()
+    fd = host.tcreate(tid, FILE, locking_level=LockingLevel.PAGE)
+    host.twrite(tid, fd, OLD)
+    host.tend(tid)
+    name = cluster.naming.resolve_file(FILE)
+
+    tid = host.tbegin()
+    fd = host.topen(tid, FILE)
+    host.tpwrite(tid, fd, NEW, 0)
+    cluster.disks[0].faults.crash_after_writes(crash_at_write)
+    crashed = "no crash reached"
+    try:
+        host.tend(tid)
+    except DiskCrashedError:
+        crashed = f"crashed at write #{crash_at_write}"
+
+    cluster.disks[0].repair()
+    redone, discarded = cluster.coordinator.recover_volume(0)
+    content = server.read(name, 0, len(OLD))
+    if content == OLD:
+        state = "OLD  (transaction aborted cleanly)"
+    elif content == NEW:
+        state = "NEW  (intentions redone from stable storage)"
+    else:
+        state = "CORRUPT — atomicity violated!"
+    return f"{crashed:28s} redo={redone} discard={discarded}  -> {state}"
+
+
+def main() -> None:
+    print("Crashing the data disk at every write position inside a commit:\n")
+    for crash_at in range(1, 13):
+        print(f"  k={crash_at:2d}: {one_crash_run(crash_at)}")
+    print(
+        "\nEvery run ends entirely-old or entirely-new: the intention\n"
+        "flag on stable storage is the commit point, and both the WAL\n"
+        "and shadow-page redo paths are idempotent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Nested transactions and the transactional namespace.
+
+Section 6.4 of the paper acknowledges that "a transaction can also
+take a long time if it is nested" — so RHODOS anticipated nesting.
+This example shows a travel-booking pattern: a parent transaction
+books a trip; each leg is attempted in a nested child, so a failed leg
+aborts alone while successful legs ride the parent's commit.  The
+second half shows the transactional directory layer: a batch of
+namespace changes that lands atomically or not at all.
+
+Run:  python examples/nested_transactions.py
+"""
+
+from repro import (
+    AttributedName,
+    ClusterConfig,
+    LockingLevel,
+    RhodosCluster,
+    TransactionalDirectory,
+)
+
+LEDGER = AttributedName.file("/bookings/ledger")
+
+
+def main() -> None:
+    cluster = RhodosCluster(ClusterConfig())
+    host = cluster.machine.transactions
+
+    # Seed a bookings ledger.
+    tid = host.tbegin()
+    fd = host.tcreate(tid, LEDGER, locking_level=LockingLevel.RECORD)
+    host.twrite(tid, fd, b"# bookings ledger\n")
+    host.tend(tid)
+
+    # --- nested transactions: book a trip leg by leg ------------------
+    trip = host.tbegin()
+    trip_fd = host.topen(trip, LEDGER)
+
+    def book_leg(description: bytes, *, fails: bool) -> bool:
+        leg = host.tbegin(parent=trip)
+        leg_fd = host.topen(leg, LEDGER)
+        end = host.tlseek(leg, leg_fd, 0, 2)  # SEEK_END within the family
+        host.tpwrite(leg, leg_fd, description, end)
+        if fails:
+            host.tabort(leg)  # only this leg's writes are discarded
+            return False
+        host.tend(leg)  # merged into the parent, not yet durable
+        return True
+
+    print("booking flight:", book_leg(b"flight OOL->MEL  $120\n", fails=False))
+    print("booking hotel: ", book_leg(b"hotel Geelong    $480\n", fails=True))
+    print("booking train: ", book_leg(b"train MEL->GEE   $12\n", fails=False))
+
+    # The parent sees the two successful legs; the hotel is gone.
+    size = host.tlseek(trip, trip_fd, 0, 2)
+    preview = host.tpread(trip, trip_fd, size, 0)
+    print("\nparent's view before commit:")
+    print(preview.decode(), end="")
+    host.tend(trip)  # one durable commit for the whole trip
+
+    agent = cluster.machine.file_agent
+    fd = agent.open(LEDGER)
+    print("durable ledger after commit:")
+    print(agent.read(fd, 4096).decode(), end="")
+    agent.close(fd)
+
+    # --- transactional namespace batch --------------------------------
+    tdir = cluster.transactional_directories()
+    tdir.mkdir("/inbox")
+    tdir.mkdir("/archive")
+    tdir.create_file("/inbox/msg1")
+    tdir.create_file("/inbox/msg2")
+    try:
+        with tdir.transaction() as view:
+            view.rename("/inbox/msg1", "/archive/msg1")
+            view.rename("/inbox/msg2", "/archive/msg2")
+            raise RuntimeError("operator hit Ctrl-C mid-batch!")
+    except RuntimeError:
+        pass
+    print("\nafter the aborted batch, nothing moved:")
+    print("  /inbox  :", [e.name for e in cluster.directories.list_directory("/inbox")])
+    print("  /archive:", [e.name for e in cluster.directories.list_directory("/archive")])
+
+    with tdir.transaction() as view:
+        view.rename("/inbox/msg1", "/archive/msg1")
+        view.rename("/inbox/msg2", "/archive/msg2")
+    print("after the committed batch, both moved atomically:")
+    print("  /inbox  :", [e.name for e in cluster.directories.list_directory("/inbox")])
+    print("  /archive:", [e.name for e in cluster.directories.list_directory("/archive")])
+
+
+if __name__ == "__main__":
+    main()

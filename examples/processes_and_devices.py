@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Processes, devices, redirection, and mediumweight children.
+
+The client-side machinery of section 3: object descriptors below
+100 000 for devices and above for files, the three standard streams,
+redirection (stdout := 100001 when redirected to a file), and
+``process_twin`` — forbidden while transactions are live because the
+child would inherit transaction descriptors and break serializability.
+
+Run:  python examples/processes_and_devices.py
+"""
+
+from repro import AttributedName, ClusterConfig, RhodosCluster
+from repro.agents.devices import SimTTY
+from repro.common.errors import ProcessError
+
+
+def main() -> None:
+    cluster = RhodosCluster(ClusterConfig())
+    machine = cluster.machine
+    process = machine.spawn_process()
+    print(f"process {process.pid} env: {process.env}")
+
+    # --- standard streams to the console ----------------------------
+    process.stdout_write(b"booting...\n")
+    machine.device_agent.console.feed_input(b"yes\n")
+    answer = process.stdin_read(4)
+    print(f"console holds {bytes(machine.device_agent.console.output)!r}; "
+          f"stdin gave {answer!r}")
+
+    # --- a second device, opened by attributed name ------------------
+    printer = SimTTY("m0:lineprinter")
+    machine.device_agent.register_device(
+        printer, AttributedName.tty("lineprinter")
+    )
+    lp = machine.device_agent.open(AttributedName.tty("lineprinter"))
+    print(f"opened TTY 'lineprinter' -> descriptor {lp} (< 100000: a device)")
+    machine.device_agent.write(lp, b"PAYROLL RUN 1994-06-30\n")
+
+    # --- stdout redirection to a file --------------------------------
+    log_fd = process.create(AttributedName.file("/var/log/run.log"))
+    process.redirect_stdout(log_fd)
+    print(f"after redirect_stdout: env[stdout] = {process.env['stdout']}")
+    process.stdout_write(b"this line lands in the log file\n")
+    machine.file_agent.flush()
+    machine.file_agent.lseek(log_fd, 0)
+    print("log file contains:", machine.file_agent.read(log_fd, 100))
+
+    # --- mediumweight children ---------------------------------------
+    child = process.process_twin()
+    print(f"\nprocess_twin -> child pid {child.pid}; child inherits the "
+          f"log descriptor and can keep writing:")
+    child.write(log_fd, b"appended by the mediumweight child\n")
+    machine.file_agent.flush()
+    machine.file_agent.lseek(log_fd, 0)
+    print(machine.file_agent.read(log_fd, 200).decode(), end="")
+
+    # But not while a transaction is live.
+    tid = machine.transactions.tbegin()
+    process.note_transaction_started(tid)
+    try:
+        process.process_twin()
+    except ProcessError as error:
+        print(f"\nprocess_twin during a transaction is refused:\n  {error}")
+    machine.transactions.tabort(tid)
+    process.note_transaction_finished(tid)
+    print("after tabort the twin is allowed again:",
+          process.process_twin().pid)
+
+
+if __name__ == "__main__":
+    main()

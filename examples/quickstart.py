@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: a complete RHODOS system in a few lines.
+
+Builds a one-machine, one-disk cluster, creates a file under an
+attributed name, writes and reads it through the file agent, inspects
+its attributes, and shows the disk-reference accounting behind the
+paper's headline claim (files <= 512 KB read cold in two references).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AttributedName, ClusterConfig, RhodosCluster
+
+
+def main() -> None:
+    cluster = RhodosCluster(ClusterConfig(n_machines=1, n_disks=1))
+    agent = cluster.machine.file_agent
+
+    # Files are named by attributes, not just paths; the naming service
+    # resolves any unambiguous subset of them.
+    name = AttributedName.file("/docs/hello.txt", owner="raj", project="dff")
+    fd = agent.create(name)
+    print(f"created {name} -> object descriptor {fd} (> 100000: a file)")
+
+    agent.write(fd, b"Hello from the RHODOS distributed file facility!\n")
+    agent.write(fd, b"Fragments are 2 KB, blocks are 8 KB.\n")
+    agent.lseek(fd, 0)
+    print(agent.read(fd, 4096).decode(), end="")
+
+    attrs = agent.get_attribute(fd)
+    print(f"size={attrs.file_size}B  opens={attrs.open_count_total}")
+    agent.close(fd)
+
+    # Resolve by attribute subset: owner alone is unambiguous here.
+    fd = agent.open(AttributedName.file(owner="raj"))
+    print("reopened by {owner=raj}:", agent.read(fd, 5).decode(), "...")
+    agent.close(fd)
+
+    # The two-disk-references claim, measured live.
+    big = agent.create(AttributedName.file("/docs/big.bin"))
+    agent.write(big, b"\x42" * (512 * 1024))
+    agent.close(big)
+    cluster.flush_all()
+    cluster.file_servers[0].recover()  # cold caches
+    before = cluster.total_disk_references()
+    fd = agent.open(AttributedName.file("/docs/big.bin"))
+    data = cluster.file_servers[0].read(agent.system_name(fd), 0, 512 * 1024)
+    print(
+        f"cold read of a {len(data) // 1024} KB file took "
+        f"{cluster.total_disk_references() - before} disk references "
+        "(1 FIT + 1 contiguous data run)"
+    )
+    agent.close(fd)
+    print(f"simulated time elapsed: {cluster.clock.now_ms:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

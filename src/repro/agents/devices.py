@@ -1,0 +1,134 @@
+"""The device agent and TTY objects.
+
+"On each machine, there is one process called a device agent which
+facilitates I/O on devices such as communication ports, keyboards, and
+monitors.  ...  the device agent refers to a device by its system
+name.  ...  the object descriptor returned by the device agent is
+always less than a predecided integer say 100,000" (paper section 3).
+
+Every process starts with three global environment variables — stdin,
+stdout, stderr — valued 0, 1 and 2; redirection replaces them with
+100002, 100001 and 100003 respectively (see
+:class:`repro.agents.process.Process`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+from repro.common.errors import BadDescriptorError, NamingError
+from repro.common.ids import DEVICE_DESCRIPTOR_LIMIT
+from repro.common.metrics import Metrics
+from repro.naming.attributed import AttributedName, ObjectType
+from repro.naming.service import NamingService
+
+#: Descriptors of the preopened standard streams.
+STDIN_DESCRIPTOR = 0
+STDOUT_DESCRIPTOR = 1
+STDERR_DESCRIPTOR = 2
+
+
+class SimTTY:
+    """A simulated character device: an input queue and an output log."""
+
+    def __init__(self, system_name: str) -> None:
+        self.system_name = system_name
+        self._input: Deque[int] = deque()
+        self.output = bytearray()
+
+    def feed_input(self, data: bytes) -> None:
+        """Queue bytes as if typed at the device."""
+        self._input.extend(data)
+
+    def read(self, n_bytes: int) -> bytes:
+        """Consume up to ``n_bytes`` from the input queue (non-blocking)."""
+        taken = bytearray()
+        while self._input and len(taken) < n_bytes:
+            taken.append(self._input.popleft())
+        return bytes(taken)
+
+    def write(self, data: bytes) -> int:
+        self.output.extend(data)
+        return len(data)
+
+    def __repr__(self) -> str:
+        return f"SimTTY({self.system_name!r}, pending_in={len(self._input)})"
+
+
+class DeviceAgent:
+    """Per-machine gateway to devices; descriptors stay below 100 000."""
+
+    def __init__(
+        self,
+        machine_id: str,
+        naming: NamingService,
+        metrics: Metrics,
+    ) -> None:
+        self.machine_id = machine_id
+        self.naming = naming
+        self.metrics = metrics
+        self._registry: Dict[str, SimTTY] = {}
+        self._open: Dict[int, SimTTY] = {}
+        self._next_descriptor = 3  # 0..2 are the standard streams
+        console = SimTTY(f"{machine_id}:console")
+        self.register_device(console)
+        self._open[STDIN_DESCRIPTOR] = console
+        self._open[STDOUT_DESCRIPTOR] = console
+        self._open[STDERR_DESCRIPTOR] = console
+        self.console = console
+
+    # ------------------------------------------------------ registry
+
+    def register_device(self, tty: SimTTY, attributed: AttributedName | None = None) -> None:
+        """Attach a device to this machine, optionally binding its name."""
+        self._registry[tty.system_name] = tty
+        if attributed is not None:
+            self.naming.rebind(attributed, tty.system_name)
+
+    # ----------------------------------------------------------- api
+
+    def open(self, name: AttributedName) -> int:
+        """Resolve a TTY attributed name and return an object descriptor."""
+        if name.object_type is not ObjectType.TTY:
+            raise NamingError(f"{name} is not a TTY name")
+        system_name = self.naming.resolve(name)
+        tty = self._registry.get(system_name)  # type: ignore[arg-type]
+        if tty is None:
+            raise NamingError(
+                f"device {system_name!r} is not attached to machine "
+                f"{self.machine_id!r}"
+            )
+        descriptor = self._next_descriptor
+        if descriptor >= DEVICE_DESCRIPTOR_LIMIT:
+            raise BadDescriptorError("device descriptor space exhausted")
+        self._next_descriptor += 1
+        self._open[descriptor] = tty
+        self.metrics.add("device_agent.opens")
+        return descriptor
+
+    def read(self, descriptor: int, n_bytes: int) -> bytes:
+        self.metrics.add("device_agent.reads")
+        return self._device(descriptor).read(n_bytes)
+
+    def write(self, descriptor: int, data: bytes) -> int:
+        self.metrics.add("device_agent.writes")
+        return self._device(descriptor).write(data)
+
+    def close(self, descriptor: int) -> None:
+        if descriptor in (STDIN_DESCRIPTOR, STDOUT_DESCRIPTOR, STDERR_DESCRIPTOR):
+            raise BadDescriptorError("the standard streams cannot be closed")
+        if self._open.pop(descriptor, None) is None:
+            raise BadDescriptorError(f"descriptor {descriptor} is not open")
+        self.metrics.add("device_agent.closes")
+
+    def is_open(self, descriptor: int) -> bool:
+        return descriptor in self._open
+
+    # ------------------------------------------------------ internal
+
+    def _device(self, descriptor: int) -> SimTTY:
+        tty = self._open.get(descriptor)
+        if tty is None:
+            raise BadDescriptorError(f"descriptor {descriptor} is not an open device")
+        return tty

@@ -1,0 +1,90 @@
+"""Cluster configuration.
+
+One dataclass gathers every knob the experiments sweep: cache levels
+on/off (E5), readahead (E14), write policy (E6), the free-extent array
+shape (E4/A1), the timeout policy (E8/A2), the commit technique (E9),
+and the RPC fault profile (E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+from repro.file_service.cache import WritePolicy
+from repro.rpc.bus import FaultProfile
+from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.timing import DiskTimingModel
+from repro.transactions.lock_manager import TimeoutPolicy
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Everything needed to build a :class:`~repro.cluster.system.RhodosCluster`.
+
+    Attributes:
+        n_machines: client machines (each gets device/file/transaction
+            agents).
+        n_disks: volumes; one disk server and one file server each.
+        geometry: disk geometry for every data disk.
+        stable_geometry: geometry of each stable-storage mirror disk.
+        timing: disk service-time model.
+        client_cache_blocks: per-machine file-agent cache capacity
+            (0 = no client cache — the Amoeba Bullet configuration).
+        server_cache_blocks: per-volume file-server block pool (0 = off).
+        disk_cache_tracks: per-disk track cache (0 = off).
+        disk_readahead: rest-of-track readahead on/off.
+        write_policy: file-server policy for basic files.
+        extent_rows / extent_columns: free-extent array dimensions.
+        timeout_policy: the LT/N deadlock policy.
+        commit_technique: 'auto' (paper rule), 'wal', or 'shadow'.
+        cross_level_locking: relax the one-granularity-per-file
+            constraint (the paper's deferred extension, section 6.1).
+        fault_profile: RPC fault injection; None = direct calls
+            (no message bus between agents and servers).
+        seed: RNG seed for every stochastic component.
+    """
+
+    n_machines: int = 1
+    n_disks: int = 1
+    geometry: DiskGeometry = field(default_factory=DiskGeometry.medium)
+    stable_geometry: DiskGeometry = field(default_factory=DiskGeometry.small)
+    timing: DiskTimingModel = field(default_factory=DiskTimingModel)
+    client_cache_blocks: int = 128
+    server_cache_blocks: int = 256
+    disk_cache_tracks: int = 128
+    disk_readahead: bool = True
+    write_policy: WritePolicy = WritePolicy.DELAYED
+    extent_rows: int = 64
+    extent_columns: int = 64
+    timeout_policy: TimeoutPolicy = field(default_factory=TimeoutPolicy)
+    commit_technique: Literal["auto", "wal", "shadow"] = "auto"
+    cross_level_locking: bool = False
+    fault_profile: Optional[FaultProfile] = None
+    replication_degree: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1:
+            raise ValueError("need at least one machine")
+        if self.n_disks < 1:
+            raise ValueError("need at least one disk")
+
+    @classmethod
+    def bullet_style(cls, **overrides) -> "ClusterConfig":
+        """The no-client-cache comparator of experiment E5."""
+        merged = {"client_cache_blocks": 0}
+        merged.update(overrides)
+        return cls(**merged)
+
+    @classmethod
+    def uncached(cls, **overrides) -> "ClusterConfig":
+        """Every cache level off (the E5 baseline)."""
+        merged = {
+            "client_cache_blocks": 0,
+            "server_cache_blocks": 0,
+            "disk_cache_tracks": 0,
+            "disk_readahead": False,
+        }
+        merged.update(overrides)
+        return cls(**merged)

@@ -1,0 +1,41 @@
+"""One client machine: its agents and processes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.agents.devices import DeviceAgent
+from repro.agents.file_agent import FileAgent
+from repro.agents.process import Process
+from repro.transactions.agent import TransactionAgentHost
+
+
+class Machine:
+    """The per-machine bundle: device agent, file agent, transaction host.
+
+    Processes are created on a machine and inherit its agents; the
+    transaction agent's presence is event-driven (see
+    :class:`~repro.transactions.agent.TransactionAgentHost`).
+    """
+
+    def __init__(
+        self,
+        machine_id: str,
+        device_agent: DeviceAgent,
+        file_agent: FileAgent,
+        transaction_host: TransactionAgentHost,
+    ) -> None:
+        self.machine_id = machine_id
+        self.device_agent = device_agent
+        self.file_agent = file_agent
+        self.transactions = transaction_host
+        self.processes: List[Process] = []
+
+    def spawn_process(self) -> Process:
+        """Create a fresh (heavyweight) process on this machine."""
+        process = Process(self.device_agent, self.file_agent)
+        self.processes.append(process)
+        return process
+
+    def __repr__(self) -> str:
+        return f"Machine({self.machine_id!r}, processes={len(self.processes)})"

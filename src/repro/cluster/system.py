@@ -1,0 +1,211 @@
+"""The assembled RHODOS system.
+
+``RhodosCluster(config)`` wires the full stack bottom-up: simulated
+disks (each with a mirrored stable store), one disk server per disk,
+one file server per volume, the naming service, the replication
+service, the transaction coordinator, the optional RPC bus, and one
+:class:`~repro.cluster.machine.Machine` (agents bundle) per client
+machine — all sharing one clock and one metrics registry, so any
+experiment can be expressed as "build a cluster, run a workload, read
+the counters".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.agents.devices import DeviceAgent
+from repro.agents.file_agent import FileAgent
+from repro.agents.routing import (
+    DirectRouter,
+    FileServiceRouter,
+    RpcRouter,
+    expose_file_server,
+)
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Machine
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics
+from repro.disk_service.server import DiskServer
+from repro.file_service.server import FileServer
+from repro.naming.directory import DirectoryService
+from repro.naming.tdirectory import TransactionalDirectory
+from repro.naming.service import NamingService
+from repro.replication.service import ReplicationService
+from repro.rpc.bus import MessageBus
+from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.simdisk.disk import SimDisk
+from repro.simdisk.stable import StableStore
+from repro.simkernel.loop import EventLoop
+from repro.transactions.agent import TransactionAgentHost
+from repro.transactions.coordinator import TransactionCoordinator
+
+
+class RhodosCluster:
+    """A complete simulated RHODOS distributed file facility."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.clock = SimClock()
+        self.metrics = Metrics()
+        self.loop = EventLoop(self.clock)
+        self.naming = NamingService(self.metrics)
+
+        self.disks: List[SimDisk] = []
+        self.disk_servers: Dict[int, DiskServer] = {}
+        self.file_servers: Dict[int, FileServer] = {}
+        for volume_id in range(self.config.n_disks):
+            disk = SimDisk(
+                str(volume_id),
+                self.config.geometry,
+                self.clock,
+                self.metrics,
+                timing=self.config.timing,
+            )
+            stable = StableStore(
+                SimDisk(
+                    f"{volume_id}.stable_a",
+                    self.config.stable_geometry,
+                    self.clock,
+                    self.metrics,
+                    timing=self.config.timing,
+                ),
+                SimDisk(
+                    f"{volume_id}.stable_b",
+                    self.config.stable_geometry,
+                    self.clock,
+                    self.metrics,
+                    timing=self.config.timing,
+                ),
+            )
+            disk_server = DiskServer(
+                disk,
+                stable,
+                self.clock,
+                self.metrics,
+                cache_tracks=self.config.disk_cache_tracks,
+                readahead=self.config.disk_readahead,
+                extent_rows=self.config.extent_rows,
+                extent_columns=self.config.extent_columns,
+            )
+            file_server = FileServer(
+                volume_id,
+                disk_server,
+                self.clock,
+                self.metrics,
+                data_cache_blocks=self.config.server_cache_blocks,
+                write_policy=self.config.write_policy,
+            )
+            self.disks.append(disk)
+            self.disk_servers[volume_id] = disk_server
+            self.file_servers[volume_id] = file_server
+
+        self.bus: Optional[MessageBus] = None
+        if self.config.fault_profile is not None:
+            self.bus = MessageBus(
+                self.clock,
+                self.metrics,
+                self.config.fault_profile,
+                seed=self.config.seed,
+            )
+            addresses = {}
+            for volume_id, file_server in self.file_servers.items():
+                address = f"file_server.{volume_id}"
+                expose_file_server(file_server, RpcServer(self.bus, address))
+                addresses[volume_id] = address
+            # A generous retransmission budget: at 30% triple-fault rates
+            # a call still succeeds with overwhelming probability, which
+            # is the regime experiment E12 sweeps.
+            self.router: FileServiceRouter = RpcRouter(
+                RpcClient(self.bus, max_attempts=30), addresses
+            )
+        else:
+            self.router = DirectRouter(self.file_servers)
+
+        self.coordinator = TransactionCoordinator(
+            self.clock,
+            self.metrics,
+            policy=self.config.timeout_policy,
+            technique=self.config.commit_technique,
+            cross_level=self.config.cross_level_locking,
+        )
+        for file_server in self.file_servers.values():
+            self.coordinator.register_volume(file_server)
+
+        self.directories = DirectoryService(
+            self.naming, self.router, self.metrics, root_volume=0
+        )
+
+        self.replication = ReplicationService(
+            self.naming,
+            self.file_servers,
+            self.clock,
+            self.metrics,
+            default_degree=min(self.config.replication_degree, self.config.n_disks),
+        )
+
+        self.machines: List[Machine] = []
+        for index in range(self.config.n_machines):
+            machine_id = f"m{index}"
+            device_agent = DeviceAgent(machine_id, self.naming, self.metrics)
+            file_agent = FileAgent(
+                machine_id,
+                self.naming,
+                self.router,
+                self.clock,
+                self.metrics,
+                cache_blocks=self.config.client_cache_blocks,
+            )
+            transaction_host = TransactionAgentHost(
+                machine_id,
+                self.naming,
+                self.coordinator,
+                self.clock,
+                self.metrics,
+            )
+            self.machines.append(
+                Machine(machine_id, device_agent, file_agent, transaction_host)
+            )
+
+    # --------------------------------------------------- conveniences
+
+    def transactional_directories(self, machine_index: int = 0) -> TransactionalDirectory:
+        """Directory mutations with transaction semantics, via one
+        machine's transaction agent (atomic multi-entry updates)."""
+        return TransactionalDirectory(
+            self.directories, self.machines[machine_index].transactions
+        )
+
+    @property
+    def machine(self) -> Machine:
+        """The first machine (single-machine examples and tests)."""
+        return self.machines[0]
+
+    def flush_all(self) -> None:
+        """Flush every agent cache and every file server."""
+        for machine in self.machines:
+            machine.file_agent.flush()
+        for file_server in self.file_servers.values():
+            file_server.flush()
+
+    def crash_volume(self, volume_id: int) -> None:
+        """Crash one volume's data disk (stable mirrors stay up)."""
+        self.disks[volume_id].crash()
+
+    def recover_volume(self, volume_id: int) -> None:
+        """Repair and recover one volume (disk, caches, transactions)."""
+        self.disks[volume_id].repair()
+        self.coordinator.recover_volume(volume_id)
+
+    def total_disk_references(self) -> int:
+        """Data-disk references only (stable mirrors excluded)."""
+        return sum(
+            self.metrics.get(f"disk.{volume_id}.references")
+            for volume_id in range(self.config.n_disks)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RhodosCluster(machines={self.config.n_machines}, "
+            f"disks={self.config.n_disks}, now_ms={self.clock.now_ms:.1f})"
+        )

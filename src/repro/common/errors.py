@@ -1,0 +1,133 @@
+"""Exception hierarchy of the RHODOS distributed file facility.
+
+Every layer raises errors rooted at :class:`RhodosError` so callers can
+distinguish facility failures from programming errors.  The hierarchy
+mirrors the service layering of the paper: disk service, file service,
+naming service, transaction service, replication service, and the RPC
+substrate each own a branch.
+"""
+
+from __future__ import annotations
+
+
+class RhodosError(Exception):
+    """Base class for every error raised by the file facility."""
+
+
+# ---------------------------------------------------------------- disk
+
+
+class DiskError(RhodosError):
+    """Base class for disk-service and simulated-disk failures."""
+
+
+class DiskFullError(DiskError):
+    """No extent of the requested size (or shape) can be allocated."""
+
+
+class BadAddressError(DiskError):
+    """An address or extent lies outside the disk, or is malformed."""
+
+
+class BadSectorError(DiskError):
+    """A sector is unreadable (injected media failure)."""
+
+
+class DiskCrashedError(DiskError):
+    """The disk (or its server) has crashed and is not serving requests."""
+
+
+# ---------------------------------------------------------------- file
+
+
+class FileServiceError(RhodosError):
+    """Base class for basic-file-service failures."""
+
+
+class FileNotFoundError_(FileServiceError):
+    """No file with the given system name exists.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class FileExistsError_(FileServiceError):
+    """Creation was requested for a name that already designates a file."""
+
+
+class BadDescriptorError(FileServiceError):
+    """An object descriptor does not designate an open file or device."""
+
+
+class FileSizeError(FileServiceError):
+    """An operation would exceed representable file size or a bad offset."""
+
+
+# -------------------------------------------------------------- naming
+
+
+class NamingError(RhodosError):
+    """Base class for naming-service failures."""
+
+
+class NameNotFoundError(NamingError):
+    """An attributed name resolves to no system name."""
+
+
+class NameExistsError(NamingError):
+    """An attributed name is already bound."""
+
+
+# -------------------------------------------------------- transactions
+
+
+class TransactionError(RhodosError):
+    """Base class for transaction-service failures."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted (explicitly, or by the service)."""
+
+    def __init__(self, message: str, *, reason: str = "aborted") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class LockTimeoutError(TransactionAbortedError):
+    """A lock outlived its N*LT invulnerability budget; holder aborted."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="lock-timeout")
+
+
+class InvalidTransactionStateError(TransactionError):
+    """An operation is illegal in the transaction's current phase."""
+
+
+class SerializabilityError(TransactionError):
+    """An action would violate two-phase locking (e.g. lock after unlock)."""
+
+
+# --------------------------------------------------------- replication
+
+
+class ReplicationError(RhodosError):
+    """Base class for replication-service failures."""
+
+
+# ----------------------------------------------------------------- rpc
+
+
+class RpcError(RhodosError):
+    """Base class for message-transport failures."""
+
+
+class RpcTimeoutError(RpcError):
+    """A request exhausted its retransmission budget without a reply."""
+
+
+# ------------------------------------------------------------- process
+
+
+class ProcessError(RhodosError):
+    """Illegal process operation (e.g. process_twin with live transactions)."""

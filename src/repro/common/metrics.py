@@ -1,0 +1,66 @@
+"""Counter registry used throughout the facility.
+
+The paper's performance argument is counted in *disk references*,
+*messages*, and *cache hits*, not wall-clock seconds.  Every component
+therefore increments named counters on a shared :class:`Metrics`
+instance; benchmarks snapshot and diff them to produce the tables in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class Metrics:
+    """A hierarchic bag of named integer counters.
+
+    Counter names are dotted paths, e.g. ``disk.0.reads`` or
+    ``file_agent.cache.hits``.  Components only ever *add*; analysis
+    code reads, snapshots and diffs.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (may be negative)."""
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(
+            value for name, value in self._counters.items() if name.startswith(prefix)
+        )
+
+    def snapshot(self, prefixes: Iterable[str] | None = None) -> Dict[str, int]:
+        """A copy of the counters, optionally restricted to ``prefixes``."""
+        if prefixes is None:
+            return dict(self._counters)
+        wanted = tuple(prefixes)
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(wanted)
+        }
+
+    def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Counters that changed since ``before`` (a prior snapshot)."""
+        changed: Dict[str, int] = {}
+        for name, value in self._counters.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                changed[name] = delta
+        return changed
+
+    def reset(self) -> None:
+        """Zero every counter.  Benchmarks call this between runs."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        return f"Metrics({len(self._counters)} counters)"

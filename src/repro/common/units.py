@@ -1,0 +1,55 @@
+"""Logical storage units of the RHODOS disk service.
+
+The paper fixes two logical units of information storage (section 4):
+
+* a **fragment** of 2 KB, used for structural (control) information such
+  as file index tables, because small allocations out of full blocks
+  would waste space while per-fragment I/O for small structures reduces
+  communication overheads; and
+* a **block** of 8 KB, used for file data, because a large block reduces
+  the effect of rotational latency; *four contiguous fragments make one
+  block*.
+
+Sectors are the physical unit of the simulated disk (512 bytes, the
+ubiquitous value in 1990s drives).  All unit arithmetic in the code base
+goes through this module so the relationships above hold everywhere.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+
+SECTOR_SIZE = 512
+FRAGMENT_SIZE = 2 * KIB
+BLOCK_SIZE = 8 * KIB
+
+SECTORS_PER_FRAGMENT = FRAGMENT_SIZE // SECTOR_SIZE
+FRAGMENTS_PER_BLOCK = BLOCK_SIZE // FRAGMENT_SIZE
+SECTORS_PER_BLOCK = BLOCK_SIZE // SECTOR_SIZE
+
+assert SECTORS_PER_FRAGMENT == 4
+assert FRAGMENTS_PER_BLOCK == 4
+assert SECTORS_PER_BLOCK == 16
+
+
+def fragments_for_bytes(n_bytes: int) -> int:
+    """Number of whole fragments needed to hold ``n_bytes``.
+
+    Zero bytes still occupy one fragment: the disk service never hands
+    out zero-length extents.
+    """
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    if n_bytes == 0:
+        return 1
+    return -(-n_bytes // FRAGMENT_SIZE)
+
+
+def blocks_for_bytes(n_bytes: int) -> int:
+    """Number of whole blocks needed to hold ``n_bytes`` of file data."""
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    if n_bytes == 0:
+        return 0
+    return -(-n_bytes // BLOCK_SIZE)

@@ -1,0 +1,117 @@
+"""Fragment-granularity disk addressing.
+
+The disk service's unit of allocation is the 2 KB fragment; a block is
+four contiguous fragments (paper section 4).  An :class:`Extent` is a
+contiguous run of fragments — the thing the paper's free-space array
+indexes, and the thing one disk reference can transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import BadAddressError
+from repro.common.units import (
+    FRAGMENT_SIZE,
+    FRAGMENTS_PER_BLOCK,
+    SECTORS_PER_FRAGMENT,
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Extent:
+    """A contiguous run of fragments: ``[start, start + length)``.
+
+    Attributes:
+        start: first fragment number.
+        length: number of fragments (>= 1).
+    """
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise BadAddressError(f"extent start must be >= 0, got {self.start}")
+        if self.length < 1:
+            raise BadAddressError(f"extent length must be >= 1, got {self.length}")
+
+    # --------------------------------------------------------- bounds
+
+    @property
+    def end(self) -> int:
+        """One past the last fragment."""
+        return self.start + self.length
+
+    @property
+    def byte_size(self) -> int:
+        return self.length * FRAGMENT_SIZE
+
+    @property
+    def first_sector(self) -> int:
+        return self.start * SECTORS_PER_FRAGMENT
+
+    @property
+    def n_sectors(self) -> int:
+        return self.length * SECTORS_PER_FRAGMENT
+
+    @property
+    def whole_blocks(self) -> int:
+        """How many whole 8 KB blocks this extent covers."""
+        return self.length // FRAGMENTS_PER_BLOCK
+
+    # ----------------------------------------------------- relations
+
+    def contains(self, other: "Extent") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Extent") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def adjacent_to(self, other: "Extent") -> bool:
+        """True if the two extents touch without overlapping."""
+        return self.end == other.start or other.end == self.start
+
+    # --------------------------------------------------- subdivision
+
+    def split(self, first_length: int) -> tuple["Extent", "Extent"]:
+        """Split into a prefix of ``first_length`` fragments and the rest."""
+        if not 0 < first_length < self.length:
+            raise BadAddressError(
+                f"cannot split extent of {self.length} at {first_length}"
+            )
+        return (
+            Extent(self.start, first_length),
+            Extent(self.start + first_length, self.length - first_length),
+        )
+
+    def take(self, length: int) -> "Extent":
+        """The prefix of ``length`` fragments (may be the whole extent)."""
+        if not 0 < length <= self.length:
+            raise BadAddressError(f"cannot take {length} of {self.length} fragments")
+        return Extent(self.start, length)
+
+    def slice_bytes(self, data: bytes, inner: "Extent") -> bytes:
+        """Bytes of ``inner`` (a sub-extent) out of this extent's ``data``."""
+        if not self.contains(inner):
+            raise BadAddressError(f"{inner} not within {self}")
+        offset = (inner.start - self.start) * FRAGMENT_SIZE
+        return data[offset : offset + inner.byte_size]
+
+    def merge(self, other: "Extent") -> "Extent":
+        """Union with an adjacent extent."""
+        if not self.adjacent_to(other):
+            raise BadAddressError(f"{self} and {other} are not adjacent")
+        return Extent(min(self.start, other.start), self.length + other.length)
+
+    def fragments(self) -> range:
+        """Iterate the fragment numbers in this extent."""
+        return range(self.start, self.end)
+
+    def __str__(self) -> str:
+        return f"[{self.start}..{self.end})"
+
+    @classmethod
+    def for_block_run(cls, first_block_fragment: int, n_blocks: int) -> "Extent":
+        """Extent covering ``n_blocks`` blocks starting at a fragment address."""
+        return cls(first_block_fragment, n_blocks * FRAGMENTS_PER_BLOCK)

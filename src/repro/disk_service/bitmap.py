@@ -1,0 +1,203 @@
+"""The per-disk fragment bitmap.
+
+Paper section 4: "Each disk server maintains a bitmap of the disk to
+which it is associated.  A bitmap is updated when block(s) or
+fragment(s) are freed."  The bitmap is the *authoritative* record of
+free space; the 64x64 free-extent array is an index over it and is
+initialised and refreshed "by scanning the bitmap".
+
+Bit convention: 1 = free, 0 = allocated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.common.errors import BadAddressError
+from repro.disk_service.addresses import Extent
+
+
+class FragmentBitmap:
+    """A bitmap over ``n_fragments`` fragments, 1 bit each (1 = free)."""
+
+    def __init__(self, n_fragments: int, *, all_free: bool = True) -> None:
+        if n_fragments <= 0:
+            raise ValueError("bitmap must cover at least one fragment")
+        self.n_fragments = n_fragments
+        self._bits = bytearray(
+            (0xFF if all_free else 0x00) for _ in range(-(-n_fragments // 8))
+        )
+        # Mask off padding bits beyond n_fragments so free counts are exact.
+        excess = 8 * len(self._bits) - n_fragments
+        if excess and all_free:
+            self._bits[-1] &= 0xFF >> excess
+        self._free_count = n_fragments if all_free else 0
+
+    # -------------------------------------------------------- queries
+
+    def is_free(self, fragment: int) -> bool:
+        self._check(fragment)
+        return bool(self._bits[fragment >> 3] & (1 << (fragment & 7)))
+
+    def is_free_run(self, extent: Extent) -> bool:
+        """True if every fragment of ``extent`` is free."""
+        self._check(extent.end - 1)
+        return all(self.is_free(fragment) for fragment in extent.fragments())
+
+    def is_allocated_run(self, extent: Extent) -> bool:
+        """True if every fragment of ``extent`` is allocated."""
+        self._check(extent.end - 1)
+        return not any(self.is_free(fragment) for fragment in extent.fragments())
+
+    @property
+    def free_count(self) -> int:
+        return self._free_count
+
+    def run_length_at(self, start: int) -> int:
+        """Length of the free run beginning exactly at ``start`` (0 if allocated).
+
+        Scans byte-at-a-time over all-free bytes so long runs on big
+        disks are measured in O(bytes), not O(bits).
+        """
+        self._check(start)
+        n = self.n_fragments
+        bits = self._bits
+        fragment = start
+        # Leading bits up to the next byte boundary.
+        while fragment < n and fragment & 7:
+            if not bits[fragment >> 3] & (1 << (fragment & 7)):
+                return fragment - start
+            fragment += 1
+        if fragment == start and fragment < n and not (
+            bits[fragment >> 3] & (1 << (fragment & 7))
+        ):
+            return 0
+        # Whole free bytes.
+        while fragment + 8 <= n and bits[fragment >> 3] == 0xFF:
+            fragment += 8
+        # Trailing bits.
+        while fragment < n and bits[fragment >> 3] & (1 << (fragment & 7)):
+            fragment += 1
+        return fragment - start
+
+    def run_containing(self, fragment: int) -> Extent | None:
+        """The maximal free run containing ``fragment``, or None."""
+        if not self.is_free(fragment):
+            return None
+        bits = self._bits
+        start = fragment
+        # Walk left to the run's beginning, skipping all-free bytes.
+        while start > 0:
+            prev = start - 1
+            if prev & 7 == 7 and bits[prev >> 3] == 0xFF:
+                start = prev - 7
+                continue
+            if bits[prev >> 3] & (1 << (prev & 7)):
+                start = prev
+                continue
+            break
+        return Extent(start, self.run_length_at(start))
+
+    def free_runs(self) -> Iterator[Extent]:
+        """Scan the whole bitmap yielding maximal free runs in address order.
+
+        This is the paper's "initialization and subsequent updation of
+        this array is carried out by scanning the bitmap".  The scan
+        works a byte at a time, skipping all-free and all-allocated
+        bytes without touching individual bits, so full-disk scans of
+        large volumes stay cheap.
+        """
+        n = self.n_fragments
+        bits = self._bits
+        start = None
+        for byte_index, byte in enumerate(bits):
+            base = byte_index << 3
+            if base >= n:
+                break
+            whole_byte = base + 8 <= n
+            if whole_byte and byte == 0xFF:
+                if start is None:
+                    start = base
+                continue
+            if whole_byte and byte == 0x00:
+                if start is not None:
+                    yield Extent(start, base - start)
+                    start = None
+                continue
+            limit = min(8, n - base)
+            for bit in range(limit):
+                if byte & (1 << bit):
+                    if start is None:
+                        start = base + bit
+                elif start is not None:
+                    yield Extent(start, base + bit - start)
+                    start = None
+        if start is not None:
+            yield Extent(start, n - start)
+
+    def find_free_run(self, min_length: int, *, from_fragment: int = 0) -> Extent | None:
+        """First maximal free run of at least ``min_length`` fragments."""
+        run_start = None
+        fragment = max(0, from_fragment)
+        while fragment < self.n_fragments:
+            if self.is_free(fragment):
+                if run_start is None:
+                    run_start = fragment
+                if fragment - run_start + 1 >= min_length:
+                    # Extend to the maximal run for the caller's benefit.
+                    length = fragment - run_start + 1 + self.run_length_at(fragment + 1) \
+                        if fragment + 1 < self.n_fragments else fragment - run_start + 1
+                    return Extent(run_start, length)
+            else:
+                run_start = None
+            fragment += 1
+        return None
+
+    # ------------------------------------------------------- updates
+
+    def mark_allocated(self, extent: Extent) -> None:
+        """Clear the bits of ``extent``; every fragment must be free."""
+        self._check(extent.end - 1)
+        for fragment in extent.fragments():
+            if not self.is_free(fragment):
+                raise BadAddressError(f"fragment {fragment} already allocated")
+            self._bits[fragment >> 3] &= ~(1 << (fragment & 7)) & 0xFF
+        self._free_count -= extent.length
+
+    def mark_free(self, extent: Extent) -> None:
+        """Set the bits of ``extent``; every fragment must be allocated."""
+        self._check(extent.end - 1)
+        for fragment in extent.fragments():
+            if self.is_free(fragment):
+                raise BadAddressError(f"fragment {fragment} already free")
+            self._bits[fragment >> 3] |= 1 << (fragment & 7)
+        self._free_count += extent.length
+
+    # -------------------------------------------------- persistence
+
+    def to_bytes(self) -> bytes:
+        """Serialise for storage on stable storage."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, n_fragments: int) -> "FragmentBitmap":
+        bitmap = cls(n_fragments, all_free=False)
+        expected = -(-n_fragments // 8)
+        if len(data) != expected:
+            raise ValueError(f"bitmap blob is {len(data)} bytes, expected {expected}")
+        bitmap._bits = bytearray(data)
+        bitmap._free_count = sum(
+            1 for fragment in range(n_fragments) if bitmap.is_free(fragment)
+        )
+        return bitmap
+
+    # ------------------------------------------------------ internal
+
+    def _check(self, fragment: int) -> None:
+        if not 0 <= fragment < self.n_fragments:
+            raise BadAddressError(
+                f"fragment {fragment} outside disk of {self.n_fragments} fragments"
+            )
+
+    def __repr__(self) -> str:
+        return f"FragmentBitmap({self._free_count}/{self.n_fragments} free)"

@@ -1,0 +1,390 @@
+"""The disk server: the paper's five service functions.
+
+One disk server per disk (paper section 4).  It owns the authoritative
+fragment bitmap, the 64x64 free-extent array, the track cache, and the
+stable-storage semantics of ``get``/``put``:
+
+* ``put`` can save data on its **original location only**, **exclusively
+  on stable storage** (the shadow-page case), or **both** (the file
+  index table case), and the caller chooses whether the call returns
+  *before* or *after* the stable write;
+* ``get`` reads from **main** storage (default, through the track
+  cache) or from **stable** storage.
+
+Any operation on a contiguous extent is one single disk reference —
+the property the paper's whole design is organised around.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import BadAddressError, DiskFullError
+from repro.common.metrics import Metrics
+from repro.common.units import FRAGMENTS_PER_BLOCK
+from repro.disk_service.addresses import Extent
+from repro.disk_service.bitmap import FragmentBitmap
+from repro.disk_service.cache import TrackCache
+from repro.disk_service.extent_table import FreeExtentTable
+from repro.simdisk.disk import SimDisk
+from repro.simdisk.stable import StableStore
+
+
+class Stability(enum.Enum):
+    """Where ``put`` saves the data (paper section 4)."""
+
+    ORIGINAL_ONLY = "original"
+    STABLE_ONLY = "stable"  # shadow page
+    BOTH = "both"  # file index table
+
+
+class SyncMode(enum.Enum):
+    """When ``put`` returns relative to the stable write (paper section 4)."""
+
+    BEFORE_STABLE = "before"  # return first, stable write is deferred
+    AFTER_STABLE = "after"  # stable write completes before return
+
+
+class Source(enum.Enum):
+    """Where ``get`` reads from (paper section 4)."""
+
+    MAIN = "main"
+    STABLE = "stable"
+
+
+def _stable_key(extent: Extent) -> str:
+    return f"ext:{extent.start}:{extent.length}"
+
+
+class DiskServer:
+    """Free-space management + cached, stability-aware block I/O for one disk.
+
+    Args:
+        disk: the simulated drive this server fronts.
+        stable: the mirrored stable store for this drive's vital data.
+        clock: shared simulated clock.
+        metrics: shared counter registry.
+        cache_tracks: track-cache capacity; 0 disables the cache.
+        readahead: enable rest-of-track readahead (paper's strategy).
+        extent_rows / extent_columns: free-extent array dimensions
+            (64x64 in the paper; configurable for ablation A1).
+    """
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        stable: StableStore,
+        clock: SimClock,
+        metrics: Metrics,
+        *,
+        cache_tracks: int = 128,
+        readahead: bool = True,
+        extent_rows: int = 64,
+        extent_columns: int = 64,
+    ) -> None:
+        self.disk = disk
+        self.stable = stable
+        self.clock = clock
+        self.metrics = metrics
+        self.n_fragments = disk.geometry.capacity_bytes // Extent(0, 1).byte_size
+        self.bitmap = FragmentBitmap(self.n_fragments)
+        self.extent_table = FreeExtentTable(extent_rows, extent_columns)
+        self.extent_table.refill(self.bitmap)
+        self._cache: Optional[TrackCache] = (
+            TrackCache(
+                disk,
+                metrics,
+                capacity_tracks=cache_tracks,
+                readahead=readahead,
+                name=f"disk_cache.{disk.disk_id}",
+            )
+            if cache_tracks > 0
+            else None
+        )
+        self._pending_stable: List[Tuple[str, bytes]] = []
+        self._prefix = f"disk_server.{disk.disk_id}"
+
+    # ------------------------------------------------------ allocate
+
+    def allocate(
+        self,
+        n_fragments: int,
+        *,
+        contiguous: bool = True,
+        scratch: bool = False,
+    ):
+        """Allocate ``n_fragments`` fragments.
+
+        With ``contiguous=True`` (the RHODOS preference) returns a
+        single :class:`Extent`, raising :class:`DiskFullError` if no
+        contiguous run of that size exists.  With ``contiguous=False``
+        returns a list of extents covering the request, gathered
+        largest-run-first.
+
+        ``scratch=True`` places the extent at the high end of free
+        space — used for tentative data items and shadow pages so
+        short-lived allocations do not punch holes into the low region
+        where files grow contiguously.
+        """
+        if n_fragments < 1:
+            raise BadAddressError("must allocate at least one fragment")
+        self.metrics.add(f"{self._prefix}.allocations")
+        if contiguous:
+            return self._allocate_contiguous(n_fragments, prefer_high=scratch)
+        return self._allocate_gather(n_fragments)
+
+    def allocate_block(self, n_blocks: int = 1, *, scratch: bool = False) -> Extent:
+        """Allocate ``n_blocks`` contiguous 8 KB blocks (paper: allocate-block)."""
+        if n_blocks < 1:
+            raise BadAddressError("must allocate at least one block")
+        return self._allocate_contiguous(
+            n_blocks * FRAGMENTS_PER_BLOCK, prefer_high=scratch
+        )
+
+    def try_allocate_at(self, start: int, n_fragments: int) -> Optional[Extent]:
+        """Allocate exactly ``[start, start + n_fragments)`` if it is free.
+
+        Used by the file service to grow a file contiguously with its
+        existing blocks (which is what keeps the FIT contiguity counts
+        large).  Returns None — without error — when any fragment of
+        the range is taken or out of bounds.
+        """
+        if start < 0 or start + n_fragments > self.n_fragments or n_fragments < 1:
+            return None
+        extent = Extent(start, n_fragments)
+        if not self.bitmap.is_free_run(extent):
+            return None
+        # The range sits inside some maximal free run; re-index its pieces.
+        run = self.bitmap.run_containing(start)
+        assert run is not None
+        self.extent_table.remove_run(run.start)
+        self.bitmap.mark_allocated(extent)
+        if run.start < extent.start:
+            self.extent_table.insert_run(run.start, extent.start - run.start)
+        if run.end > extent.end:
+            self.extent_table.insert_run(extent.end, run.end - extent.end)
+        self.metrics.add(f"{self._prefix}.allocations")
+        return extent
+
+    def free(self, extent: Extent) -> None:
+        """Free an extent (paper: free-block), coalescing with neighbours.
+
+        The bitmap is updated and the free-extent array re-indexed so
+        the merged maximal run is findable at its full length —
+        "generally, several contiguous blocks and fragments are
+        allocated or freed simultaneously" (paper section 4).
+        """
+        self.bitmap.mark_free(extent)
+        self.metrics.add(f"{self._prefix}.frees")
+        merged = self.bitmap.run_containing(extent.start)
+        assert merged is not None  # we just freed it
+        # Remove stale index entries for the runs we merged with.
+        if merged.start < extent.start:
+            self.extent_table.remove_run(merged.start)
+        if merged.end > extent.end:
+            self.extent_table.remove_run(extent.end)
+        self.extent_table.remove_run(extent.start)
+        self.extent_table.insert_run(merged.start, merged.length)
+
+    # ------------------------------------------------------------ io
+
+    def get(
+        self,
+        extent: Extent,
+        *,
+        source: Source = Source.MAIN,
+        use_cache: bool = True,
+    ) -> bytes:
+        """Read a contiguous extent in (at most) one disk reference.
+
+        ``source=Source.STABLE`` retrieves the stable-storage copy that
+        a prior ``put(..., stability=STABLE_ONLY or BOTH)`` saved.
+        """
+        self._check_extent(extent)
+        self.metrics.add(f"{self._prefix}.gets")
+        if source is Source.STABLE:
+            self._drain_pending()
+            return self.stable.get(_stable_key(extent))
+        if self._cache is not None and use_cache:
+            return self._cache.read(extent.first_sector, extent.n_sectors)
+        return self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+
+    def put(
+        self,
+        extent: Extent,
+        data: bytes,
+        *,
+        stability: Stability = Stability.ORIGINAL_ONLY,
+        sync: SyncMode = SyncMode.AFTER_STABLE,
+    ) -> None:
+        """Write a contiguous extent in one disk reference (paper: put-block).
+
+        ``stability`` selects original-only / stable-only / both;
+        ``sync=BEFORE_STABLE`` defers the stable write (it happens at
+        the next ``flush`` or stable read — a crash first loses it,
+        which is the semantics the caller signed up for).
+        """
+        self._check_extent(extent)
+        if len(data) != extent.byte_size:
+            raise BadAddressError(
+                f"payload is {len(data)} bytes but extent {extent} holds "
+                f"{extent.byte_size}"
+            )
+        self.metrics.add(f"{self._prefix}.puts")
+        if stability in (Stability.ORIGINAL_ONLY, Stability.BOTH):
+            if self._cache is not None:
+                self._cache.write_through(extent.first_sector, data)
+            else:
+                self.disk.write_sectors(extent.first_sector, data)
+        if stability in (Stability.STABLE_ONLY, Stability.BOTH):
+            key = _stable_key(extent)
+            if sync is SyncMode.AFTER_STABLE:
+                self.stable.put(key, data)
+            else:
+                self._pending_stable.append((key, data))
+                self.metrics.add(f"{self._prefix}.deferred_stable_puts")
+
+    def release_stable(self, extent: Extent) -> None:
+        """Drop the stable-storage copy of an extent (e.g. committed shadow)."""
+        self._pending_stable = [
+            (key, data)
+            for key, data in self._pending_stable
+            if key != _stable_key(extent)
+        ]
+        self.stable.delete(_stable_key(extent))
+
+    def flush(self) -> None:
+        """Drain deferred stable writes and checkpoint free-space state.
+
+        This is the paper's flush-block made whole-server: after it
+        returns, everything the server promised to stable storage is
+        there, including the bitmap.
+        """
+        self._drain_pending()
+        self.checkpoint_free_space()
+        self.metrics.add(f"{self._prefix}.flushes")
+
+    # ----------------------------------------------------- recovery
+
+    def checkpoint_free_space(self) -> None:
+        """Save the bitmap to stable storage (vital structural information)."""
+        self.stable.put("bitmap", self.bitmap.to_bytes())
+
+    def recover(self) -> None:
+        """Rebuild volatile state after a crash.
+
+        Reloads the bitmap from stable storage (falling back to a full
+        free disk if no checkpoint exists), refills the free-extent
+        array by scanning it, and invalidates the track cache.
+        """
+        try:
+            blob = self.stable.get("bitmap")
+            self.bitmap = FragmentBitmap.from_bytes(blob, self.n_fragments)
+        except KeyError:
+            self.bitmap = FragmentBitmap(self.n_fragments)
+        self.extent_table.refill(self.bitmap)
+        if self._cache is not None:
+            self._cache.invalidate()
+        self._pending_stable.clear()
+        self.metrics.add(f"{self._prefix}.recoveries")
+
+    # ------------------------------------------------------- status
+
+    @property
+    def free_fragments(self) -> int:
+        return self.bitmap.free_count
+
+    @property
+    def cache(self) -> Optional[TrackCache]:
+        return self._cache
+
+    @property
+    def pending_stable_writes(self) -> int:
+        return len(self._pending_stable)
+
+    # ------------------------------------------------------ internal
+
+    def _allocate_contiguous(
+        self, n_fragments: int, *, prefer_high: bool = False
+    ) -> Extent:
+        run = self.extent_table.take_run(
+            n_fragments, self.bitmap, prefer_high=prefer_high
+        )
+        if run is None:
+            self.extent_table.refill(self.bitmap)
+            self.metrics.add(f"{self._prefix}.table_refills")
+            run = self.extent_table.take_run(
+                n_fragments, self.bitmap, prefer_high=prefer_high
+            )
+        if run is None:
+            raise DiskFullError(
+                f"no contiguous run of {n_fragments} fragments "
+                f"({self.bitmap.free_count} free in total)"
+            )
+        if prefer_high:
+            extent = Extent(run.end - n_fragments, n_fragments)
+            self.bitmap.mark_allocated(extent)
+            if run.length > n_fragments:
+                self.extent_table.insert_run(
+                    run.start, run.length - n_fragments
+                )
+        else:
+            extent = run.take(n_fragments)
+            self.bitmap.mark_allocated(extent)
+            if run.length > n_fragments:
+                self.extent_table.insert_run(
+                    extent.end, run.length - n_fragments
+                )
+        return extent
+
+    def _allocate_gather(self, n_fragments: int) -> List[Extent]:
+        if self.bitmap.free_count < n_fragments:
+            raise DiskFullError(
+                f"{n_fragments} fragments requested, only "
+                f"{self.bitmap.free_count} free"
+            )
+        pieces: List[Extent] = []
+        remaining = n_fragments
+        refilled = False
+        while remaining > 0:
+            run = self.extent_table.take_largest(self.bitmap)
+            if run is None:
+                if refilled:
+                    # Bitmap said there was space; the table must find it
+                    # after a refill unless the bitmap lied (impossible).
+                    for piece in pieces:
+                        self.free(piece)
+                    raise DiskFullError(
+                        f"free space fragmented beyond recovery for "
+                        f"{n_fragments} fragments"
+                    )
+                self.extent_table.refill(self.bitmap)
+                self.metrics.add(f"{self._prefix}.table_refills")
+                refilled = True
+                continue
+            piece = run.take(min(run.length, remaining))
+            self.bitmap.mark_allocated(piece)
+            if run.length > piece.length:
+                self.extent_table.insert_run(piece.end, run.length - piece.length)
+            pieces.append(piece)
+            remaining -= piece.length
+        return pieces
+
+    def _drain_pending(self) -> None:
+        pending, self._pending_stable = self._pending_stable, []
+        for key, data in pending:
+            self.stable.put(key, data)
+
+    def _check_extent(self, extent: Extent) -> None:
+        if extent.end > self.n_fragments:
+            raise BadAddressError(
+                f"extent {extent} beyond disk of {self.n_fragments} fragments"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskServer(disk={self.disk.disk_id!r}, "
+            f"free={self.bitmap.free_count}/{self.n_fragments} fragments)"
+        )

@@ -1,0 +1,927 @@
+"""The file server: one per volume, built on the disk service.
+
+Locating a file's data takes the paper's three steps (section 5): the
+*cluster* locates the file server managing the file (step one); the
+file server locates and caches the **file index table** (step two);
+then locates the data blocks, caches them, and passes the requested
+bytes to the caller (step three).
+
+Performance properties implemented here, each tested and benchmarked:
+
+* **dynamic FIT creation** — the FIT fragment and at least the first
+  data block are allocated as one contiguous extent, eliminating the
+  seek between them, and FITs end up distributed over the disk;
+* **contiguity counts** — each block descriptor knows how many
+  successive blocks follow it contiguously, so a contiguous run is one
+  single ``get`` on the disk service;
+* **direct coverage of 512 KB** — any file up to half a megabyte costs
+  at most two disk references when read cold (FIT + one data run);
+* **server-side caching** — a block pool with the delayed-write policy
+  for basic files and write-through for transaction files (section 5).
+
+The server is *nearly stateless*: every operation is positional
+(system name + offset), hence idempotent; the per-open file position
+lives in the file agent (section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    BadAddressError,
+    DiskFullError,
+    FileNotFoundError_,
+    FileServiceError,
+    FileSizeError,
+)
+from repro.common.ids import SystemName, monotonic_id_factory
+from repro.common.metrics import Metrics
+from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK
+from repro.disk_service.addresses import Extent
+from repro.disk_service.server import DiskServer, Stability
+from repro.file_service.attributes import FileAttributes, LockingLevel, ServiceType
+from repro.file_service.cache import BufferPool, WritePolicy
+from repro.file_service.fit import (
+    DESCRIPTORS_PER_INDIRECT,
+    DIRECT_DESCRIPTORS,
+    MAX_FILE_BLOCKS,
+    SINGLE_INDIRECT_SLOTS,
+    BlockDescriptor,
+    FileIndexTable,
+    contiguous_runs,
+    decode_indirect_block,
+    encode_indirect_block,
+    recompute_counts,
+)
+
+#: Default for how many blocks the extension policy tries to allocate
+#: contiguously ahead of a growing file's last block before falling back
+#: to a fresh run (overridable per server; ablation A3 sweeps it).
+DEFAULT_GROWTH_BATCH_BLOCKS = 8
+
+
+class _OpenState:
+    """Volatile bookkeeping for a file the server currently maps."""
+
+    __slots__ = (
+        "fit",
+        "fit_dirty",
+        "block_map",
+        "dirty_indirect",
+        "dirty_double",
+        "double_pointers",
+    )
+
+    def __init__(self, fit: FileIndexTable) -> None:
+        self.fit = fit
+        self.fit_dirty = False
+        # Full logical block map (direct + loaded indirect), or None if
+        # only the direct area has been materialised.
+        self.block_map: Optional[List[Optional[BlockDescriptor]]] = None
+        self.dirty_indirect: set[int] = set()  # single-indirect slot numbers
+        # Double-indirect dirt: (outer slot, inner index) pairs, plus the
+        # cached pointer tables (outer slot -> list of inner block addrs).
+        self.dirty_double: set[tuple[int, int]] = set()
+        self.double_pointers: Dict[int, List[Optional[int]]] = {}
+
+
+class FileServer:
+    """The basic file service for one volume.
+
+    Args:
+        volume_id: integer id of this volume (appears in system names).
+        disk_server: the disk service instance for this volume's disk.
+        clock: shared simulated clock.
+        metrics: shared counter registry.
+        data_cache_blocks: capacity of the server's block pool; 0
+            disables server-side data caching (for experiment E5).
+        write_policy: DELAYED (basic-file default) or WRITE_THROUGH.
+        name: metric prefix; defaults to ``file_server.<volume_id>``.
+    """
+
+    def __init__(
+        self,
+        volume_id: int,
+        disk_server: DiskServer,
+        clock: SimClock,
+        metrics: Metrics,
+        *,
+        data_cache_blocks: int = 256,
+        fit_cache_entries: int = 256,
+        write_policy: WritePolicy = WritePolicy.DELAYED,
+        growth_batch_blocks: int = DEFAULT_GROWTH_BATCH_BLOCKS,
+        name: Optional[str] = None,
+    ) -> None:
+        self.volume_id = volume_id
+        self.growth_batch_blocks = max(1, growth_batch_blocks)
+        self.disk = disk_server
+        self.clock = clock
+        self.metrics = metrics
+        self.write_policy = write_policy
+        self.name = name or f"file_server.{volume_id}"
+        self._next_generation = monotonic_id_factory()
+        self._files: Dict[int, _OpenState] = {}  # fit_address -> state
+        self._fit_lru: List[int] = []
+        self._fit_cache_entries = max(8, fit_cache_entries)
+        self._data_cache: Optional[BufferPool] = (
+            BufferPool(
+                f"{self.name}.block_pool",
+                metrics,
+                data_cache_blocks,
+                writeback=self._write_block_to_disk,
+            )
+            if data_cache_blocks > 0
+            else None
+        )
+
+    # ======================================================== create
+
+    def create(
+        self,
+        *,
+        service_type: ServiceType = ServiceType.BASIC,
+        locking_level: LockingLevel = LockingLevel.DEFAULT,
+    ) -> SystemName:
+        """Create a file; returns its system name.
+
+        The FIT fragment and the first data block are allocated as one
+        contiguous five-fragment extent whenever possible (paper
+        section 5: "the file index table and at least the first data
+        block are always contiguous thus eliminating the seek time to
+        retrieve the first data block").  The FIT is written to both
+        its original location and stable storage.
+        """
+        first_block: Optional[Extent] = None
+        try:
+            joint = self.disk.allocate(1 + FRAGMENTS_PER_BLOCK)
+            fit_extent, first_block = joint.split(1)
+        except DiskFullError:
+            fit_extent = self.disk.allocate(1)
+        fit = FileIndexTable()
+        attrs = fit.attributes
+        attrs.created_us = self.clock.now_us
+        attrs.generation = self._next_generation()
+        attrs.service_type = service_type
+        attrs.locking_level = locking_level
+        if first_block is not None:
+            fit.direct[0] = BlockDescriptor(first_block.start, 1)
+        state = _OpenState(fit)
+        self._install_state(fit_extent.start, state)
+        self._store_fit(fit_extent.start, state)
+        self.metrics.add(f"{self.name}.creates")
+        return SystemName(self.volume_id, fit_extent.start, attrs.generation)
+
+    # ==================================================== open/close
+
+    def open(self, name: SystemName) -> FileAttributes:
+        """Open a file: bumps the reference count, returns attributes."""
+        state = self._load_state(name)
+        attrs = state.fit.attributes
+        attrs.ref_count += 1
+        attrs.open_count_total += 1
+        state.fit_dirty = True
+        self.metrics.add(f"{self.name}.opens")
+        return attrs.copy()
+
+    def close(self, name: SystemName) -> None:
+        """Close one instance; flushes the file's delayed writes."""
+        state = self._load_state(name)
+        attrs = state.fit.attributes
+        if attrs.ref_count > 0:
+            attrs.ref_count -= 1
+            state.fit_dirty = True
+        self._flush_file(name.fit_address, state)
+        self.metrics.add(f"{self.name}.closes")
+
+    def delete(self, name: SystemName) -> None:
+        """Delete a file, freeing its data, indirect blocks and FIT."""
+        state = self._load_state(name)
+        block_map = self._full_map(name.fit_address, state)
+        freed = 0
+        for _, n_blocks, address in contiguous_runs(
+            block_map, 0, len(block_map) - 1
+        ):
+            if address < 0:
+                continue
+            self.disk.free(Extent.for_block_run(address, n_blocks))
+            if self._data_cache is not None:
+                for index in range(n_blocks):
+                    self._data_cache.invalidate(address + index * FRAGMENTS_PER_BLOCK)
+            freed += n_blocks
+        for slot_addr in state.fit.single_indirect:
+            if slot_addr is not None:
+                self.disk.free(Extent.for_block_run(slot_addr, 1))
+        for slot_addr in state.fit.double_indirect:
+            if slot_addr is not None:
+                self._free_double_indirect(slot_addr)
+        fit_extent = Extent(name.fit_address, 1)
+        # Tombstone the fragment so a stale system name cannot resurrect
+        # the old FIT from residual disk bytes.
+        self.disk.put(fit_extent, bytes(fit_extent.byte_size))
+        self.disk.free(fit_extent)
+        self.disk.release_stable(fit_extent)
+        self._evict_state(name.fit_address)
+        self.metrics.add(f"{self.name}.deletes")
+        self.metrics.add(f"{self.name}.blocks_freed", freed)
+
+    # ======================================================== read
+
+    def read(self, name: SystemName, offset: int, n_bytes: int) -> bytes:
+        """Read up to ``n_bytes`` at ``offset`` (positional; idempotent).
+
+        Short reads happen at end of file; reads inside holes return
+        zero bytes ('\\x00'), matching sparse-file convention.
+        """
+        if offset < 0 or n_bytes < 0:
+            raise FileSizeError(f"bad read range ({offset}, {n_bytes})")
+        state = self._load_state(name)
+        attrs = state.fit.attributes
+        attrs.last_read_us = self.clock.now_us
+        state.fit_dirty = True
+        end = min(offset + n_bytes, attrs.file_size)
+        if end <= offset:
+            return b""
+        first_block = offset // BLOCK_SIZE
+        last_block = (end - 1) // BLOCK_SIZE
+        block_map = self._map_through(name.fit_address, state, last_block)
+        pieces: List[bytes] = []
+        for block_index, n_blocks, address in contiguous_runs(
+            block_map, first_block, last_block
+        ):
+            if address < 0:
+                pieces.append(bytes(n_blocks * BLOCK_SIZE))
+            else:
+                pieces.append(self._fetch_run(address, n_blocks))
+        data = b"".join(pieces)
+        skip = offset - first_block * BLOCK_SIZE
+        self.metrics.add(f"{self.name}.reads")
+        self.metrics.add(f"{self.name}.bytes_read", end - offset)
+        return data[skip : skip + (end - offset)]
+
+    # ======================================================== write
+
+    def write(self, name: SystemName, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset``, extending the file as needed.
+
+        New blocks are allocated contiguously with the file's existing
+        last block when possible, so contiguity counts stay large.
+        Modified blocks follow the server's write policy: delayed
+        (cached dirty) for basic files, write-through for transaction
+        files.  Returns the number of bytes written.
+        """
+        if offset < 0:
+            raise FileSizeError(f"bad write offset {offset}")
+        if not data:
+            return 0
+        state = self._load_state(name)
+        attrs = state.fit.attributes
+        end = offset + len(data)
+        first_block = offset // BLOCK_SIZE
+        last_block = (end - 1) // BLOCK_SIZE
+        if last_block >= MAX_FILE_BLOCKS:
+            raise FileSizeError(
+                f"write would exceed the maximum mapped file size "
+                f"({MAX_FILE_BLOCKS} blocks)"
+            )
+        block_map = self._map_through(name.fit_address, state, last_block)
+        structural_change = self._allocate_missing(
+            name.fit_address, state, block_map, first_block, last_block
+        )
+        through = (
+            self.write_policy is WritePolicy.WRITE_THROUGH
+            or attrs.service_type is ServiceType.TRANSACTION
+        )
+        cursor = offset
+        remaining = memoryview(bytes(data))
+        while cursor < end:
+            block_index = cursor // BLOCK_SIZE
+            within = cursor - block_index * BLOCK_SIZE
+            chunk = min(BLOCK_SIZE - within, end - cursor)
+            desc = block_map[block_index]
+            assert desc is not None  # _allocate_missing filled every slot
+            self._write_block(
+                desc.address,
+                within,
+                bytes(remaining[: chunk]),
+                through=through,
+                whole=(within == 0 and chunk == BLOCK_SIZE),
+            )
+            remaining = remaining[chunk:]
+            cursor += chunk
+        if end > attrs.file_size:
+            attrs.file_size = end
+            state.fit_dirty = True
+        attrs.last_write_us = self.clock.now_us
+        state.fit_dirty = True
+        if structural_change:
+            # Vital structural information reaches stable storage at once.
+            self._store_fit(name.fit_address, state)
+        self.metrics.add(f"{self.name}.writes")
+        self.metrics.add(f"{self.name}.bytes_written", len(data))
+        return len(data)
+
+    # ===================================================== attributes
+
+    def get_attribute(self, name: SystemName) -> FileAttributes:
+        """Return a copy of the file's attribute block."""
+        state = self._load_state(name)
+        self.metrics.add(f"{self.name}.get_attributes")
+        return state.fit.attributes.copy()
+
+    def set_service_type(self, name: SystemName, service_type: ServiceType) -> None:
+        """Switch the semantics a file is used under (basic <-> transaction)."""
+        state = self._load_state(name)
+        state.fit.attributes.service_type = service_type
+        state.fit_dirty = True
+        self._store_fit(name.fit_address, state)
+
+    def set_locking_level(self, name: SystemName, level: LockingLevel) -> None:
+        state = self._load_state(name)
+        state.fit.attributes.locking_level = level
+        state.fit_dirty = True
+        self._store_fit(name.fit_address, state)
+
+    def set_file_size_at_least(self, name: SystemName, size: int) -> None:
+        """Raise the recorded file size to ``size`` (transaction commits).
+
+        Used when a shadow-page commit extends a file: the descriptor
+        swap installs the data but only the FIT knows the length.
+        No-op if the file is already at least that large.
+        """
+        state = self._load_state(name)
+        if state.fit.attributes.file_size < size:
+            state.fit.attributes.file_size = size
+            state.fit_dirty = True
+            self._store_fit(name.fit_address, state)
+
+    def exists(self, name: SystemName) -> bool:
+        try:
+            self._load_state(name)
+            return True
+        except FileNotFoundError_:
+            return False
+
+    # =========================================== transaction support
+
+    def load_fit(self, name: SystemName) -> FileIndexTable:
+        """The decoded FIT (transaction service / diagnostics use)."""
+        return self._load_state(name).fit
+
+    def block_descriptor(
+        self, name: SystemName, block_index: int
+    ) -> Optional[BlockDescriptor]:
+        """Descriptor of one logical block (None for a hole)."""
+        state = self._load_state(name)
+        block_map = self._map_through(name.fit_address, state, block_index)
+        if block_index >= len(block_map):
+            return None
+        return block_map[block_index]
+
+    def replace_block_descriptor(
+        self, name: SystemName, block_index: int, new_address: int
+    ) -> Optional[int]:
+        """Point logical block ``block_index`` at a different disk block.
+
+        This is the shadow-page commit step (paper section 6.7: the
+        shadow technique "requires the replacement of the block
+        descriptor of the original data block with that of the shadow
+        block in the file index table").  Returns the old address (or
+        None if the slot was a hole).  Counts are recomputed and the
+        FIT written through to original + stable storage.
+        """
+        state = self._load_state(name)
+        block_map = self._map_through(name.fit_address, state, block_index)
+        old = block_map[block_index]
+        block_map[block_index] = BlockDescriptor(new_address, 1)
+        self._writeback_map(name.fit_address, state, block_map)
+        if self._data_cache is not None and old is not None:
+            self._data_cache.invalidate(old.address)
+        self._store_fit(name.fit_address, state)
+        return old.address if old is not None else None
+
+    def read_block(self, address: int, n_blocks: int = 1) -> bytes:
+        """Read ``n_blocks`` contiguous blocks at a raw block address."""
+        return self._fetch_run(address, n_blocks)
+
+    def write_block(
+        self, address: int, data: bytes, *, through: bool = True
+    ) -> None:
+        """Write whole blocks at a raw block address."""
+        if len(data) % BLOCK_SIZE:
+            raise BadAddressError("write_block needs whole blocks")
+        for index in range(len(data) // BLOCK_SIZE):
+            self._write_block(
+                address + index * FRAGMENTS_PER_BLOCK,
+                0,
+                data[index * BLOCK_SIZE : (index + 1) * BLOCK_SIZE],
+                through=through,
+                whole=True,
+            )
+
+    # ====================================================== flushing
+
+    def flush(self) -> None:
+        """Write back all delayed data, FITs, and the disk server state."""
+        if self._data_cache is not None:
+            self._data_cache.flush()
+        for fit_address, state in list(self._files.items()):
+            if state.fit_dirty or state.dirty_indirect:
+                self._store_fit(fit_address, state)
+        self.disk.flush()
+        self.metrics.add(f"{self.name}.flushes")
+
+    def crash(self) -> None:
+        """Simulate the machine hosting this server crashing.
+
+        Volatile state (FIT cache, block pool) is lost and the disk
+        goes offline; subsequent operations raise
+        :class:`~repro.common.errors.DiskCrashedError` until
+        :meth:`recover` runs after the disk is repaired.
+        """
+        self.disk.disk.crash()
+        self._files.clear()
+        self._fit_lru.clear()
+        if self._data_cache is not None:
+            self._data_cache.invalidate_all()
+        self.metrics.add(f"{self.name}.crashes")
+
+    def recover(self) -> None:
+        """Drop volatile state after a crash; reload from the disk service."""
+        self._files.clear()
+        self._fit_lru.clear()
+        if self._data_cache is not None:
+            self._data_cache.invalidate_all()
+        self.disk.recover()
+        self.metrics.add(f"{self.name}.recoveries")
+
+    # ====================================================== internal
+
+    # ---- state / FIT management
+
+    def _install_state(self, fit_address: int, state: _OpenState) -> None:
+        self._files[fit_address] = state
+        if fit_address in self._fit_lru:
+            self._fit_lru.remove(fit_address)
+        self._fit_lru.append(fit_address)
+        while len(self._fit_lru) > self._fit_cache_entries:
+            victim = self._fit_lru[0]
+            victim_state = self._files.get(victim)
+            if victim_state is not None and (
+                victim_state.fit_dirty or victim_state.dirty_indirect
+            ):
+                self._store_fit(victim, victim_state)
+            self._fit_lru.pop(0)
+            self._files.pop(victim, None)
+
+    def _evict_state(self, fit_address: int) -> None:
+        self._files.pop(fit_address, None)
+        if fit_address in self._fit_lru:
+            self._fit_lru.remove(fit_address)
+
+    def _load_state(self, name: SystemName) -> _OpenState:
+        if name.volume_id != self.volume_id:
+            raise FileServiceError(
+                f"{name} belongs to volume {name.volume_id}, this server is "
+                f"volume {self.volume_id}"
+            )
+        state = self._files.get(name.fit_address)
+        if state is None:
+            state = self._read_fit_from_disk(name.fit_address)
+            self._install_state(name.fit_address, state)
+        if state.fit.attributes.generation != name.generation:
+            raise FileNotFoundError_(
+                f"{name} is stale (file deleted and fragment recycled)"
+            )
+        return state
+
+    def _read_fit_from_disk(self, fit_address: int) -> _OpenState:
+        extent = Extent(fit_address, 1)
+        try:
+            blob = self.disk.get(extent)
+            fit = FileIndexTable.decode(blob)
+        except (FileSizeError, BadAddressError) as exc:
+            # "A copy of the file index table is always available in
+            # stable storage" (paper section 5) — a torn or corrupt main
+            # copy is repaired from it.
+            fit = self._restore_fit_from_stable(extent)
+            if fit is None:
+                raise FileNotFoundError_(
+                    f"no file index table at fragment {fit_address}: {exc}"
+                ) from exc
+        self.metrics.add(f"{self.name}.fit_loads")
+        return _OpenState(fit)
+
+    def _restore_fit_from_stable(self, extent: Extent) -> Optional[FileIndexTable]:
+        from repro.disk_service.server import Source
+
+        try:
+            blob = self.disk.get(extent, source=Source.STABLE)
+            fit = FileIndexTable.decode(blob)
+        except (KeyError, FileSizeError, BadAddressError):
+            return None
+        self.disk.put(extent, blob)  # heal the main copy
+        self.metrics.add(f"{self.name}.fit_restores")
+        return fit
+
+    def _store_fit(self, fit_address: int, state: _OpenState) -> None:
+        """FIT and dirty indirect blocks to original + stable storage."""
+        self._flush_indirect(fit_address, state)
+        self.disk.put(
+            Extent(fit_address, 1),
+            state.fit.encode(),
+            stability=Stability.BOTH,
+        )
+        state.fit_dirty = False
+        self.metrics.add(f"{self.name}.fit_stores")
+
+    def _flush_file(self, fit_address: int, state: _OpenState) -> None:
+        if self._data_cache is not None:
+            addresses = {
+                desc.address
+                for desc in self._full_map(fit_address, state)
+                if desc is not None
+            }
+            self._data_cache.flush_matching(lambda key: key in addresses)
+        if state.fit_dirty or state.dirty_indirect:
+            self._store_fit(fit_address, state)
+
+    # ---- block map (direct + indirect)
+
+    def _map_through(
+        self, fit_address: int, state: _OpenState, last_block: int
+    ) -> List[Optional[BlockDescriptor]]:
+        """The logical block map, materialised through ``last_block``."""
+        if last_block < DIRECT_DESCRIPTORS and state.block_map is None:
+            return state.fit.direct
+        full = self._full_map(fit_address, state)
+        while len(full) <= last_block:
+            full.append(None)
+        return full
+
+    def _full_map(
+        self, fit_address: int, state: _OpenState
+    ) -> List[Optional[BlockDescriptor]]:
+        if state.block_map is not None:
+            return state.block_map
+        full: List[Optional[BlockDescriptor]] = list(state.fit.direct)
+        for slot, address in enumerate(state.fit.single_indirect):
+            if address is None:
+                full.extend([None] * DESCRIPTORS_PER_INDIRECT)
+            else:
+                blob = self.disk.get(Extent.for_block_run(address, 1))
+                full.extend(decode_indirect_block(blob))
+                self.metrics.add(f"{self.name}.indirect_loads")
+        # Double-indirect regions: each outer slot covers a fixed span,
+        # so absent slots pad with holes to keep later slots aligned.
+        per_outer = DESCRIPTORS_PER_INDIRECT * DESCRIPTORS_PER_INDIRECT
+        used = [a for a in state.fit.double_indirect if a is not None]
+        if used:
+            for address in state.fit.double_indirect:
+                if address is None:
+                    full.extend([None] * per_outer)
+                else:
+                    region = self._load_double_indirect(address)
+                    region += [None] * (per_outer - len(region))
+                    full.extend(region)
+            # Trim the all-hole tail: keeps maps of barely-double files small.
+            while full and full[-1] is None:
+                full.pop()
+        state.block_map = full
+        return full
+
+    def _load_double_indirect(
+        self, address: int
+    ) -> List[Optional[BlockDescriptor]]:
+        blob = self.disk.get(Extent.for_block_run(address, 1))
+        pointers = decode_indirect_block(blob)
+        out: List[Optional[BlockDescriptor]] = []
+        for pointer in pointers:
+            if pointer is None:
+                out.extend([None] * DESCRIPTORS_PER_INDIRECT)
+            else:
+                inner = self.disk.get(Extent.for_block_run(pointer.address, 1))
+                out.extend(decode_indirect_block(inner))
+                self.metrics.add(f"{self.name}.indirect_loads")
+        return out
+
+    def _free_double_indirect(self, address: int) -> None:
+        blob = self.disk.get(Extent.for_block_run(address, 1))
+        for pointer in decode_indirect_block(blob):
+            if pointer is not None:
+                self.disk.free(Extent.for_block_run(pointer.address, 1))
+        self.disk.free(Extent.for_block_run(address, 1))
+
+    def _writeback_map(
+        self,
+        fit_address: int,
+        state: _OpenState,
+        block_map: List[Optional[BlockDescriptor]],
+    ) -> None:
+        """Recompute counts and fold the map back into FIT + indirect blocks."""
+        block_map = recompute_counts(block_map)
+        state.block_map = block_map if len(block_map) > DIRECT_DESCRIPTORS else None
+        state.fit.direct = list(block_map[:DIRECT_DESCRIPTORS]) + [None] * max(
+            0, DIRECT_DESCRIPTORS - len(block_map)
+        )
+        state.fit.direct = state.fit.direct[:DIRECT_DESCRIPTORS]
+        state.fit_dirty = True
+        overflow = block_map[DIRECT_DESCRIPTORS:]
+        if not any(desc is not None for desc in overflow):
+            return
+        for slot in range(SINGLE_INDIRECT_SLOTS):
+            lo = slot * DESCRIPTORS_PER_INDIRECT
+            hi = lo + DESCRIPTORS_PER_INDIRECT
+            chunk = overflow[lo:hi]
+            if not any(desc is not None for desc in chunk):
+                continue
+            if state.fit.single_indirect[slot] is None:
+                indirect_extent = self.disk.allocate_block(1)
+                state.fit.single_indirect[slot] = indirect_extent.start
+            state.dirty_indirect.add(slot)
+        beyond = overflow[SINGLE_INDIRECT_SLOTS * DESCRIPTORS_PER_INDIRECT :]
+        if not any(desc is not None for desc in beyond):
+            return
+        # Double-indirect growth: mark each touched (outer, inner) chunk.
+        per_outer = DESCRIPTORS_PER_INDIRECT * DESCRIPTORS_PER_INDIRECT
+        for rel, desc in enumerate(beyond):
+            if desc is None:
+                continue
+            outer = rel // per_outer
+            inner = (rel % per_outer) // DESCRIPTORS_PER_INDIRECT
+            if outer >= len(state.fit.double_indirect):
+                raise FileSizeError(
+                    "file exceeds even the double-indirect range"
+                )
+            if state.fit.double_indirect[outer] is None:
+                pointer_block = self.disk.allocate_block(1)
+                state.fit.double_indirect[outer] = pointer_block.start
+                state.double_pointers[outer] = (
+                    [None] * DESCRIPTORS_PER_INDIRECT
+                )
+            state.dirty_double.add((outer, inner))
+
+    def _flush_indirect(self, fit_address: int, state: _OpenState) -> None:
+        if (
+            not state.dirty_indirect and not state.dirty_double
+        ) or state.block_map is None:
+            state.dirty_indirect.clear()
+            state.dirty_double.clear()
+            return
+        self._flush_double_indirect(state)
+        for slot in sorted(state.dirty_indirect):
+            address = state.fit.single_indirect[slot]
+            if address is None:
+                continue
+            lo = DIRECT_DESCRIPTORS + slot * DESCRIPTORS_PER_INDIRECT
+            hi = lo + DESCRIPTORS_PER_INDIRECT
+            chunk = state.block_map[lo:hi]
+            chunk += [None] * (DESCRIPTORS_PER_INDIRECT - len(chunk))
+            self.disk.put(
+                Extent.for_block_run(address, 1),
+                encode_indirect_block(chunk),
+                stability=Stability.BOTH,
+            )
+            self.metrics.add(f"{self.name}.indirect_stores")
+        state.dirty_indirect.clear()
+
+    def _flush_double_indirect(self, state: _OpenState) -> None:
+        """Write dirty double-indirect chunks + their pointer blocks."""
+        if not state.dirty_double:
+            return
+        base = DIRECT_DESCRIPTORS + SINGLE_INDIRECT_SLOTS * DESCRIPTORS_PER_INDIRECT
+        per_outer = DESCRIPTORS_PER_INDIRECT * DESCRIPTORS_PER_INDIRECT
+        dirty_pointer_blocks: set[int] = set()
+        for outer, inner in sorted(state.dirty_double):
+            pointers = self._double_pointers(state, outer)
+            if pointers[inner] is None:
+                inner_block = self.disk.allocate_block(1)
+                pointers[inner] = inner_block.start
+                dirty_pointer_blocks.add(outer)
+            lo = base + outer * per_outer + inner * DESCRIPTORS_PER_INDIRECT
+            hi = lo + DESCRIPTORS_PER_INDIRECT
+            chunk = list(state.block_map[lo:hi])
+            chunk += [None] * (DESCRIPTORS_PER_INDIRECT - len(chunk))
+            self.disk.put(
+                Extent.for_block_run(pointers[inner], 1),
+                encode_indirect_block(chunk),
+                stability=Stability.BOTH,
+            )
+            self.metrics.add(f"{self.name}.indirect_stores")
+        for outer in sorted(dirty_pointer_blocks):
+            address = state.fit.double_indirect[outer]
+            pointer_descs = [
+                None if addr is None else BlockDescriptor(addr, 1)
+                for addr in state.double_pointers[outer]
+            ]
+            self.disk.put(
+                Extent.for_block_run(address, 1),
+                encode_indirect_block(pointer_descs),
+                stability=Stability.BOTH,
+            )
+            self.metrics.add(f"{self.name}.indirect_stores")
+        state.dirty_double.clear()
+
+    def _double_pointers(
+        self, state: _OpenState, outer: int
+    ) -> List[Optional[int]]:
+        pointers = state.double_pointers.get(outer)
+        if pointers is None:
+            address = state.fit.double_indirect[outer]
+            blob = self.disk.get(Extent.for_block_run(address, 1))
+            pointers = [
+                None if desc is None else desc.address
+                for desc in decode_indirect_block(blob)
+            ]
+            state.double_pointers[outer] = pointers
+        return pointers
+
+    # ---- allocation
+
+    def _allocate_missing(
+        self,
+        fit_address: int,
+        state: _OpenState,
+        block_map: List[Optional[BlockDescriptor]],
+        first_block: int,
+        last_block: int,
+    ) -> bool:
+        """Ensure every block in [first_block, last_block] is mapped.
+
+        Returns True if any allocation happened (structural change).
+        Allocation policy: extend contiguously with the highest mapped
+        predecessor when the adjacent fragments are free, else allocate
+        the whole missing range as one contiguous run, else gather.
+        """
+        missing = [
+            index
+            for index in range(first_block, last_block + 1)
+            if index >= len(block_map) or block_map[index] is None
+        ]
+        if not missing:
+            return False
+        while len(block_map) <= last_block:
+            block_map.append(None)
+        runs = self._group_consecutive(missing)
+        for run_start, run_len in runs:
+            self._allocate_run(block_map, run_start, run_len)
+        self._writeback_map(fit_address, state, block_map)
+        return True
+
+    def _allocate_run(
+        self,
+        block_map: List[Optional[BlockDescriptor]],
+        run_start: int,
+        run_len: int,
+    ) -> None:
+        allocated: List[Extent] = []
+        # Try to continue contiguously after the preceding mapped block,
+        # reserving ahead of the immediate need so interleaved appenders
+        # cannot shred each other's layout.  The reservation is capped by
+        # how big the file already is (doubling-style), so small files
+        # never over-allocate.
+        predecessor = block_map[run_start - 1] if run_start > 0 else None
+        remaining = run_len
+        mapped_before = sum(1 for desc in block_map if desc is not None)
+        if predecessor is not None:
+            reserve = min(self.growth_batch_blocks - 1, mapped_before)
+            want = remaining + max(0, reserve)
+            extent = self.disk.try_allocate_at(
+                predecessor.address + FRAGMENTS_PER_BLOCK,
+                want * FRAGMENTS_PER_BLOCK,
+            )
+            while extent is None and want > 1:
+                want -= 1
+                extent = self.disk.try_allocate_at(
+                    predecessor.address + FRAGMENTS_PER_BLOCK,
+                    want * FRAGMENTS_PER_BLOCK,
+                )
+            if extent is not None:
+                allocated.append(extent)
+                remaining -= min(want, remaining)
+        fresh_reserve = max(0, min(self.growth_batch_blocks - 1, mapped_before))
+        while remaining > 0:
+            try:
+                # A fresh run also reserves ahead: the file could not
+                # extend in place, so future appends should at least be
+                # contiguous with *this* run.
+                try:
+                    extent = self.disk.allocate(
+                        (remaining + fresh_reserve) * FRAGMENTS_PER_BLOCK
+                    )
+                except DiskFullError:
+                    if fresh_reserve == 0:
+                        raise
+                    fresh_reserve = 0
+                    extent = self.disk.allocate(remaining * FRAGMENTS_PER_BLOCK)
+                allocated.append(extent)
+                remaining = 0
+            except DiskFullError:
+                # Scattered fallback: one block at a time.  A block still
+                # needs four contiguous fragments; if even that fails the
+                # disk genuinely cannot hold another data block.
+                allocated.append(self.disk.allocate_block(1))
+                remaining -= 1
+        index = run_start
+        for extent in allocated:
+            for block in range(extent.whole_blocks):
+                address = extent.start + block * FRAGMENTS_PER_BLOCK
+                if index < run_start + run_len:
+                    block_map[index] = BlockDescriptor(address, 1)
+                    index += 1
+                    continue
+                # Surplus from the reservation: map it into the directly
+                # following unmapped slots (preallocation), free the rest.
+                if index < MAX_FILE_BLOCKS and (
+                    index >= len(block_map) or block_map[index] is None
+                ):
+                    while len(block_map) <= index:
+                        block_map.append(None)
+                    block_map[index] = BlockDescriptor(address, 1)
+                    index += 1
+                else:
+                    self.disk.free(
+                        Extent.for_block_run(
+                            address, extent.whole_blocks - block
+                        )
+                    )
+                    break
+
+    @staticmethod
+    def _group_consecutive(indices: List[int]) -> List[Tuple[int, int]]:
+        runs: List[Tuple[int, int]] = []
+        start = indices[0]
+        length = 1
+        for prev, cur in zip(indices, indices[1:]):
+            if cur == prev + 1:
+                length += 1
+            else:
+                runs.append((start, length))
+                start, length = cur, 1
+        runs.append((start, length))
+        return runs
+
+    # ---- data block I/O through the server cache
+
+    def _fetch_run(self, address: int, n_blocks: int) -> bytes:
+        """Read a contiguous run of blocks, server cache first.
+
+        Fully cached runs cost no disk reference; otherwise uncached
+        sub-runs are fetched, each in one disk reference (the
+        contiguity-count payoff).
+        """
+        if self._data_cache is None:
+            return self.disk.get(Extent.for_block_run(address, n_blocks))
+        pieces: List[bytes] = []
+        index = 0
+        while index < n_blocks:
+            block_addr = address + index * FRAGMENTS_PER_BLOCK
+            cached = self._data_cache.get(block_addr)
+            if cached is not None:
+                pieces.append(cached)
+                index += 1
+                continue
+            # Find the extent of the uncached sub-run.
+            miss_len = 1
+            while index + miss_len < n_blocks and not self._data_cache.contains(
+                address + (index + miss_len) * FRAGMENTS_PER_BLOCK
+            ):
+                miss_len += 1
+            data = self.disk.get(Extent.for_block_run(block_addr, miss_len))
+            for sub in range(miss_len):
+                self._data_cache.put(
+                    block_addr + sub * FRAGMENTS_PER_BLOCK,
+                    data[sub * BLOCK_SIZE : (sub + 1) * BLOCK_SIZE],
+                )
+            pieces.append(data)
+            index += miss_len
+        return b"".join(pieces)
+
+    def _write_block(
+        self,
+        address: int,
+        within: int,
+        chunk: bytes,
+        *,
+        through: bool,
+        whole: bool,
+    ) -> None:
+        if whole:
+            block = chunk
+        else:
+            current = self._fetch_run(address, 1)
+            block = current[:within] + chunk + current[within + len(chunk) :]
+        if self._data_cache is None or through:
+            self._write_block_to_disk(address, block)
+            if self._data_cache is not None:
+                self._data_cache.put(address, block, dirty=False)
+        else:
+            self._data_cache.put(address, block, dirty=True)
+
+    def _write_block_to_disk(self, address: int, block: bytes) -> None:
+        self.disk.put(Extent.for_block_run(address, 1), block)
+
+    def __repr__(self) -> str:
+        return f"FileServer(volume={self.volume_id}, files_cached={len(self._files)})"
+

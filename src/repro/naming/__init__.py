@@ -1,0 +1,30 @@
+"""The RHODOS naming service.
+
+Processes refer to devices (TTY objects) and files (FILE objects) by
+*attributed names*; the file agent, transaction agent and device agent
+refer to them by *system names*.  "The process of evaluation and
+resolution of an attributed name of a device or file to its system
+name is performed by the RHODOS naming service" (paper section 3).
+
+The service is a binding store with attribute-subset lookup plus a
+conventional hierarchical-path convenience layer (a path is just an
+attributed name whose ``path`` attribute is set).
+"""
+
+from repro.naming.attributed import AttributedName, ObjectType
+from repro.naming.service import NamingService
+from repro.naming.directory import DirectoryEntry, DirectoryService
+
+# repro.naming.tdirectory.TransactionalDirectory is intentionally not
+# re-exported here: it depends on the transaction service, which sits
+# above naming in the layering (importing it here would be circular).
+# It is available from the top-level package: ``from repro import
+# TransactionalDirectory``.
+
+__all__ = [
+    "AttributedName",
+    "ObjectType",
+    "NamingService",
+    "DirectoryEntry",
+    "DirectoryService",
+]

@@ -1,0 +1,101 @@
+"""Attributed names for FILE and TTY objects.
+
+An attributed name is an unordered set of ``key=value`` attributes
+plus an object type.  Two names are equal iff their types and
+attribute sets are equal; a *query* name matches a *binding* name when
+the query's attributes are a subset of the binding's — which is what
+lets a user open ``{owner=rajmohan, project=dff}`` without knowing
+every attribute the file was registered with.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class ObjectType(enum.Enum):
+    """What kind of object a name designates (paper section 3)."""
+
+    FILE = "FILE"
+    TTY = "TTY"
+
+
+class AttributedName:
+    """An immutable attributed name.
+
+    Attribute keys and values are strings; construction normalises the
+    attribute order away, so names hash and compare structurally.
+    """
+
+    __slots__ = ("object_type", "_attrs", "_frozen")
+
+    def __init__(self, object_type: ObjectType, attrs: Mapping[str, str]) -> None:
+        if not attrs:
+            raise ValueError("an attributed name needs at least one attribute")
+        clean: Dict[str, str] = {}
+        for key, value in attrs.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                raise TypeError("attribute keys and values must be strings")
+            if not key:
+                raise ValueError("attribute keys must be non-empty")
+            clean[key] = value
+        self.object_type = object_type
+        self._attrs = clean
+        self._frozen = frozenset(clean.items())
+
+    # ----------------------------------------------------- builders
+
+    @classmethod
+    def file(cls, path: str | None = None, **attrs: str) -> "AttributedName":
+        """A FILE-object name; ``path`` is the conventional key."""
+        merged = dict(attrs)
+        if path is not None:
+            merged["path"] = path
+        return cls(ObjectType.FILE, merged)
+
+    @classmethod
+    def tty(cls, device: str | None = None, **attrs: str) -> "AttributedName":
+        """A TTY-object name; ``device`` is the conventional key."""
+        merged = dict(attrs)
+        if device is not None:
+            merged["device"] = device
+        return cls(ObjectType.TTY, merged)
+
+    # ------------------------------------------------------ queries
+
+    @property
+    def attributes(self) -> Dict[str, str]:
+        return dict(self._attrs)
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        return self._attrs.get(key, default)
+
+    def matches(self, query: "AttributedName") -> bool:
+        """True if ``query``'s attributes are a subset of this name's."""
+        return (
+            self.object_type is query.object_type
+            and query._frozen <= self._frozen
+        )
+
+    def with_attributes(self, **attrs: str) -> "AttributedName":
+        merged = dict(self._attrs)
+        merged.update(attrs)
+        return AttributedName(self.object_type, merged)
+
+    # ----------------------------------------------------- protocol
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributedName):
+            return NotImplemented
+        return self.object_type is other.object_type and self._frozen == other._frozen
+
+    def __hash__(self) -> int:
+        return hash((self.object_type, self._frozen))
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(sorted(self._attrs.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value}" for key, value in self)
+        return f"{self.object_type.value}{{{inner}}}"

@@ -1,0 +1,291 @@
+"""The directory service: hierarchy stored in RHODOS files.
+
+Figure 1 of the paper labels its top layer "NAMING / DIRECTORY
+SERVICE".  The naming service (attributed names) is flat; this module
+adds the conventional hierarchy on top — and stores every directory
+*as a RHODOS file* through the basic file service, so directories get
+the facility's own durability (FITs on stable storage, crash recovery)
+for free, and the directory tree survives anything a file survives.
+
+A directory file holds a serialised entry table: name -> (system name,
+kind).  The root directory's system name is bootstrapped through the
+flat naming service under a reserved attributed name.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.errors import (
+    FileServiceError,
+    NameExistsError,
+    NameNotFoundError,
+    NamingError,
+)
+from repro.common.ids import SystemName
+from repro.common.metrics import Metrics
+from repro.naming.attributed import AttributedName
+from repro.naming.service import NamingService
+
+#: The flat-naming bootstrap binding for the root directory.
+ROOT_BINDING = AttributedName.file(directory="root", path="/")
+
+_KIND_FILE = "file"
+_KIND_DIR = "dir"
+_MAX_DIRECTORY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True, slots=True)
+class DirectoryEntry:
+    """One row of a directory file."""
+
+    name: str
+    target: SystemName
+    kind: str  # "file" | "dir"
+
+    @property
+    def is_directory(self) -> bool:
+        return self.kind == _KIND_DIR
+
+
+def _encode_entries(entries: Dict[str, DirectoryEntry]) -> bytes:
+    rows = [
+        {
+            "name": entry.name,
+            "volume": entry.target.volume_id,
+            "fit": entry.target.fit_address,
+            "generation": entry.target.generation,
+            "kind": entry.kind,
+        }
+        for entry in sorted(entries.values(), key=lambda e: e.name)
+    ]
+    return json.dumps(rows, sort_keys=True).encode("utf-8")
+
+
+def _decode_entries(blob: bytes) -> Dict[str, DirectoryEntry]:
+    if not blob:
+        return {}
+    entries = {}
+    for row in json.loads(blob.decode("utf-8")):
+        entry = DirectoryEntry(
+            name=row["name"],
+            target=SystemName(row["volume"], row["fit"], row["generation"]),
+            kind=row["kind"],
+        )
+        entries[entry.name] = entry
+    return entries
+
+
+class DirectoryService:
+    """Hierarchical paths over the basic file service.
+
+    Args:
+        naming: the flat naming service (holds the root bootstrap).
+        router: any :class:`~repro.agents.routing.FileServiceRouter`-
+            shaped object carrying file operations by volume.
+        metrics: counter registry.
+        root_volume: volume that hosts the root directory (and, by
+            default, newly created directories and files).
+    """
+
+    def __init__(
+        self,
+        naming: NamingService,
+        router,
+        metrics: Metrics,
+        *,
+        root_volume: int = 0,
+    ) -> None:
+        self.naming = naming
+        self.router = router
+        self.metrics = metrics
+        self.root_volume = root_volume
+        if ROOT_BINDING in naming:
+            self.root = naming.resolve_file(ROOT_BINDING)
+        else:
+            self.root = router.create(root_volume)
+            self._write_entries(self.root, {})
+            naming.bind(ROOT_BINDING, self.root)
+
+    # ------------------------------------------------------- lookup
+
+    def resolve(self, path: str) -> SystemName:
+        """Walk the tree; raises :class:`NameNotFoundError` if absent."""
+        parts = self._split(path)
+        current = self.root
+        for index, part in enumerate(parts):
+            entries = self._read_entries(current)
+            entry = entries.get(part)
+            if entry is None:
+                raise NameNotFoundError(
+                    f"no entry {part!r} in /{'/'.join(parts[:index])}"
+                )
+            if index < len(parts) - 1 and not entry.is_directory:
+                raise NamingError(f"/{'/'.join(parts[: index + 1])} is not a directory")
+            current = entry.target
+        self.metrics.add("directory.resolutions")
+        return current
+
+    def list_directory(self, path: str) -> List[DirectoryEntry]:
+        """Entries of a directory, sorted by name."""
+        target = self.resolve(path)
+        self._require_directory(path)
+        return sorted(self._read_entries(target).values(), key=lambda e: e.name)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.resolve(path)
+            return True
+        except (NameNotFoundError, NamingError):
+            return False
+
+    def is_directory(self, path: str) -> bool:
+        parts = self._split(path)
+        if not parts:
+            return True
+        parent_entries = self._read_entries(self.resolve(self._parent(path)))
+        entry = parent_entries.get(parts[-1])
+        return entry is not None and entry.is_directory
+
+    def walk(self, path: str = "/"):
+        """Yield (directory_path, entries) depth-first, like os.walk."""
+        entries = self.list_directory(path)
+        yield path.rstrip("/") or "/", entries
+        for entry in entries:
+            if entry.is_directory:
+                child = (path.rstrip("/") or "") + "/" + entry.name
+                yield from self.walk(child)
+
+    # ------------------------------------------------------- mutate
+
+    def mkdir(self, path: str, *, volume_id: int | None = None) -> SystemName:
+        """Create an empty directory; parent must exist."""
+        parent, leaf = self._parent_and_leaf(path)
+        directory = self.router.create(
+            volume_id if volume_id is not None else self.root_volume
+        )
+        self._write_entries(directory, {})
+        self._add_entry(parent, DirectoryEntry(leaf, directory, _KIND_DIR))
+        self.metrics.add("directory.mkdirs")
+        return directory
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        parent, leaf = self._parent_and_leaf(path)
+        entries = self._read_entries(self.resolve(parent))
+        entry = entries.get(leaf)
+        if entry is None:
+            raise NameNotFoundError(f"{path}: no such directory")
+        if not entry.is_directory:
+            raise NamingError(f"{path} is a file, not a directory")
+        if self._read_entries(entry.target):
+            raise NamingError(f"{path} is not empty")
+        self._remove_entry(parent, leaf)
+        self.router.delete(entry.target)
+        self.metrics.add("directory.rmdirs")
+
+    def create_file(self, path: str, *, volume_id: int | None = None, **create_kwargs) -> SystemName:
+        """Create a file and link it at ``path``."""
+        parent, leaf = self._parent_and_leaf(path)
+        target = self.router.create(
+            volume_id if volume_id is not None else self.root_volume,
+            **create_kwargs,
+        )
+        self._add_entry(parent, DirectoryEntry(leaf, target, _KIND_FILE))
+        self.metrics.add("directory.creates")
+        return target
+
+    def link(self, path: str, target: SystemName) -> None:
+        """Link an existing file under a (new) path — hard-link style."""
+        parent, leaf = self._parent_and_leaf(path)
+        self._add_entry(parent, DirectoryEntry(leaf, target, _KIND_FILE))
+        self.metrics.add("directory.links")
+
+    def unlink(self, path: str, *, delete_file: bool = True) -> SystemName:
+        """Remove a file entry; optionally delete the file itself."""
+        parent, leaf = self._parent_and_leaf(path)
+        entries = self._read_entries(self.resolve(parent))
+        entry = entries.get(leaf)
+        if entry is None:
+            raise NameNotFoundError(f"{path}: no such file")
+        if entry.is_directory:
+            raise NamingError(f"{path} is a directory; use rmdir")
+        self._remove_entry(parent, leaf)
+        if delete_file:
+            self.router.delete(entry.target)
+        self.metrics.add("directory.unlinks")
+        return entry.target
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Move an entry (file or directory) to a new path."""
+        old_parent, old_leaf = self._parent_and_leaf(old_path)
+        new_parent, new_leaf = self._parent_and_leaf(new_path)
+        entries = self._read_entries(self.resolve(old_parent))
+        entry = entries.get(old_leaf)
+        if entry is None:
+            raise NameNotFoundError(f"{old_path}: no such entry")
+        self._add_entry(
+            new_parent, DirectoryEntry(new_leaf, entry.target, entry.kind)
+        )
+        self._remove_entry(old_parent, old_leaf)
+        self.metrics.add("directory.renames")
+
+    # ------------------------------------------------------ internal
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        parts = [part for part in path.split("/") if part]
+        for part in parts:
+            if part in (".", ".."):
+                raise NamingError("relative path components are not supported")
+        return parts
+
+    def _parent(self, path: str) -> str:
+        parts = self._split(path)
+        return "/" + "/".join(parts[:-1])
+
+    def _parent_and_leaf(self, path: str) -> Tuple[str, str]:
+        parts = self._split(path)
+        if not parts:
+            raise NamingError("the root directory itself cannot be a target")
+        return "/" + "/".join(parts[:-1]), parts[-1]
+
+    def _require_directory(self, path: str) -> None:
+        if self._split(path) and not self.is_directory(path):
+            raise NamingError(f"{path} is not a directory")
+
+    def _read_entries(self, directory: SystemName) -> Dict[str, DirectoryEntry]:
+        blob = self.router.read(directory, 0, _MAX_DIRECTORY_BYTES)
+        try:
+            return _decode_entries(blob)
+        except (ValueError, KeyError) as exc:
+            raise FileServiceError(
+                f"directory file {directory} is corrupt: {exc}"
+            ) from exc
+
+    def _write_entries(
+        self, directory: SystemName, entries: Dict[str, DirectoryEntry]
+    ) -> None:
+        blob = _encode_entries(entries)
+        current_size = self.router.get_attribute(directory).file_size
+        self.router.write(directory, 0, blob + b" " * max(0, current_size - len(blob)))
+
+    def _add_entry(self, parent_path: str, entry: DirectoryEntry) -> None:
+        if not self.is_directory(parent_path):
+            raise NamingError(f"{parent_path} is not a directory")
+        parent = self.resolve(parent_path)
+        entries = self._read_entries(parent)
+        if entry.name in entries:
+            raise NameExistsError(
+                f"{parent_path.rstrip('/')}/{entry.name} already exists"
+            )
+        entries[entry.name] = entry
+        self._write_entries(parent, entries)
+
+    def _remove_entry(self, parent_path: str, leaf: str) -> None:
+        parent = self.resolve(parent_path)
+        entries = self._read_entries(parent)
+        entries.pop(leaf, None)
+        self._write_entries(parent, entries)

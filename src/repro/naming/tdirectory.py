@@ -1,0 +1,282 @@
+"""Transactional directory operations.
+
+The paper's abstract claims that "using transaction semantics file
+operations in not only database applications but also in **system
+programming** can be made resilient against system and media failure."
+Directory maintenance is the canonical piece of system programming:
+a rename touches two directory files, and a crash between the two
+updates would corrupt the namespace (an entry lost, or present twice).
+
+This module runs directory mutations through the transaction service,
+so multi-entry updates are atomic: either both parents reflect the
+rename or neither does, across any crash.  Reads inside an operation
+see the operation's own tentative state; directory files are locked
+(page-level) for the duration, serialising concurrent mutators of the
+same directory.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.errors import (
+    NameExistsError,
+    NameNotFoundError,
+    NamingError,
+)
+from repro.common.ids import SystemName
+from repro.file_service.attributes import LockingLevel
+from repro.naming.directory import (
+    DirectoryEntry,
+    DirectoryService,
+    _decode_entries,
+    _encode_entries,
+    _KIND_DIR,
+    _KIND_FILE,
+    _MAX_DIRECTORY_BYTES,
+)
+from repro.transactions.agent import TransactionAgentHost
+
+
+class _TxnView:
+    """Directory operations bound to one open transaction."""
+
+    def __init__(
+        self,
+        service: "TransactionalDirectory",
+        tid: int,
+    ) -> None:
+        self._service = service
+        self._host = service.host
+        self.tid = tid
+        self._descriptors: Dict[SystemName, int] = {}
+
+    # ------------------------------------------------------- plumbing
+
+    def _descriptor(self, directory: SystemName) -> int:
+        descriptor = self._descriptors.get(directory)
+        if descriptor is None:
+            descriptor = self._host.topen_system(
+                self.tid, directory, locking_level=LockingLevel.PAGE
+            )
+            self._descriptors[directory] = descriptor
+        return descriptor
+
+    def _read_entries(self, directory: SystemName) -> Dict[str, DirectoryEntry]:
+        descriptor = self._descriptor(directory)
+        blob = self._host.tpread(
+            self.tid, descriptor, _MAX_DIRECTORY_BYTES, 0, for_update=True
+        )
+        return _decode_entries(blob)
+
+    def _write_entries(
+        self, directory: SystemName, entries: Dict[str, DirectoryEntry]
+    ) -> None:
+        descriptor = self._descriptor(directory)
+        blob = _encode_entries(entries)
+        current = self._host.tget_attribute(self.tid, descriptor).file_size
+        self._host.tpwrite(
+            self.tid,
+            descriptor,
+            blob + b" " * max(0, current - len(blob)),
+            0,
+        )
+
+    def resolve(self, path: str) -> SystemName:
+        """Walk the tree inside the transaction (sees tentative state)."""
+        parts = DirectoryService._split(path)
+        current = self._service.directories.root
+        for index, part in enumerate(parts):
+            entry = self._read_entries(current).get(part)
+            if entry is None:
+                raise NameNotFoundError(
+                    f"no entry {part!r} in /{'/'.join(parts[:index])}"
+                )
+            if index < len(parts) - 1 and not entry.is_directory:
+                raise NamingError(
+                    f"/{'/'.join(parts[: index + 1])} is not a directory"
+                )
+            current = entry.target
+        return current
+
+    def _parent_and_leaf(self, path: str) -> Tuple[SystemName, str]:
+        parts = DirectoryService._split(path)
+        if not parts:
+            raise NamingError("the root directory itself cannot be a target")
+        # Walk to the parent, verifying every step (including the parent
+        # itself) is a directory.
+        current = self._service.directories.root
+        for index, part in enumerate(parts[:-1]):
+            entry = self._read_entries(current).get(part)
+            if entry is None:
+                raise NameNotFoundError(
+                    f"no entry {part!r} in /{'/'.join(parts[:index])}"
+                )
+            if not entry.is_directory:
+                raise NamingError(
+                    f"/{'/'.join(parts[: index + 1])} is not a directory"
+                )
+            current = entry.target
+        return current, parts[-1]
+
+    # ------------------------------------------------------- mutators
+
+    def mkdir(self, path: str, *, volume_id: int | None = None) -> SystemName:
+        parent, leaf = self._parent_and_leaf(path)
+        entries = self._read_entries(parent)
+        if leaf in entries:
+            raise NameExistsError(f"{path} already exists")
+        descriptor = self._host.tcreate_system(
+            self.tid,
+            volume_id=(
+                volume_id
+                if volume_id is not None
+                else self._service.directories.root_volume
+            ),
+        )
+        directory = self._host.system_name_of(self.tid, descriptor)
+        self._host.tpwrite(self.tid, descriptor, _encode_entries({}), 0)
+        self._descriptors[directory] = descriptor
+        entries[leaf] = DirectoryEntry(leaf, directory, _KIND_DIR)
+        self._write_entries(parent, entries)
+        return directory
+
+    def create_file(self, path: str, *, volume_id: int | None = None) -> SystemName:
+        parent, leaf = self._parent_and_leaf(path)
+        entries = self._read_entries(parent)
+        if leaf in entries:
+            raise NameExistsError(f"{path} already exists")
+        descriptor = self._host.tcreate_system(
+            self.tid,
+            volume_id=(
+                volume_id
+                if volume_id is not None
+                else self._service.directories.root_volume
+            ),
+        )
+        target = self._host.system_name_of(self.tid, descriptor)
+        self._descriptors[target] = descriptor
+        entries[leaf] = DirectoryEntry(leaf, target, _KIND_FILE)
+        self._write_entries(parent, entries)
+        return target
+
+    def write_file(self, path: str, offset: int, data: bytes) -> int:
+        """Write file content inside the same transaction."""
+        target = self.resolve(path)
+        descriptor = self._descriptors.get(target)
+        if descriptor is None:
+            descriptor = self._host.topen_system(self.tid, target)
+            self._descriptors[target] = descriptor
+        return self._host.tpwrite(self.tid, descriptor, data, offset)
+
+    def unlink(self, path: str) -> SystemName:
+        parent, leaf = self._parent_and_leaf(path)
+        entries = self._read_entries(parent)
+        entry = entries.get(leaf)
+        if entry is None:
+            raise NameNotFoundError(f"{path}: no such file")
+        if entry.is_directory:
+            raise NamingError(f"{path} is a directory; use rmdir")
+        del entries[leaf]
+        self._write_entries(parent, entries)
+        self._host.tdelete_system(self.tid, entry.target)
+        return entry.target
+
+    def rmdir(self, path: str) -> None:
+        parent, leaf = self._parent_and_leaf(path)
+        entries = self._read_entries(parent)
+        entry = entries.get(leaf)
+        if entry is None:
+            raise NameNotFoundError(f"{path}: no such directory")
+        if not entry.is_directory:
+            raise NamingError(f"{path} is a file, not a directory")
+        if self._read_entries(entry.target):
+            raise NamingError(f"{path} is not empty")
+        del entries[leaf]
+        self._write_entries(parent, entries)
+        self._host.tdelete_system(self.tid, entry.target)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """The multi-directory mutation this module exists for."""
+        old_parent, old_leaf = self._parent_and_leaf(old_path)
+        new_parent, new_leaf = self._parent_and_leaf(new_path)
+        old_entries = self._read_entries(old_parent)
+        entry = old_entries.get(old_leaf)
+        if entry is None:
+            raise NameNotFoundError(f"{old_path}: no such entry")
+        if old_parent == new_parent:
+            if new_leaf in old_entries:
+                raise NameExistsError(f"{new_path} already exists")
+            del old_entries[old_leaf]
+            old_entries[new_leaf] = DirectoryEntry(
+                new_leaf, entry.target, entry.kind
+            )
+            self._write_entries(old_parent, old_entries)
+            return
+        new_entries = self._read_entries(new_parent)
+        if new_leaf in new_entries:
+            raise NameExistsError(f"{new_path} already exists")
+        del old_entries[old_leaf]
+        new_entries[new_leaf] = DirectoryEntry(new_leaf, entry.target, entry.kind)
+        # Two directory files change; the enclosing transaction makes
+        # the pair atomic across any crash.
+        self._write_entries(old_parent, old_entries)
+        self._write_entries(new_parent, new_entries)
+
+    def list_directory(self, path: str) -> List[DirectoryEntry]:
+        return sorted(
+            self._read_entries(self.resolve(path)).values(),
+            key=lambda entry: entry.name,
+        )
+
+
+class TransactionalDirectory:
+    """Directory mutations with transaction semantics.
+
+    Wraps a :class:`DirectoryService` (for the root bootstrap and
+    read-only conveniences) and a transaction agent host.  Every
+    mutation runs inside a transaction; :meth:`transaction` groups
+    several into one atomic unit.
+    """
+
+    def __init__(
+        self, directories: DirectoryService, host: TransactionAgentHost
+    ) -> None:
+        self.directories = directories
+        self.host = host
+
+    @contextmanager
+    def transaction(self) -> Iterator[_TxnView]:
+        """Group directory mutations into one atomic transaction."""
+        tid = self.host.tbegin()
+        view = _TxnView(self, tid)
+        try:
+            yield view
+        except BaseException:
+            self.host.tabort(tid)
+            raise
+        else:
+            self.host.tend(tid)
+
+    # One-shot conveniences: each runs in its own transaction.
+
+    def mkdir(self, path: str, **kwargs) -> SystemName:
+        with self.transaction() as view:
+            return view.mkdir(path, **kwargs)
+
+    def create_file(self, path: str, **kwargs) -> SystemName:
+        with self.transaction() as view:
+            return view.create_file(path, **kwargs)
+
+    def unlink(self, path: str) -> SystemName:
+        with self.transaction() as view:
+            return view.unlink(path)
+
+    def rmdir(self, path: str) -> None:
+        with self.transaction() as view:
+            view.rmdir(path)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        with self.transaction() as view:
+            view.rename(old_path, new_path)

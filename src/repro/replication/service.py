@@ -1,0 +1,242 @@
+"""Primary-copy replication over the basic file service.
+
+A replicated file is a set of ordinary files, one per volume; the
+first live replica is the primary.  Reads go to the primary only
+(read-one); writes go to every live replica (write-all), so any single
+replica can serve a consistent read.  A crashed volume's replicas are
+marked stale and resynchronised from the primary when the volume
+recovers.
+
+The replica set is recorded in the naming service as attributes of the
+file's name, so replication survives naming-database persistence and
+needs no extra metadata store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    DiskCrashedError,
+    DiskError,
+    FileServiceError,
+    ReplicationError,
+)
+from repro.common.ids import SystemName
+from repro.common.metrics import Metrics
+from repro.file_service.attributes import FileAttributes
+from repro.file_service.server import FileServer
+from repro.naming.attributed import AttributedName
+from repro.naming.service import NamingService
+
+
+def _encode_replicas(names: List[SystemName]) -> str:
+    return ",".join(
+        f"{name.volume_id}:{name.fit_address}:{name.generation}" for name in names
+    )
+
+
+def _decode_replicas(encoded: str) -> List[SystemName]:
+    replicas = []
+    for part in encoded.split(","):
+        volume, fit, generation = part.split(":")
+        replicas.append(SystemName(int(volume), int(fit), int(generation)))
+    return replicas
+
+
+@dataclass
+class ReplicaSet:
+    """The live view of one replicated file."""
+
+    name: AttributedName
+    replicas: List[SystemName]
+    stale: set[int] = field(default_factory=set)  # volume ids needing resync
+
+    @property
+    def degree(self) -> int:
+        return len(self.replicas)
+
+
+class ReplicationService:
+    """Replicated create/read/write/delete with failover and resync."""
+
+    def __init__(
+        self,
+        naming: NamingService,
+        servers: Dict[int, FileServer],
+        clock: SimClock,
+        metrics: Metrics,
+        *,
+        default_degree: int = 2,
+    ) -> None:
+        if default_degree < 1:
+            raise ReplicationError("replication degree must be >= 1")
+        self.naming = naming
+        self.servers = dict(servers)
+        self.clock = clock
+        self.metrics = metrics
+        self.default_degree = default_degree
+        self._sets: Dict[AttributedName, ReplicaSet] = {}
+
+    # -------------------------------------------------------- create
+
+    def create(
+        self, name: AttributedName, *, degree: Optional[int] = None
+    ) -> ReplicaSet:
+        """Create a file replicated on ``degree`` distinct volumes."""
+        degree = degree or self.default_degree
+        volumes = sorted(self.servers)
+        if degree > len(volumes):
+            raise ReplicationError(
+                f"degree {degree} exceeds the {len(volumes)} available volumes"
+            )
+        replicas = [self.servers[volume].create() for volume in volumes[:degree]]
+        bound = name.with_attributes(replicas=_encode_replicas(replicas))
+        self.naming.bind(bound, replicas[0])
+        replica_set = ReplicaSet(name=bound, replicas=replicas)
+        self._sets[name] = replica_set
+        self._sets[bound] = replica_set
+        self.metrics.add("replication.creates")
+        return replica_set
+
+    def lookup(self, name: AttributedName) -> ReplicaSet:
+        replica_set = self._sets.get(name)
+        if replica_set is not None:
+            return replica_set
+        # Rebuild from the naming service (e.g. after restart).
+        for bound, target in self.naming.lookup(name):
+            encoded = bound.get("replicas")
+            if encoded is None:
+                continue
+            replica_set = ReplicaSet(name=bound, replicas=_decode_replicas(encoded))
+            self._sets[name] = replica_set
+            self._sets[bound] = replica_set
+            return replica_set
+        raise ReplicationError(f"{name} is not a replicated file")
+
+    # ------------------------------------------------------------ io
+
+    def read(self, name: AttributedName, offset: int, n_bytes: int) -> bytes:
+        """Read-one: the first live replica serves the read."""
+        replica_set = self.lookup(name)
+        last_error: Optional[Exception] = None
+        for system_name in replica_set.replicas:
+            if system_name.volume_id in replica_set.stale:
+                continue
+            server = self.servers[system_name.volume_id]
+            try:
+                data = server.read(system_name, offset, n_bytes)
+                self.metrics.add("replication.reads")
+                return data
+            except (DiskError, DiskCrashedError, FileServiceError) as exc:
+                last_error = exc
+                replica_set.stale.add(system_name.volume_id)
+                self.metrics.add("replication.failovers")
+        raise ReplicationError(
+            f"no live replica of {name} could serve the read"
+        ) from last_error
+
+    def write(self, name: AttributedName, offset: int, data: bytes) -> int:
+        """Write-all: every live replica applies the write.
+
+        Replicas that fail mid-write are marked stale (they will be
+        resynchronised); the write succeeds as long as one replica
+        applies it.
+        """
+        replica_set = self.lookup(name)
+        applied = 0
+        for system_name in replica_set.replicas:
+            if system_name.volume_id in replica_set.stale:
+                continue
+            server = self.servers[system_name.volume_id]
+            try:
+                server.write(system_name, offset, data)
+                applied += 1
+            except (DiskError, DiskCrashedError, FileServiceError):
+                replica_set.stale.add(system_name.volume_id)
+                self.metrics.add("replication.failovers")
+        if applied == 0:
+            raise ReplicationError(f"no live replica of {name} accepted the write")
+        self.metrics.add("replication.writes")
+        self.metrics.add("replication.replica_writes", applied)
+        return len(data)
+
+    def get_attribute(self, name: AttributedName) -> FileAttributes:
+        replica_set = self.lookup(name)
+        for system_name in replica_set.replicas:
+            if system_name.volume_id in replica_set.stale:
+                continue
+            try:
+                return self.servers[system_name.volume_id].get_attribute(system_name)
+            except (DiskError, DiskCrashedError, FileServiceError):
+                replica_set.stale.add(system_name.volume_id)
+        raise ReplicationError(f"no live replica of {name}")
+
+    def delete(self, name: AttributedName) -> None:
+        replica_set = self.lookup(name)
+        for system_name in replica_set.replicas:
+            try:
+                self.servers[system_name.volume_id].delete(system_name)
+            except (DiskError, DiskCrashedError, FileServiceError):
+                pass
+        self.naming.unbind(replica_set.name)
+        self._sets.pop(name, None)
+        self._sets.pop(replica_set.name, None)
+        self.metrics.add("replication.deletes")
+
+    # -------------------------------------------------------- repair
+
+    def live_replicas(self, name: AttributedName) -> int:
+        replica_set = self.lookup(name)
+        return replica_set.degree - len(replica_set.stale)
+
+    def resync(self, name: AttributedName) -> int:
+        """Copy the primary's content onto every stale replica.
+
+        Call after the crashed volume's file server has recovered.
+        Returns the number of replicas repaired.
+        """
+        replica_set = self.lookup(name)
+        if not replica_set.stale:
+            return 0
+        primary: Optional[SystemName] = None
+        for system_name in replica_set.replicas:
+            if system_name.volume_id not in replica_set.stale:
+                primary = system_name
+                break
+        if primary is None:
+            raise ReplicationError(f"{name}: every replica is stale")
+        source = self.servers[primary.volume_id]
+        size = source.get_attribute(primary).file_size
+        content = source.read(primary, 0, size)
+        repaired = 0
+        for system_name in list(replica_set.replicas):
+            if system_name.volume_id not in replica_set.stale:
+                continue
+            server = self.servers[system_name.volume_id]
+            try:
+                if not server.exists(system_name):
+                    fresh = server.create()
+                    replica_set.replicas[
+                        replica_set.replicas.index(system_name)
+                    ] = fresh
+                    system_name = fresh
+                if content:
+                    server.write(system_name, 0, content)
+                replica_set.stale.discard(system_name.volume_id)
+                repaired += 1
+                self.metrics.add("replication.resyncs")
+            except (DiskError, DiskCrashedError, FileServiceError):
+                continue
+        # Refresh the replica list recorded in the naming service.
+        refreshed = replica_set.name.with_attributes(
+            replicas=_encode_replicas(replica_set.replicas)
+        )
+        self.naming.unbind(replica_set.name)
+        self.naming.bind(refreshed, replica_set.replicas[0])
+        self._sets.pop(replica_set.name, None)
+        replica_set.name = refreshed
+        self._sets[refreshed] = replica_set
+        return repaired

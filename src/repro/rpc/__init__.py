@@ -1,0 +1,23 @@
+"""Client-server message substrate.
+
+RHODOS is message-passing; the paper leans on one property of that
+substrate (section 3): "Certain errors caused by computer failures and
+communication delays may lead to repeated execution of some
+operations.  However, their repetition in RHODOS does not produce any
+uncertain effect.  This is because the semantics of the messages
+exchanged among the file agent, transaction agent, file service, and
+naming service constitute idempotent operations."
+
+This package provides an in-process :class:`MessageBus` with simulated
+latency and seeded fault injection — message **loss** (client times out
+and retransmits) and **duplication** (the server executes the request
+twice) — plus request/reply endpoints.  Servers deliberately keep *no*
+reply cache: duplicated requests really are re-executed, and the
+experiments show the final state is unaffected because every file
+operation is positional, hence idempotent.
+"""
+
+from repro.rpc.bus import MessageBus, FaultProfile
+from repro.rpc.endpoint import RpcClient, RpcServer
+
+__all__ = ["MessageBus", "FaultProfile", "RpcClient", "RpcServer"]

@@ -1,0 +1,127 @@
+"""The simulated message bus.
+
+Delivery is synchronous in simulated time: sending charges the latency
+model, faults are drawn from a seeded RNG, and the destination handler
+runs inline.  That keeps the whole system single-threaded and
+deterministic while preserving exactly the semantics the paper's
+idempotency argument depends on: a request may be lost (never executed),
+executed once, or executed more than once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.clock import SimClock
+from repro.common.errors import RpcError
+from repro.common.metrics import Metrics
+
+#: A handler takes (op, payload) and returns the reply payload.
+Handler = Callable[[str, Any], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Fault rates and latency of one bus.
+
+    Attributes:
+        latency_us: one-way message latency.
+        request_loss: probability a request vanishes in transit.
+        reply_loss: probability a reply vanishes (the server *did*
+            execute — the dangerous case for non-idempotent designs).
+        duplication: probability a delivered request is executed twice.
+    """
+
+    latency_us: int = 500
+    request_loss: float = 0.0
+    reply_loss: float = 0.0
+    duplication: float = 0.0
+
+    def __post_init__(self) -> None:
+        for rate in (self.request_loss, self.reply_loss, self.duplication):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"fault rate {rate} outside [0, 1)")
+        if self.latency_us < 0:
+            raise ValueError("latency cannot be negative")
+
+    @classmethod
+    def reliable(cls, latency_us: int = 500) -> "FaultProfile":
+        return cls(latency_us=latency_us)
+
+
+class MessageBus:
+    """Registry of addressable endpoints plus the fault model."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        metrics: Metrics,
+        profile: FaultProfile | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.metrics = metrics
+        self.profile = profile or FaultProfile.reliable()
+        self._rng = random.Random(seed)
+        self._endpoints: Dict[str, Handler] = {}
+        self._down: set[str] = set()
+
+    # ------------------------------------------------------ registry
+
+    def register(self, address: str, handler: Handler) -> None:
+        if address in self._endpoints:
+            raise RpcError(f"address {address!r} already registered")
+        self._endpoints[address] = handler
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+        self._down.discard(address)
+
+    def set_down(self, address: str, down: bool = True) -> None:
+        """Mark an endpoint crashed: its requests are silently lost."""
+        if down:
+            self._down.add(address)
+        else:
+            self._down.discard(address)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._endpoints
+
+    # ------------------------------------------------------ transport
+
+    def transmit(self, dst: str, op: str, payload: Any) -> tuple[bool, Any]:
+        """One send attempt: returns ``(reply_arrived, reply)``.
+
+        Charges one-way latency for the request; if the request is
+        delivered, the handler runs (possibly twice under duplication)
+        and the reply charges latency back — unless the reply itself is
+        lost, in which case the caller sees a timeout *after the server
+        already executed*.
+        """
+        handler = self._endpoints.get(dst)
+        if handler is None:
+            raise RpcError(f"no endpoint at {dst!r}")
+        self.clock.advance_us(self.profile.latency_us)
+        self.metrics.add("rpc.messages")
+        if dst in self._down or self._chance(self.profile.request_loss):
+            self.metrics.add("rpc.requests_lost")
+            return False, None
+        reply = handler(op, payload)
+        self.metrics.add("rpc.executions")
+        if self._chance(self.profile.duplication):
+            reply = handler(op, payload)
+            self.metrics.add("rpc.executions")
+            self.metrics.add("rpc.duplicated_executions")
+        self.clock.advance_us(self.profile.latency_us)
+        if dst in self._down or self._chance(self.profile.reply_loss):
+            self.metrics.add("rpc.replies_lost")
+            return False, None
+        return True, reply
+
+    # ------------------------------------------------------ internal
+
+    def _chance(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate

@@ -1,0 +1,189 @@
+"""The simulated disk itself.
+
+A :class:`SimDisk` is a sector store combined with the timing model and
+fault injector.  Every call to :meth:`read_sectors` or
+:meth:`write_sectors` is **one disk reference** — the quantity the
+paper's whole design minimises — and advances the shared simulated
+clock by the modelled service time while tracking head position across
+requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.clock import SimClock
+from repro.common.errors import BadAddressError, BadSectorError, DiskCrashedError
+from repro.common.metrics import Metrics
+from repro.simdisk.faults import FaultInjector
+from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.timing import DiskTimingModel
+
+_ZERO_SECTOR_CACHE: Dict[int, bytes] = {}
+
+
+def _zero_sector(size: int) -> bytes:
+    sector = _ZERO_SECTOR_CACHE.get(size)
+    if sector is None:
+        sector = bytes(size)
+        _ZERO_SECTOR_CACHE[size] = sector
+    return sector
+
+
+class SimDisk:
+    """A sector-addressed simulated disk drive.
+
+    Args:
+        disk_id: identifies this drive in metric names (``disk.<id>.*``).
+        geometry: physical layout.
+        clock: shared simulated clock, advanced by each reference.
+        metrics: shared counter registry.
+        timing: service-time model (defaults are a 1990s 5400 rpm drive).
+        faults: fault injector; a fresh, quiescent one by default.
+    """
+
+    def __init__(
+        self,
+        disk_id: str,
+        geometry: DiskGeometry,
+        clock: SimClock,
+        metrics: Metrics,
+        timing: Optional[DiskTimingModel] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.disk_id = disk_id
+        self.geometry = geometry
+        self.clock = clock
+        self.metrics = metrics
+        self.timing = timing or DiskTimingModel()
+        self.faults = faults or FaultInjector()
+        self._sectors: Dict[int, bytes] = {}
+        self._head_cylinder = 0
+        self._head_angular = 0.0
+        self._prefix = f"disk.{disk_id}"
+
+    # ------------------------------------------------------------- io
+
+    def read_sectors(self, start: int, n_sectors: int) -> bytes:
+        """Read ``n_sectors`` contiguous sectors in one disk reference."""
+        self._check_alive()
+        self._check_range(start, n_sectors)
+        for sector in range(start, start + n_sectors):
+            if self.faults.is_bad(sector):
+                raise BadSectorError(f"{self.disk_id}: sector {sector} unreadable")
+        self._charge(start, n_sectors)
+        self.metrics.add(f"{self._prefix}.reads")
+        self.metrics.add(f"{self._prefix}.references")
+        self.metrics.add(f"{self._prefix}.sectors_read", n_sectors)
+        size = self.geometry.sector_size
+        return b"".join(
+            self._sectors.get(sector, _zero_sector(size))
+            for sector in range(start, start + n_sectors)
+        )
+
+    def write_sectors(self, start: int, data: bytes) -> None:
+        """Write ``data`` (a whole number of sectors) in one disk reference.
+
+        If the fault injector crashes the disk during this write, a
+        prefix of the sectors reaches the platter (a *torn write*) and
+        :class:`DiskCrashedError` is raised.
+        """
+        self._check_alive()
+        size = self.geometry.sector_size
+        if len(data) == 0 or len(data) % size != 0:
+            raise BadAddressError(
+                f"write length {len(data)} is not a positive multiple of {size}"
+            )
+        n_sectors = len(data) // size
+        self._check_range(start, n_sectors)
+        torn_at = self.faults.note_write(n_sectors)
+        written = n_sectors if torn_at is None else torn_at
+        for index in range(written):
+            offset = index * size
+            self._sectors[start + index] = bytes(data[offset : offset + size])
+        self._charge(start, n_sectors)
+        self.metrics.add(f"{self._prefix}.writes")
+        self.metrics.add(f"{self._prefix}.references")
+        self.metrics.add(f"{self._prefix}.sectors_written", written)
+        if torn_at is not None:
+            raise DiskCrashedError(
+                f"{self.disk_id}: crashed during write at sector {start} "
+                f"({written}/{n_sectors} sectors reached the platter)"
+            )
+
+    def read_in_passing(self, start: int, n_sectors: int) -> bytes:
+        """Read sectors the head will pass over anyway (track readahead).
+
+        Models the disk service's strategy of caching "the rest of the
+        data from the same track" after serving a read (paper section
+        4): the platter keeps rotating under the head, so these sectors
+        cost transfer time at slot rate but **no seek, no rotational
+        latency, and no additional disk reference**.  Callers must only
+        use this for sectors on the track(s) the preceding read already
+        positioned the head on.
+        """
+        self._check_alive()
+        self._check_range(start, n_sectors)
+        for sector in range(start, start + n_sectors):
+            if self.faults.is_bad(sector):
+                raise BadSectorError(f"{self.disk_id}: sector {sector} unreadable")
+        slot = self.timing.slot_time_us(self.geometry)
+        self.clock.advance_us(slot * n_sectors)
+        self._head_angular = (
+            self._head_angular + n_sectors
+        ) % self.geometry.sectors_per_track
+        self.metrics.add(f"{self._prefix}.readahead_sectors", n_sectors)
+        size = self.geometry.sector_size
+        return b"".join(
+            self._sectors.get(sector, _zero_sector(size))
+            for sector in range(start, start + n_sectors)
+        )
+
+    # ------------------------------------------------------ geometry
+
+    def track_of(self, sector: int) -> int:
+        return self.geometry.track_of(sector)
+
+    def track_bounds(self, track: int) -> tuple[int, int]:
+        return self.geometry.track_bounds(track)
+
+    # ------------------------------------------------------- faults
+
+    def crash(self) -> None:
+        """Take the disk offline immediately (contents persist)."""
+        self.faults.crash_now()
+
+    def repair(self) -> None:
+        """Bring the disk back online after a crash."""
+        self.faults.repair()
+
+    @property
+    def crashed(self) -> bool:
+        return self.faults.crashed
+
+    # ------------------------------------------------------ internal
+
+    def _check_alive(self) -> None:
+        if self.faults.crashed:
+            raise DiskCrashedError(f"{self.disk_id}: disk is crashed")
+
+    def _check_range(self, start: int, n_sectors: int) -> None:
+        if n_sectors <= 0:
+            raise BadAddressError("request must cover at least one sector")
+        self.geometry.check_sector(start)
+        self.geometry.check_sector(start + n_sectors - 1)
+
+    def _charge(self, start: int, n_sectors: int) -> None:
+        elapsed, cylinder, angular = self.timing.service_time_us(
+            self.geometry, self._head_cylinder, self._head_angular, start, n_sectors
+        )
+        self._head_cylinder = cylinder
+        self._head_angular = angular
+        self.clock.advance_us(elapsed)
+        self.metrics.add(f"{self._prefix}.busy_us", int(elapsed))
+
+    def __repr__(self) -> str:
+        return (
+            f"SimDisk({self.disk_id!r}, {self.geometry.capacity_bytes // (1024 * 1024)}"
+            f" MB, crashed={self.crashed})"
+        )

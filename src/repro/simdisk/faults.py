@@ -1,0 +1,85 @@
+"""Fault injection for the simulated disks.
+
+The paper's reliability machinery — stable storage (section 4),
+intention flags and crash recovery (sections 6.6–6.7) — only earns its
+keep under failures, so the disk model can inject them on demand:
+
+* **crash**: the disk stops serving; writes in flight may be *torn*
+  (a prefix of the sectors written, the rest lost), which is exactly
+  the failure careful replicated writes defend against;
+* **bad sectors**: persistent media failures on read;
+* **scheduled crash points**: "crash after the k-th write", used by the
+  recovery tests to prove atomicity at every step of a commit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+
+class FaultInjector:
+    """Per-disk fault state, consulted by :class:`~repro.simdisk.disk.SimDisk`."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.crashed = False
+        self.bad_sectors: Set[int] = set()
+        self._crash_after_writes: Optional[int] = None
+        self._writes_seen = 0
+        self.torn_write_fraction: float = 0.5
+
+    # ------------------------------------------------------- control
+
+    def crash_now(self) -> None:
+        """Immediately take the disk offline."""
+        self.crashed = True
+
+    def repair(self) -> None:
+        """Bring a crashed disk back (its contents persist)."""
+        self.crashed = False
+        self._crash_after_writes = None
+        self._writes_seen = 0
+
+    def crash_after_writes(self, n: int) -> None:
+        """Schedule a crash during the n-th write from now (1-based).
+
+        The crashing write is torn: a random prefix of its sectors
+        reaches the platter.
+        """
+        if n < 1:
+            raise ValueError("crash point must be >= 1")
+        self._crash_after_writes = n
+        self._writes_seen = 0
+
+    def mark_bad(self, sector: int) -> None:
+        """Make ``sector`` permanently unreadable."""
+        self.bad_sectors.add(sector)
+
+    def heal(self, sector: int) -> None:
+        """Repair a bad sector (e.g. after a rewrite remaps it)."""
+        self.bad_sectors.discard(sector)
+
+    # ------------------------------------------------------ queries
+
+    def note_write(self, n_sectors: int) -> Optional[int]:
+        """Called by the disk before each write of ``n_sectors``.
+
+        Returns None for a normal write, or the number of sectors that
+        actually reach the platter (possibly 0) if this write crashes
+        the disk.
+        """
+        if self.crashed:
+            return 0
+        if self._crash_after_writes is None:
+            return None
+        self._writes_seen += 1
+        if self._writes_seen < self._crash_after_writes:
+            return None
+        self.crashed = True
+        self._crash_after_writes = None
+        survivors = int(n_sectors * self.torn_write_fraction * self._rng.random())
+        return min(survivors, n_sectors)
+
+    def is_bad(self, sector: int) -> bool:
+        return sector in self.bad_sectors

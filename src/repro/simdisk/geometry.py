@@ -1,0 +1,109 @@
+"""Disk geometry: cylinders, tracks, sectors.
+
+The track is the unit the RHODOS disk service's cache thinks in
+(paper section 4: after serving a read, "the disk service caches the
+rest of the data from the same track"), so the geometry must expose
+which sectors share a track and where track boundaries fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import BadAddressError
+from repro.common.units import SECTOR_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class DiskGeometry:
+    """Physical layout of a simulated disk.
+
+    Sectors are numbered linearly 0..capacity-1 in the conventional
+    order: all sectors of cylinder 0 (head 0's track, then head 1's,
+    ...), then cylinder 1, and so on.
+
+    Attributes:
+        cylinders: number of cylinders (seek positions).
+        heads: tracks per cylinder (number of recording surfaces).
+        sectors_per_track: sectors on each track.
+        sector_size: bytes per sector (fixed at 512 in this code base).
+    """
+
+    cylinders: int
+    heads: int
+    sectors_per_track: int
+    sector_size: int = SECTOR_SIZE
+
+    def __post_init__(self) -> None:
+        if self.cylinders <= 0 or self.heads <= 0 or self.sectors_per_track <= 0:
+            raise ValueError("geometry dimensions must be positive")
+        if self.sector_size != SECTOR_SIZE:
+            raise ValueError(f"sector size is fixed at {SECTOR_SIZE} bytes")
+
+    # ---------------------------------------------------------- sizes
+
+    @property
+    def sectors_per_cylinder(self) -> int:
+        return self.heads * self.sectors_per_track
+
+    @property
+    def total_sectors(self) -> int:
+        return self.cylinders * self.sectors_per_cylinder
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_sectors * self.sector_size
+
+    @property
+    def total_tracks(self) -> int:
+        return self.cylinders * self.heads
+
+    # ------------------------------------------------------- mappings
+
+    def check_sector(self, sector: int) -> None:
+        """Raise :class:`BadAddressError` unless ``sector`` is on the disk."""
+        if not 0 <= sector < self.total_sectors:
+            raise BadAddressError(
+                f"sector {sector} outside disk of {self.total_sectors} sectors"
+            )
+
+    def cylinder_of(self, sector: int) -> int:
+        """Cylinder containing ``sector`` (determines seek distance)."""
+        self.check_sector(sector)
+        return sector // self.sectors_per_cylinder
+
+    def track_of(self, sector: int) -> int:
+        """Linear track index containing ``sector`` (cache granularity)."""
+        self.check_sector(sector)
+        return sector // self.sectors_per_track
+
+    def track_bounds(self, track: int) -> tuple[int, int]:
+        """(first_sector, last_sector_exclusive) of a linear track index."""
+        if not 0 <= track < self.total_tracks:
+            raise BadAddressError(
+                f"track {track} outside disk of {self.total_tracks} tracks"
+            )
+        first = track * self.sectors_per_track
+        return first, first + self.sectors_per_track
+
+    def rotational_position(self, sector: int) -> int:
+        """Sector's angular slot within its track, 0..sectors_per_track-1."""
+        self.check_sector(sector)
+        return sector % self.sectors_per_track
+
+    # ------------------------------------------------------- presets
+
+    @classmethod
+    def small(cls) -> "DiskGeometry":
+        """A 64 MB disk for unit tests: 256 cylinders x 8 heads x 64 sectors."""
+        return cls(cylinders=256, heads=8, sectors_per_track=64)
+
+    @classmethod
+    def medium(cls) -> "DiskGeometry":
+        """A 1 GB disk for integration tests and most benchmarks."""
+        return cls(cylinders=2048, heads=16, sectors_per_track=64)
+
+    @classmethod
+    def large(cls) -> "DiskGeometry":
+        """An 8 GB disk for the multi-disk / big-file experiments."""
+        return cls(cylinders=8192, heads=16, sectors_per_track=128)

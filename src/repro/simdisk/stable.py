@@ -1,0 +1,257 @@
+"""Stable storage: mirrored careful writes.
+
+The paper requires "the concept of stable storage to maintain mirror
+images of all the vital structural information" (section 2.1) and uses
+it for file index tables, shadow pages, write-ahead log records and
+intention flags (sections 4, 6.6, 6.7).  This module implements the
+classic Lampson careful-replicated-storage discipline over two
+simulated disks:
+
+* every record is written **first to mirror A, then to mirror B**, each
+  copy carrying a version number and checksum;
+* a crash between the two writes (or a torn write within one) leaves at
+  least one good copy;
+* reads verify the checksum of copy A and fall back to copy B;
+* :meth:`recover` scans both mirrors after a crash and repairs the
+  out-of-date or corrupt copy from the good one, restoring the
+  invariant that both mirrors agree.
+
+Records are addressed by a string key (e.g. ``"fit:1024"`` or
+``"intent:tx42:3"``), which is what the higher layers naturally have.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.common.errors import BadAddressError, DiskCrashedError, DiskError
+from repro.common.units import SECTOR_SIZE
+from repro.simdisk.disk import SimDisk
+
+_MAGIC = b"RSTB"
+_TOMBSTONE = b"RDEL"
+# header: magic 4s | version Q | payload_len I | crc I | key_len H
+_HEADER = struct.Struct("<4sQIIH")
+_MAX_KEY = SECTOR_SIZE - _HEADER.size
+
+
+class StableStore:
+    """A careful-replicated record store over two mirror disks.
+
+    Both mirrors must have identical geometry.  Slots are allocated
+    sequentially; freeing writes a tombstone so a directory rebuild
+    after a crash sees the deletion.
+    """
+
+    def __init__(self, mirror_a: SimDisk, mirror_b: SimDisk) -> None:
+        if mirror_a.geometry != mirror_b.geometry:
+            raise ValueError("stable-store mirrors must share a geometry")
+        self.mirror_a = mirror_a
+        self.mirror_b = mirror_b
+        self._directory: Dict[str, Tuple[int, int]] = {}  # key -> (start, n_sectors)
+        self._versions: Dict[str, int] = {}
+        self._next_sector = 0
+        self._free: Dict[int, list[int]] = {}  # n_sectors -> [start, ...]
+
+    # ------------------------------------------------------------ api
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Durably store ``payload`` under ``key`` (careful write A then B).
+
+        Raises :class:`DiskCrashedError` if a mirror crashes mid-write;
+        the record is still recoverable from the surviving copy via
+        :meth:`recover` + :meth:`get`.
+        """
+        slot = self._slot_for(key, len(payload))
+        version = self._versions.get(key, 0) + 1
+        record = self._encode(key, payload, version)
+        self.mirror_a.write_sectors(slot[0], record)
+        self.mirror_b.write_sectors(slot[0], record)
+        self._versions[key] = version
+
+    def get(self, key: str) -> bytes:
+        """Read the record for ``key``, falling back to mirror B.
+
+        Raises KeyError if the key is unknown, :class:`DiskError` if
+        both copies are unreadable.
+        """
+        slot = self._directory.get(key)
+        if slot is None:
+            raise KeyError(key)
+        for mirror in (self.mirror_a, self.mirror_b):
+            try:
+                record = mirror.read_sectors(slot[0], slot[1])
+            except (DiskError, DiskCrashedError):
+                continue
+            decoded = self._decode(record)
+            if decoded is not None and decoded[0] == key:
+                return decoded[2]
+        raise DiskError(f"stable storage: both copies of {key!r} unreadable")
+
+    def delete(self, key: str) -> None:
+        """Remove ``key``; its slot is tombstoned on both mirrors and reused."""
+        slot = self._directory.pop(key, None)
+        if slot is None:
+            return
+        self._versions.pop(key, None)
+        tomb = _TOMBSTONE + bytes(SECTOR_SIZE - len(_TOMBSTONE))
+        for mirror in (self.mirror_a, self.mirror_b):
+            try:
+                mirror.write_sectors(slot[0], tomb)
+            except (DiskError, DiskCrashedError):
+                pass
+        self._free.setdefault(slot[1], []).append(slot[0])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._directory
+
+    def keys(self) -> Iterator[str]:
+        return iter(dict(self._directory))
+
+    # ------------------------------------------------------- recovery
+
+    def recover(self) -> int:
+        """Repair the mirrors after a crash; returns records repaired.
+
+        For every slot the directory knows, the newer valid copy is
+        rewritten over the stale or corrupt one.  Both mirrors must be
+        online (repaired) before calling.
+        """
+        repaired = 0
+        for key, (start, n_sectors) in list(self._directory.items()):
+            copy_a = self._try_read(self.mirror_a, start, n_sectors)
+            copy_b = self._try_read(self.mirror_b, start, n_sectors)
+            ok_a = copy_a is not None and copy_a[0] == key
+            ok_b = copy_b is not None and copy_b[0] == key
+            if ok_a and ok_b:
+                if copy_a[1] == copy_b[1]:
+                    continue
+                source, target = (
+                    (self.mirror_a, self.mirror_b)
+                    if copy_a[1] > copy_b[1]
+                    else (self.mirror_b, self.mirror_a)
+                )
+                good = copy_a if copy_a[1] > copy_b[1] else copy_b
+            elif ok_a:
+                source, target, good = self.mirror_a, self.mirror_b, copy_a
+            elif ok_b:
+                source, target, good = self.mirror_b, self.mirror_a, copy_b
+            else:
+                # Both copies dead: the record was being created when the
+                # crash hit; it never existed durably.
+                del self._directory[key]
+                self._versions.pop(key, None)
+                repaired += 1
+                continue
+            record = source.read_sectors(start, n_sectors)
+            target.write_sectors(start, record)
+            self._versions[key] = good[1]
+            repaired += 1
+        return repaired
+
+    def rebuild_directory(self) -> int:
+        """Rebuild the in-memory directory by scanning mirror headers.
+
+        Used when the machine holding the in-memory state crashed; the
+        mirrors themselves are the authority.  Returns records found.
+        """
+        self._directory.clear()
+        self._versions.clear()
+        self._free.clear()
+        sector = 0
+        found = 0
+        while sector < self._next_sector:
+            entry = self._scan_slot(sector)
+            if entry is None:
+                sector += 1
+                continue
+            key, version, n_sectors, is_tombstone = entry
+            if not is_tombstone:
+                current = self._versions.get(key)
+                if current is None or version > current:
+                    self._directory[key] = (sector, n_sectors)
+                    self._versions[key] = version
+                    found += 1
+            else:
+                self._free.setdefault(1, []).append(sector)
+            sector += n_sectors
+        return found
+
+    # ------------------------------------------------------ internal
+
+    def _slot_for(self, key: str, payload_len: int) -> Tuple[int, int]:
+        needed = 1 + -(-payload_len // SECTOR_SIZE) if payload_len else 1
+        existing = self._directory.get(key)
+        if existing is not None and existing[1] >= needed:
+            return existing
+        if existing is not None:
+            self._free.setdefault(existing[1], []).append(existing[0])
+        free_list = self._free.get(needed)
+        if free_list:
+            start = free_list.pop()
+        else:
+            start = self._next_sector
+            total = self.mirror_a.geometry.total_sectors
+            if start + needed > total:
+                raise BadAddressError("stable storage exhausted")
+            self._next_sector = start + needed
+        slot = (start, needed)
+        self._directory[key] = slot
+        return slot
+
+    @staticmethod
+    def _encode(key: str, payload: bytes, version: int) -> bytes:
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) > _MAX_KEY:
+            raise ValueError(f"stable-storage key too long: {key!r}")
+        header = _HEADER.pack(
+            _MAGIC, version, len(payload), zlib.crc32(payload), len(key_bytes)
+        )
+        first = header + key_bytes
+        first += bytes(SECTOR_SIZE - len(first))
+        padded_len = -(-len(payload) // SECTOR_SIZE) * SECTOR_SIZE if payload else 0
+        return first + payload + bytes(padded_len - len(payload))
+
+    @staticmethod
+    def _decode(record: bytes) -> Optional[Tuple[str, int, bytes]]:
+        if len(record) < SECTOR_SIZE:
+            return None
+        magic, version, payload_len, crc, key_len = _HEADER.unpack_from(record)
+        if magic != _MAGIC or key_len > _MAX_KEY:
+            return None
+        key_start = _HEADER.size
+        key = record[key_start : key_start + key_len].decode("utf-8", "replace")
+        payload = record[SECTOR_SIZE : SECTOR_SIZE + payload_len]
+        if len(payload) != payload_len or zlib.crc32(payload) != crc:
+            return None
+        return key, version, payload
+
+    def _try_read(
+        self, mirror: SimDisk, start: int, n_sectors: int
+    ) -> Optional[Tuple[str, int, bytes]]:
+        try:
+            record = mirror.read_sectors(start, n_sectors)
+        except (DiskError, DiskCrashedError):
+            return None
+        decoded = self._decode(record)
+        if decoded is None:
+            return None
+        return decoded
+
+    def _scan_slot(self, sector: int) -> Optional[Tuple[str, int, int, bool]]:
+        for mirror in (self.mirror_a, self.mirror_b):
+            try:
+                head = mirror.read_sectors(sector, 1)
+            except (DiskError, DiskCrashedError):
+                continue
+            if head[:4] == _TOMBSTONE:
+                return "", 0, 1, True
+            if head[:4] != _MAGIC:
+                continue
+            magic, version, payload_len, crc, key_len = _HEADER.unpack_from(head)
+            n_sectors = 1 + -(-payload_len // SECTOR_SIZE) if payload_len else 1
+            key = head[_HEADER.size : _HEADER.size + key_len].decode("utf-8", "replace")
+            return key, version, n_sectors, False
+        return None

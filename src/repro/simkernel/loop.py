@@ -1,0 +1,77 @@
+"""A minimal deterministic event loop over simulated time.
+
+Components that need "do this later in simulated time" — lease expiry,
+retransmission timers, cache flush daemons — schedule callbacks here.
+Events at equal times fire in scheduling order, so runs are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.common.clock import SimClock
+
+
+class EventLoop:
+    """Priority queue of timed callbacks sharing a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._cancelled: set[int] = set()
+
+    def call_at(self, when_us: int, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` for absolute time ``when_us``; returns a handle."""
+        if when_us < self.clock.now_us:
+            when_us = self.clock.now_us
+        self._seq += 1
+        heapq.heappush(self._heap, (int(when_us), self._seq, callback))
+        return self._seq
+
+    def call_later(self, delay_us: int, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` ``delay_us`` microseconds from now."""
+        return self.call_at(self.clock.now_us + max(0, int(delay_us)), callback)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled callback by its handle (no-op if already run)."""
+        self._cancelled.add(handle)
+
+    def next_event_time(self) -> int | None:
+        """Time of the earliest pending (non-cancelled) event, or None."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def run_due(self) -> int:
+        """Run every event due at or before the current time; returns count run."""
+        ran = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0][0] > self.clock.now_us:
+                return ran
+            _, seq, callback = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            callback()
+            ran += 1
+
+    def run_until_idle(self, *, max_events: int = 1_000_000) -> int:
+        """Advance time event-to-event until no events remain; returns count run."""
+        ran = 0
+        while ran < max_events:
+            when = self.next_event_time()
+            if when is None:
+                return ran
+            self.clock.advance_to(when)
+            ran += self.run_due()
+        raise RuntimeError(f"event loop did not go idle within {max_events} events")
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(seq)

@@ -1,0 +1,114 @@
+"""Regenerate the full experiment report.
+
+``python -m repro.tools.report [output.md]`` runs the benchmark suite
+(which prints every experiment table and asserts every claim's shape)
+and collects the tables into one markdown document — the executable
+companion to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+
+def find_benchmarks_dir() -> Path:
+    """Locate the benchmarks/ directory of the repository."""
+    candidates = [
+        Path.cwd() / "benchmarks",
+        Path(__file__).resolve().parents[3] / "benchmarks",
+    ]
+    for candidate in candidates:
+        if candidate.is_dir() and any(candidate.glob("bench_*.py")):
+            return candidate
+    raise SystemExit(
+        "could not find the benchmarks/ directory; run from the repo root"
+    )
+
+
+def run_suite(benchmarks_dir: Path) -> str:
+    """Run the suite, returning its stdout; raises on any failure."""
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(benchmarks_dir),
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            "-q",
+            "-s",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stdout[-4000:])
+        raise SystemExit("benchmark suite failed; report not generated")
+    return completed.stdout
+
+
+_TABLE_START = re.compile(r"^=== (.+) ===$")
+
+
+def extract_tables(output: str) -> list[tuple[str, list[str]]]:
+    """Pull each printed experiment table out of the pytest output."""
+    tables: list[tuple[str, list[str]]] = []
+    current_title: str | None = None
+    current_lines: list[str] = []
+    for line in output.splitlines():
+        match = _TABLE_START.match(line.strip())
+        if match:
+            if current_title is not None:
+                tables.append((current_title, current_lines))
+            current_title = match.group(1)
+            current_lines = []
+            continue
+        if current_title is not None:
+            stripped = line.rstrip()
+            if not stripped or stripped in (".", "F") or stripped.startswith(
+                ("---------------------------------------- benchmark", "=====")
+            ):
+                if stripped != "" and not stripped.startswith("-"):
+                    tables.append((current_title, current_lines))
+                    current_title = None
+                    current_lines = []
+                continue
+            current_lines.append(stripped)
+    if current_title is not None:
+        tables.append((current_title, current_lines))
+    return tables
+
+
+def render_markdown(tables: list[tuple[str, list[str]]]) -> str:
+    parts = [
+        "# RHODOS DFF — regenerated experiment tables\n",
+        "_Produced by `python -m repro.tools.report`; every table is "
+        "printed by a passing benchmark that also asserts the paper "
+        "claim's shape._\n",
+    ]
+    for title, lines in sorted(tables, key=lambda entry: entry[0]):
+        parts.append(f"\n## {title}\n")
+        parts.append("```")
+        parts.extend(lines)
+        parts.append("```")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    output_path = Path(argv[0]) if argv else Path("experiment_report.md")
+    benchmarks_dir = find_benchmarks_dir()
+    print(f"running the benchmark suite in {benchmarks_dir} ...")
+    output = run_suite(benchmarks_dir)
+    tables = extract_tables(output)
+    if not tables:
+        raise SystemExit("no experiment tables found in the suite output")
+    output_path.write_text(render_markdown(tables), encoding="utf-8")
+    print(f"wrote {len(tables)} tables to {output_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,497 @@
+"""The transaction coordinator: commit, abort, crash recovery.
+
+This is the file-server side of the transaction service: it owns one
+lock manager and one intention store per volume, runs the two-phase
+commit discipline of sections 6.6–6.7 against the disk and file
+services, and replays or discards intentions after a crash.
+
+Commit of a transaction with tentative items:
+
+1. **Prepare** — every tentative item's after-image is written to a
+   freshly allocated disk extent (the durable *tentative data item*),
+   and an intention record naming both descriptors goes to stable
+   storage, tagged with the technique that will make it permanent:
+   **WAL** when the file's data blocks are contiguous (in-place update
+   preserves the contiguity the allocator worked for) or **shadow
+   page** when they are not (descriptor swap, cheaper commit I/O, but
+   it "destroys the contiguity of data blocks").  Record-level items
+   always use WAL ("there is no justification to tie up a complete
+   block or fragment").
+2. **Commit point** — the intention flag flips to ``commit`` on stable
+   storage.  A crash before this point aborts the transaction; after
+   it, recovery redoes the intentions (both techniques are idempotent).
+3. **Apply** — WAL records are written in place through the file
+   service; shadow records swap the block descriptor in the FIT to the
+   tentative extent and free the old block.
+4. **Cleanup** — records and flag are removed, WAL extents freed,
+   locks released (the unlock phase of 2PL ends here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Optional, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    BadAddressError,
+    DiskError,
+    InvalidTransactionStateError,
+    TransactionError,
+)
+from repro.common.ids import SystemName, monotonic_id_factory
+from repro.common.metrics import Metrics
+from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK, fragments_for_bytes
+from repro.disk_service.addresses import Extent
+from repro.file_service.attributes import LockingLevel
+from repro.file_service.server import FileServer
+from repro.transactions.intentions import (
+    IntentionFlag,
+    IntentionRecord,
+    IntentionStore,
+    Technique,
+)
+from repro.transactions.lock_manager import LockManager, TimeoutPolicy
+from repro.transactions.transaction import (
+    TentativeItem,
+    Transaction,
+    TransactionPhase,
+    TransactionStatus,
+)
+
+TechniqueChoice = Literal["auto", "wal", "shadow"]
+
+
+class _VolumeBinding:
+    """Everything the coordinator needs about one volume."""
+
+    __slots__ = ("file_server", "locks", "intents")
+
+    def __init__(self, file_server: FileServer, locks: LockManager) -> None:
+        self.file_server = file_server
+        self.locks = locks
+        self.intents = IntentionStore(file_server.disk.stable)
+
+
+class TransactionCoordinator:
+    """System-wide transaction machinery over a set of volumes.
+
+    Args:
+        clock, metrics: the shared simulation context.
+        policy: LT/N timeout policy applied by every volume's lock
+            manager (experiments E8/A2 sweep it).
+        technique: ``"auto"`` (the paper's contiguity rule), or force
+            ``"wal"`` / ``"shadow"`` everywhere (experiment E9).
+        cross_level: enable the paper's deferred relaxation — conflict
+            detection across locking granularities (section 6.1).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        metrics: Metrics,
+        *,
+        policy: Optional[TimeoutPolicy] = None,
+        technique: TechniqueChoice = "auto",
+        cross_level: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.metrics = metrics
+        self.policy = policy or TimeoutPolicy()
+        self.technique: TechniqueChoice = technique
+        self.cross_level = cross_level
+        self._volumes: Dict[int, _VolumeBinding] = {}
+        self._next_tid = monotonic_id_factory()
+        self._live: Dict[int, Transaction] = {}
+
+    # ------------------------------------------------------- wiring
+
+    def register_volume(self, file_server: FileServer) -> None:
+        if file_server.volume_id in self._volumes:
+            raise TransactionError(f"volume {file_server.volume_id} already registered")
+        locks = LockManager(
+            self.clock,
+            self.metrics,
+            self.policy,
+            name=f"lock_manager.{file_server.volume_id}",
+            cross_level=self.cross_level,
+        )
+        self._volumes[file_server.volume_id] = _VolumeBinding(file_server, locks)
+
+    def lock_manager(self, volume_id: int) -> LockManager:
+        return self._binding(volume_id).locks
+
+    def file_server(self, volume_id: int) -> FileServer:
+        return self._binding(volume_id).file_server
+
+    def volume_ids(self) -> List[int]:
+        return sorted(self._volumes)
+
+    # ----------------------------------------------------- lifecycle
+
+    def begin(
+        self,
+        machine_id: str,
+        process_id: int = 0,
+        *,
+        parent: Optional[Transaction] = None,
+    ) -> Transaction:
+        if parent is not None and not parent.is_live:
+            raise InvalidTransactionStateError(
+                f"cannot nest under transaction {parent.tid}: it is "
+                f"{parent.status.value}"
+            )
+        transaction = Transaction(
+            tid=self._next_tid(),
+            machine_id=machine_id,
+            process_id=process_id,
+            started_at_us=self.clock.now_us,
+            parent=parent,
+        )
+        if parent is not None:
+            parent.children.append(transaction)
+            self.metrics.add("transactions.nested_begun")
+        self._live[transaction.tid] = transaction
+        self.metrics.add("transactions.begun")
+        return transaction
+
+    def live_count(self) -> int:
+        return sum(1 for txn in self._live.values() if txn.is_live)
+
+    def forget(self, transaction: Transaction) -> None:
+        self._live.pop(transaction.tid, None)
+
+    # -------------------------------------------------------- commit
+
+    def commit(self, transaction: Transaction) -> None:
+        """Make the transaction's tentative changes permanent (tend).
+
+        A *nested* transaction's commit does not touch the disk: its
+        tentative items, tentative sizes, created/deleted file lists
+        and locks merge into the parent, whose own (eventual) top-level
+        commit makes everything durable at once.
+        """
+        if transaction.status is not TransactionStatus.TENTATIVE:
+            raise InvalidTransactionStateError(
+                f"transaction {transaction.tid} is {transaction.status.value}, "
+                f"cannot commit"
+            )
+        if any(child.is_live for child in transaction.children):
+            raise InvalidTransactionStateError(
+                f"transaction {transaction.tid} still has live nested "
+                f"children; finish them first"
+            )
+        if transaction.parent is not None:
+            self._commit_child(transaction)
+            return
+        transaction.phase = TransactionPhase.UNLOCKING
+        items = transaction.all_tentative_items()
+        records: List[IntentionRecord] = []
+        involved: set[int] = set()
+        for entry in items:
+            record = self._prepare_item(transaction, entry)
+            records.append(record)
+            involved.add(record.name.volume_id)
+        for _, name in transaction.deleted_files:
+            involved.add(name.volume_id)
+        if records:
+            # Free-space checkpoints so recovery's bitmap knows about the
+            # tentative extents allocated above.
+            for volume_id in involved:
+                self._binding(volume_id).file_server.disk.checkpoint_free_space()
+            # The commit point: flags flip to 'commit' on stable storage.
+            for volume_id in involved:
+                IntentionFlag(
+                    self._binding(volume_id).file_server.disk.stable,
+                    transaction.tid,
+                ).set(TransactionStatus.COMMITTED)
+        transaction.status = TransactionStatus.COMMITTED
+        for record in records:
+            self._apply(record)
+        self._apply_sizes(transaction)
+        for _, name in transaction.deleted_files:
+            self._binding(name.volume_id).file_server.delete(name)
+        self._cleanup_committed(transaction.tid, records, involved)
+        self._release_locks(transaction)
+        self.forget(transaction)
+        self.metrics.add("transactions.committed")
+
+    def _commit_child(self, child: Transaction) -> None:
+        """Merge a committing nested transaction into its parent."""
+        parent = child.parent
+        assert parent is not None
+        child.phase = TransactionPhase.UNLOCKING
+        child.status = TransactionStatus.COMMITTED
+        # Tentative items: the child's data already layers on top of the
+        # parent's (reads composed the ancestry), so later sequences win.
+        for entry in child.all_tentative_items():
+            entry.sequence = parent.next_sequence()
+            if entry.item.level is LockingLevel.RECORD:
+                parent.tentative_records.append(entry)
+            else:
+                parent.tentative_map[entry.item] = entry
+        for name, size in child.tentative_sizes.items():
+            parent.tentative_sizes[name] = max(
+                parent.tentative_sizes.get(name, 0), size
+            )
+        parent.created_files.extend(child.created_files)
+        parent.deleted_files.extend(child.deleted_files)
+        parent.open_files.update(child.open_files)
+        for binding in self._volumes.values():
+            binding.locks.transfer_locks(child, parent)
+        parent.children.remove(child)
+        self.forget(child)
+        self.metrics.add("transactions.nested_committed")
+
+    # --------------------------------------------------------- abort
+
+    def abort(self, transaction: Transaction, *, reason: str = "tabort") -> None:
+        """Discard the transaction's tentative changes (tabort).
+
+        Aborting a parent cascades to its live nested children; aborting
+        a child discards only the child's own work.
+        """
+        if transaction.status is TransactionStatus.COMMITTED:
+            raise InvalidTransactionStateError(
+                f"transaction {transaction.tid} already committed"
+            )
+        for child in list(transaction.children):
+            if child.is_live:
+                self.abort(child, reason=f"parent-{reason}")
+        if transaction.parent is not None:
+            transaction.parent.children = [
+                sibling
+                for sibling in transaction.parent.children
+                if sibling.tid != transaction.tid
+            ]
+        transaction.phase = TransactionPhase.UNLOCKING
+        if transaction.status is TransactionStatus.TENTATIVE:
+            transaction.status = TransactionStatus.ABORTED
+            transaction.abort_reason = reason
+        for entry in transaction.all_tentative_items():
+            if entry.extent is not None:
+                self._safe_free(entry.volume_id, entry.extent)
+                entry.extent = None
+        for _, name in transaction.created_files:
+            binding = self._binding(name.volume_id)
+            if binding.file_server.exists(name):
+                binding.file_server.delete(name)
+        self._release_locks(transaction)
+        self.forget(transaction)
+        self.metrics.add("transactions.aborted")
+
+    # ------------------------------------------------------ timeouts
+
+    def expire_locks(self, now_us: int) -> List[Transaction]:
+        """Run the LT/N timeout policy on every volume; returns victims.
+
+        Victims' locks are broken and their status set to ABORTED; the
+        transaction agent surfaces the abort (and cleans up) on the
+        victim's next operation.
+        """
+        victims: List[Transaction] = []
+        for binding in self._volumes.values():
+            victims.extend(binding.locks.expire(now_us))
+        return victims
+
+    def next_expiry_us(self) -> Optional[int]:
+        expiries = [
+            expiry
+            for binding in self._volumes.values()
+            if (expiry := binding.locks.next_expiry_us()) is not None
+        ]
+        return min(expiries) if expiries else None
+
+    # ------------------------------------------------------ recovery
+
+    def recover_volume(self, volume_id: int) -> Tuple[int, int]:
+        """Crash recovery for one volume; returns (redone, discarded).
+
+        Transactions whose intention flag says ``commit`` are redone
+        (their after-images are on disk, the operations idempotent);
+        anything else — tentative flags, orphan records — is discarded
+        and its tentative extents freed.
+        """
+        binding = self._binding(volume_id)
+        binding.file_server.recover()
+        binding.file_server.disk.stable.recover()
+        redone = 0
+        discarded = 0
+        flagged = set(binding.intents.flagged_transactions())
+        with_records = set(binding.intents.transactions_with_intentions())
+        for tid in sorted(flagged | with_records):
+            flag = IntentionFlag(binding.file_server.disk.stable, tid)
+            status = flag.get()
+            records = binding.intents.get_intentions(tid)
+            if status is TransactionStatus.COMMITTED:
+                for record in records:
+                    self._apply(record)
+                self._cleanup_committed(tid, records, {volume_id})
+                redone += 1
+            else:
+                for record in records:
+                    self._safe_free(volume_id, record.extent)
+                binding.intents.remove_intentions(tid)
+                flag.clear()
+                discarded += 1
+        binding.file_server.disk.checkpoint_free_space()
+        self.metrics.add("transactions.recoveries")
+        return redone, discarded
+
+    # ------------------------------------------------------ internal
+
+    def _binding(self, volume_id: int) -> _VolumeBinding:
+        binding = self._volumes.get(volume_id)
+        if binding is None:
+            raise TransactionError(f"volume {volume_id} is not registered")
+        return binding
+
+    def _prepare_item(
+        self, transaction: Transaction, entry: TentativeItem
+    ) -> IntentionRecord:
+        """Durable tentative data item + intention record for one entry."""
+        name = entry.item.name
+        binding = self._binding(name.volume_id)
+        level = entry.item.level
+        size = transaction.tentative_sizes.get(name)
+        if level is LockingLevel.RECORD:
+            lo = entry.item.lo
+            length = len(entry.data)
+            extent = binding.file_server.disk.allocate(
+                fragments_for_bytes(length), scratch=True
+            )
+            technique = Technique.WAL
+            block_index = -1
+        elif level is LockingLevel.PAGE:
+            lo = entry.item.lo
+            block_index = lo // BLOCK_SIZE
+            length = min(BLOCK_SIZE, (size if size is not None else lo + BLOCK_SIZE) - lo)
+            extent = binding.file_server.disk.allocate_block(1, scratch=True)
+            technique = self._choose_technique(binding, name, block_index)
+        else:  # FILE level: the whole file, applied in place.
+            lo = 0
+            length = len(entry.data)
+            n_blocks = max(1, -(-length // BLOCK_SIZE))
+            extent = self._allocate_blocks(binding, n_blocks)
+            technique = Technique.WAL
+            block_index = -1
+        padded = entry.data[:length] + bytes(extent.byte_size - min(length, len(entry.data)))
+        if len(entry.data) < length:
+            # Page buffers are always full blocks, so this only happens
+            # for file-level items whose data already equals the size.
+            padded = entry.data + bytes(extent.byte_size - len(entry.data))
+        binding.file_server.disk.put(extent, padded[: extent.byte_size])
+        entry.extent = extent
+        entry.volume_id = name.volume_id
+        record = IntentionRecord(
+            tid=transaction.tid,
+            sequence=entry.sequence,
+            name=name,
+            level=level,
+            lo=lo,
+            length=length,
+            extent=extent,
+            technique=technique,
+            block_index=block_index,
+        )
+        binding.intents.set_intention(record)
+        self.metrics.add("transactions.intentions_written")
+        return record
+
+    def _choose_technique(
+        self, binding: _VolumeBinding, name: SystemName, block_index: int
+    ) -> Technique:
+        """The paper's rule: WAL when contiguous, shadow when not."""
+        if self.technique == "wal":
+            return Technique.WAL
+        if self.technique == "shadow":
+            desc = binding.file_server.block_descriptor(name, block_index)
+            return Technique.SHADOW if desc is not None else Technique.WAL
+        desc = binding.file_server.block_descriptor(name, block_index)
+        if desc is None:
+            return Technique.WAL  # extension of the file: nothing to shadow
+        if block_index == 0 and desc.address == name.fit_address + 1:
+            # The first data block sits right after the FIT — the very
+            # adjacency dynamic FIT creation bought; never shadow it away.
+            return Technique.WAL
+        if desc.count > 1:
+            return Technique.WAL
+        if block_index > 0:
+            prev = binding.file_server.block_descriptor(name, block_index - 1)
+            if (
+                prev is not None
+                and prev.address + FRAGMENTS_PER_BLOCK == desc.address
+            ):
+                return Technique.WAL
+        if binding.file_server.load_fit(name).mapped_blocks() <= 1:
+            # A lone block has nothing to be contiguous with; in-place
+            # update keeps it where the allocator put it.
+            return Technique.WAL
+        return Technique.SHADOW
+
+    def _allocate_blocks(self, binding: _VolumeBinding, n_blocks: int) -> Extent:
+        try:
+            return binding.file_server.disk.allocate_block(n_blocks, scratch=True)
+        except DiskError:
+            # Large file-level items may not fit contiguously; the
+            # after-image is scratch data, a gathered extent would do,
+            # but records carry one extent — fall back block-by-block
+            # is not possible, so surface the condition honestly.
+            raise
+
+    def _apply(self, record: IntentionRecord) -> None:
+        """Make one intention permanent (idempotent for crash redo)."""
+        binding = self._binding(record.name.volume_id)
+        data = binding.file_server.disk.get(record.extent)[: record.length]
+        if record.technique is Technique.WAL:
+            binding.file_server.write(record.name, record.lo, data)
+            self.metrics.add("transactions.wal_applies")
+        else:
+            old = binding.file_server.replace_block_descriptor(
+                record.name, record.block_index, record.extent.start
+            )
+            if record.length > 0:
+                binding.file_server.set_file_size_at_least(
+                    record.name, record.lo + record.length
+                )
+            if old is not None and old != record.extent.start:
+                self._safe_free(
+                    record.name.volume_id,
+                    Extent.for_block_run(old, 1),
+                )
+            self.metrics.add("transactions.shadow_applies")
+
+    def _apply_sizes(self, transaction: Transaction) -> None:
+        for name, size in transaction.tentative_sizes.items():
+            self._binding(name.volume_id).file_server.set_file_size_at_least(
+                name, size
+            )
+
+    def _cleanup_committed(
+        self, tid: int, records: List[IntentionRecord], involved: set[int]
+    ) -> None:
+        # WAL discipline: the applied effects (including FIT attribute
+        # updates sitting dirty in the server cache) must be durable
+        # BEFORE the redo information is discarded — flush first, then
+        # drop records and flags.  A crash inside the flush re-runs the
+        # idempotent redo; a crash after it needs nothing.
+        for volume_id in involved:
+            self._binding(volume_id).file_server.flush()
+        for record in records:
+            if record.technique is Technique.WAL:
+                self._safe_free(record.name.volume_id, record.extent)
+            self.metrics.add("transactions.intentions_removed")
+        for volume_id in involved:
+            binding = self._binding(volume_id)
+            binding.intents.remove_intentions(tid)
+            IntentionFlag(binding.file_server.disk.stable, tid).clear()
+
+    def _release_locks(self, transaction: Transaction) -> None:
+        for binding in self._volumes.values():
+            binding.locks.release_all(transaction)
+
+    def _safe_free(self, volume_id: int, extent: Extent) -> None:
+        """Free an extent, tolerating already-free state (crash redo)."""
+        try:
+            self._binding(volume_id).file_server.disk.free(extent)
+        except BadAddressError:
+            pass

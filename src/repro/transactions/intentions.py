@@ -1,0 +1,173 @@
+"""The intentions list: records, flags, and their stable-storage codec.
+
+Paper section 6.6–6.7: recovery uses the *intentions list* approach
+(chosen over file versions for its lower disk cost).  Each record in
+the list maintains the descriptors of the data item and the tentative
+data item; an **intention flag** records the transaction's status —
+tentative, commit or abort — and "keeps necessary information to allow
+a file server to take a decision on how the changes in the intentions
+list will be made permanent, i.e., by shadow page technique or wal
+approach".
+
+The after-image bytes themselves live in the tentative item's disk
+extent; the records (metadata only) and the flag live in stable
+storage, written *before* the flag flips to commit — that flip is the
+commit point, and replaying records after a crash is idempotent.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.ids import SystemName
+from repro.disk_service.addresses import Extent
+from repro.file_service.attributes import LockingLevel
+from repro.simdisk.stable import StableStore
+from repro.transactions.transaction import TransactionStatus
+
+
+class Technique(enum.Enum):
+    """How a tentative change is made permanent (paper section 6.7)."""
+
+    WAL = "wal"  # write-ahead log: in-place update, contiguity preserved
+    SHADOW = "shadow"  # descriptor swap: cheap commit, contiguity destroyed
+
+
+@dataclass(frozen=True, slots=True)
+class IntentionRecord:
+    """One entry of a transaction's intentions list.
+
+    Attributes:
+        tid: owning transaction descriptor.
+        sequence: application order within the transaction.
+        name: the file the change applies to.
+        level: locking granularity the item was locked at.
+        lo: byte offset where the change begins.
+        length: number of bytes of after-image data (stored in
+            ``extent`` on the volume's main disk).
+        extent: disk space holding the after-image (the tentative data
+            item's descriptor).
+        technique: WAL or SHADOW.
+        block_index: for SHADOW, which logical block's descriptor to
+            swap to ``extent.start``.
+    """
+
+    tid: int
+    sequence: int
+    name: SystemName
+    level: LockingLevel
+    lo: int
+    length: int
+    extent: Extent
+    technique: Technique
+    block_index: int = -1
+
+    # ------------------------------------------------------- codec
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {
+                "tid": self.tid,
+                "seq": self.sequence,
+                "volume": self.name.volume_id,
+                "fit": self.name.fit_address,
+                "generation": self.name.generation,
+                "level": self.level.name,
+                "lo": self.lo,
+                "length": self.length,
+                "extent_start": self.extent.start,
+                "extent_length": self.extent.length,
+                "technique": self.technique.value,
+                "block_index": self.block_index,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "IntentionRecord":
+        raw = json.loads(blob.decode("utf-8"))
+        return cls(
+            tid=raw["tid"],
+            sequence=raw["seq"],
+            name=SystemName(raw["volume"], raw["fit"], raw["generation"]),
+            level=LockingLevel[raw["level"]],
+            lo=raw["lo"],
+            length=raw["length"],
+            extent=Extent(raw["extent_start"], raw["extent_length"]),
+            technique=Technique(raw["technique"]),
+            block_index=raw["block_index"],
+        )
+
+
+class IntentionFlag:
+    """The per-transaction status flag on one volume's stable storage."""
+
+    def __init__(self, stable: StableStore, tid: int) -> None:
+        self.stable = stable
+        self.key = f"txnflag:{tid}"
+
+    def set(self, status: TransactionStatus) -> None:
+        self.stable.put(self.key, status.value.encode("ascii"))
+
+    def get(self) -> Optional[TransactionStatus]:
+        try:
+            return TransactionStatus(self.stable.get(self.key).decode("ascii"))
+        except KeyError:
+            return None
+
+    def clear(self) -> None:
+        self.stable.delete(self.key)
+
+
+class IntentionStore:
+    """Intention records of one volume, persisted in its stable store.
+
+    Implements the paper's get-intention / set-intention /
+    remove-intention operations.
+    """
+
+    def __init__(self, stable: StableStore) -> None:
+        self.stable = stable
+
+    @staticmethod
+    def _key(tid: int, sequence: int) -> str:
+        return f"intent:{tid}:{sequence}"
+
+    def set_intention(self, record: IntentionRecord) -> None:
+        self.stable.put(self._key(record.tid, record.sequence), record.to_bytes())
+
+    def get_intentions(self, tid: int) -> List[IntentionRecord]:
+        """All durable records of one transaction, in sequence order."""
+        prefix = f"intent:{tid}:"
+        records = []
+        for key in self.stable.keys():
+            if key.startswith(prefix):
+                records.append(IntentionRecord.from_bytes(self.stable.get(key)))
+        records.sort(key=lambda record: record.sequence)
+        return records
+
+    def remove_intentions(self, tid: int) -> int:
+        prefix = f"intent:{tid}:"
+        removed = 0
+        for key in list(self.stable.keys()):
+            if key.startswith(prefix):
+                self.stable.delete(key)
+                removed += 1
+        return removed
+
+    def transactions_with_intentions(self) -> List[int]:
+        tids = set()
+        for key in self.stable.keys():
+            if key.startswith("intent:"):
+                tids.add(int(key.split(":")[1]))
+        return sorted(tids)
+
+    def flagged_transactions(self) -> List[int]:
+        tids = set()
+        for key in self.stable.keys():
+            if key.startswith("txnflag:"):
+                tids.add(int(key.split(":")[1]))
+        return sorted(tids)

@@ -1,0 +1,88 @@
+"""Access patterns: what the caching experiments replay.
+
+The cache-level experiment (E5) needs a request stream with temporal
+locality — re-reads of a hot working set — because that is what a
+cache can exploit; the readahead experiment (E14) needs sequential and
+strided streams.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+
+class AccessPattern(enum.Enum):
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    STRIDED = "strided"
+
+
+def offsets(
+    pattern: AccessPattern,
+    file_size: int,
+    request_bytes: int,
+    n_requests: int,
+    *,
+    stride: int = 4,
+    seed: int = 0,
+) -> Iterator[int]:
+    """Request offsets within one file, per the chosen pattern."""
+    if file_size < request_bytes:
+        raise ValueError("file smaller than one request")
+    slots = max(1, file_size // request_bytes)
+    rng = random.Random(seed)
+    for index in range(n_requests):
+        if pattern is AccessPattern.SEQUENTIAL:
+            slot = index % slots
+        elif pattern is AccessPattern.STRIDED:
+            slot = (index * stride) % slots
+        else:
+            slot = rng.randrange(slots)
+        yield slot * request_bytes
+
+
+def locality_reads(
+    population: Sequence[int],
+    n_requests: int,
+    *,
+    hot_fraction: float = 0.2,
+    hot_probability: float = 0.8,
+    seed: int = 0,
+) -> List[int]:
+    """Indices into ``population`` with an 80/20-style hot set.
+
+    ``hot_fraction`` of the items receive ``hot_probability`` of the
+    accesses — the locality every cache level in the paper's design is
+    built to exploit.
+    """
+    if not population:
+        return []
+    rng = random.Random(seed)
+    n_hot = max(1, int(len(population) * hot_fraction))
+    hot = list(range(n_hot))
+    cold = list(range(n_hot, len(population))) or hot
+    picks = []
+    for _ in range(n_requests):
+        if rng.random() < hot_probability:
+            picks.append(rng.choice(hot))
+        else:
+            picks.append(rng.choice(cold))
+    return picks
+
+
+def read_plan(
+    file_count: int,
+    file_size: int,
+    request_bytes: int,
+    n_requests: int,
+    *,
+    seed: int = 0,
+) -> List[Tuple[int, int]]:
+    """(file index, offset) pairs combining locality across files with
+    random offsets inside each file."""
+    rng = random.Random(seed)
+    picks = locality_reads(range(file_count), n_requests, seed=seed)
+    slots = max(1, file_size // request_bytes)
+    return [(pick, rng.randrange(slots) * request_bytes) for pick in picks]

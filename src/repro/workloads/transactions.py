@@ -1,0 +1,165 @@
+"""Transactional client scripts for the concurrency experiments.
+
+Scripts follow the :mod:`repro.simkernel` convention: generator
+functions yielding zero-argument thunks, restartable after abort.
+They drive the lock-granularity (E7), timeout-deadlock (E8) and
+WAL-vs-shadow (E9) experiments.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Generator, List, Tuple
+
+from repro.file_service.attributes import LockingLevel
+from repro.naming.attributed import AttributedName
+from repro.transactions.agent import TransactionAgentHost
+
+#: Fixed-width account record: balance as an 8-byte integer.
+ACCOUNT_RECORD = struct.Struct("<q")
+ACCOUNT_BYTES = ACCOUNT_RECORD.size
+
+Script = Callable[[], Generator]
+
+
+def make_accounts_file(
+    host: TransactionAgentHost,
+    name: AttributedName,
+    n_accounts: int,
+    *,
+    initial_balance: int = 1000,
+    locking_level: LockingLevel = LockingLevel.RECORD,
+) -> None:
+    """Create and populate a bank-accounts file transactionally."""
+    tid = host.tbegin()
+    descriptor = host.tcreate(tid, name, locking_level=locking_level)
+    payload = ACCOUNT_RECORD.pack(initial_balance) * n_accounts
+    host.twrite(tid, descriptor, payload)
+    host.tend(tid)
+
+
+def read_balance(data: bytes) -> int:
+    return ACCOUNT_RECORD.unpack(data)[0]
+
+
+def transfer_script(
+    host: TransactionAgentHost,
+    name: AttributedName,
+    source: int,
+    target: int,
+    amount: int = 1,
+) -> Script:
+    """Move ``amount`` between two accounts — the canonical transaction.
+
+    Locks ascending account order? No: deliberately in (source, target)
+    order, so opposing transfers can deadlock — which is the behaviour
+    the timeout policy exists to resolve.
+    """
+
+    def script() -> Generator:
+        tid = yield lambda: host.tbegin()
+        descriptor = yield lambda: host.topen(tid, name)
+        raw_source = yield lambda: host.tpread(
+            tid, descriptor, ACCOUNT_BYTES, source * ACCOUNT_BYTES, for_update=True
+        )
+        raw_target = yield lambda: host.tpread(
+            tid, descriptor, ACCOUNT_BYTES, target * ACCOUNT_BYTES, for_update=True
+        )
+        new_source = read_balance(raw_source) - amount
+        new_target = read_balance(raw_target) + amount
+        yield lambda: host.tpwrite(
+            tid, descriptor, ACCOUNT_RECORD.pack(new_source), source * ACCOUNT_BYTES
+        )
+        yield lambda: host.tpwrite(
+            tid, descriptor, ACCOUNT_RECORD.pack(new_target), target * ACCOUNT_BYTES
+        )
+        yield lambda: host.tend(tid)
+
+    return script
+
+
+def random_transfer_mix(
+    host: TransactionAgentHost,
+    name: AttributedName,
+    n_accounts: int,
+    n_clients: int,
+    *,
+    hot_accounts: int = 0,
+    seed: int = 0,
+) -> List[Script]:
+    """One transfer script per client over random (optionally hot) pairs."""
+    rng = random.Random(seed)
+    scripts = []
+    pool = hot_accounts if hot_accounts > 0 else n_accounts
+    for _ in range(n_clients):
+        source = rng.randrange(pool)
+        target = rng.randrange(pool)
+        while target == source:
+            target = rng.randrange(pool)
+        scripts.append(transfer_script(host, name, source, target))
+    return scripts
+
+
+def deadlock_pair_scripts(
+    host: TransactionAgentHost,
+    name: AttributedName,
+    account_a: int,
+    account_b: int,
+) -> Tuple[Script, Script]:
+    """Two transfers locking the same pair in opposite orders.
+
+    Interleaved, they deadlock: each holds one account's lock and waits
+    for the other.  Only the LT/N timeout policy (experiment E8) lets
+    either finish.
+    """
+    return (
+        transfer_script(host, name, account_a, account_b),
+        transfer_script(host, name, account_b, account_a),
+    )
+
+
+def long_transaction_script(
+    host: TransactionAgentHost,
+    name: AttributedName,
+    account: int,
+    *,
+    think_rounds: int = 50,
+) -> Script:
+    """A transaction that holds one lock over many think steps.
+
+    The paper's stated weakness of timeouts: "transactions taking a
+    long time will be penalized" — this script is the victim.
+    """
+
+    def script() -> Generator:
+        tid = yield lambda: host.tbegin()
+        descriptor = yield lambda: host.topen(tid, name)
+        raw = yield lambda: host.tpread(
+            tid, descriptor, ACCOUNT_BYTES, account * ACCOUNT_BYTES, for_update=True
+        )
+        for _ in range(think_rounds):
+            yield lambda: None  # pure computation between I/O steps
+        yield lambda: host.tpwrite(
+            tid,
+            descriptor,
+            ACCOUNT_RECORD.pack(read_balance(raw) + 1),
+            account * ACCOUNT_BYTES,
+        )
+        yield lambda: host.tend(tid)
+
+    return script
+
+
+def total_balance(
+    host: TransactionAgentHost, name: AttributedName, n_accounts: int
+) -> int:
+    """Sum of all balances, read in one transaction (the invariant)."""
+    tid = host.tbegin()
+    descriptor = host.topen(tid, name)
+    raw = host.tpread(tid, descriptor, n_accounts * ACCOUNT_BYTES, 0)
+    host.tend(tid)
+    return sum(
+        read_balance(raw[index * ACCOUNT_BYTES : (index + 1) * ACCOUNT_BYTES])
+        for index in range(n_accounts)
+    )

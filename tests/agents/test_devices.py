@@ -1,0 +1,97 @@
+"""The device agent and TTY objects."""
+
+import pytest
+
+from repro.common.errors import BadDescriptorError, NamingError
+from repro.common.ids import DEVICE_DESCRIPTOR_LIMIT
+from repro.common.metrics import Metrics
+from repro.agents.devices import DeviceAgent, SimTTY
+from repro.naming.attributed import AttributedName
+from repro.naming.service import NamingService
+
+
+@pytest.fixture
+def agent():
+    return DeviceAgent("m0", NamingService(), Metrics())
+
+
+class TestSimTTY:
+    def test_write_appends_output(self):
+        tty = SimTTY("m0:console")
+        tty.write(b"hello ")
+        tty.write(b"world")
+        assert bytes(tty.output) == b"hello world"
+
+    def test_read_consumes_input(self):
+        tty = SimTTY("m0:kbd")
+        tty.feed_input(b"abcdef")
+        assert tty.read(3) == b"abc"
+        assert tty.read(10) == b"def"
+        assert tty.read(5) == b""
+
+
+class TestStandardStreams:
+    def test_preopened_descriptors(self, agent):
+        assert agent.is_open(0)
+        assert agent.is_open(1)
+        assert agent.is_open(2)
+
+    def test_console_write_via_stdout(self, agent):
+        agent.write(1, b"out")
+        assert bytes(agent.console.output) == b"out"
+
+    def test_console_read_via_stdin(self, agent):
+        agent.console.feed_input(b"typed")
+        assert agent.read(0, 5) == b"typed"
+
+    def test_standard_streams_cannot_close(self, agent):
+        for descriptor in (0, 1, 2):
+            with pytest.raises(BadDescriptorError):
+                agent.close(descriptor)
+
+
+class TestOpenClose:
+    def test_open_by_attributed_name(self, agent):
+        tty = SimTTY("m0:serial1")
+        agent.register_device(tty, AttributedName.tty("serial1"))
+        descriptor = agent.open(AttributedName.tty("serial1"))
+        assert 3 <= descriptor < DEVICE_DESCRIPTOR_LIMIT
+        agent.write(descriptor, b"data")
+        assert bytes(tty.output) == b"data"
+
+    def test_descriptors_below_limit(self, agent):
+        """Paper section 3: device descriptors < 100 000."""
+        tty = SimTTY("m0:serial2")
+        agent.register_device(tty, AttributedName.tty("serial2"))
+        descriptors = [agent.open(AttributedName.tty("serial2")) for _ in range(5)]
+        assert all(d < DEVICE_DESCRIPTOR_LIMIT for d in descriptors)
+        assert len(set(descriptors)) == 5
+
+    def test_open_file_name_rejected(self, agent):
+        with pytest.raises(NamingError):
+            agent.open(AttributedName.file("/not-a-device"))
+
+    def test_open_unattached_device_rejected(self, agent):
+        agent.naming.rebind(AttributedName.tty("ghost"), "other-machine:ghost")
+        with pytest.raises(NamingError):
+            agent.open(AttributedName.tty("ghost"))
+
+    def test_close_releases(self, agent):
+        tty = SimTTY("m0:s3")
+        agent.register_device(tty, AttributedName.tty("s3"))
+        descriptor = agent.open(AttributedName.tty("s3"))
+        agent.close(descriptor)
+        with pytest.raises(BadDescriptorError):
+            agent.write(descriptor, b"x")
+
+    def test_double_close_rejected(self, agent):
+        tty = SimTTY("m0:s4")
+        agent.register_device(tty, AttributedName.tty("s4"))
+        descriptor = agent.open(AttributedName.tty("s4"))
+        agent.close(descriptor)
+        with pytest.raises(BadDescriptorError):
+            agent.close(descriptor)
+
+    def test_unknown_descriptor(self, agent):
+        with pytest.raises(BadDescriptorError):
+            agent.read(999, 1)

@@ -1,0 +1,82 @@
+"""Communication ports between machines."""
+
+import pytest
+
+from repro.agents.ports import connect_machines
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import RhodosCluster
+from repro.simdisk.geometry import DiskGeometry
+
+
+@pytest.fixture
+def linked():
+    cluster = RhodosCluster(
+        ClusterConfig(n_machines=2, geometry=DiskGeometry.small())
+    )
+    agent_a = cluster.machines[0].device_agent
+    agent_b = cluster.machines[1].device_agent
+    fd_a, fd_b = connect_machines(
+        "serial0", agent_a, agent_b, cluster.clock, cluster.metrics
+    )
+    return cluster, agent_a, agent_b, fd_a, fd_b
+
+
+class TestPorts:
+    def test_bytes_flow_a_to_b(self, linked):
+        cluster, agent_a, agent_b, fd_a, fd_b = linked
+        agent_a.write(fd_a, b"hello other machine")
+        assert agent_b.read(fd_b, 64) == b"hello other machine"
+
+    def test_full_duplex(self, linked):
+        cluster, agent_a, agent_b, fd_a, fd_b = linked
+        agent_a.write(fd_a, b"ping")
+        agent_b.write(fd_b, b"pong")
+        assert agent_b.read(fd_b, 4) == b"ping"
+        assert agent_a.read(fd_a, 4) == b"pong"
+
+    def test_reads_consume(self, linked):
+        cluster, agent_a, agent_b, fd_a, fd_b = linked
+        agent_a.write(fd_a, b"abcdef")
+        assert agent_b.read(fd_b, 3) == b"abc"
+        assert agent_b.read(fd_b, 10) == b"def"
+        assert agent_b.read(fd_b, 1) == b""
+
+    def test_transfer_charges_simulated_time(self, linked):
+        cluster, agent_a, _, fd_a, _ = linked
+        before = cluster.clock.now_us
+        agent_a.write(fd_a, b"x" * 1000)
+        assert cluster.clock.now_us - before >= 8000  # ~8.7 us/byte
+
+    def test_capacity_backpressure(self):
+        cluster = RhodosCluster(
+            ClusterConfig(n_machines=2, geometry=DiskGeometry.small())
+        )
+        fd_a, fd_b = connect_machines(
+            "tiny",
+            cluster.machines[0].device_agent,
+            cluster.machines[1].device_agent,
+            cluster.clock,
+            cluster.metrics,
+            capacity=8,
+        )
+        wrote = cluster.machines[0].device_agent.write(fd_a, b"0123456789")
+        assert wrote == 8  # two bytes refused: channel full
+        assert cluster.machines[1].device_agent.read(fd_b, 20) == b"01234567"
+
+    def test_descriptors_are_device_class(self, linked):
+        _, _, _, fd_a, fd_b = linked
+        assert fd_a < 100_000 and fd_b < 100_000
+
+    def test_process_io_over_a_port(self, linked):
+        """Ports behave as ordinary devices for processes too."""
+        cluster, agent_a, agent_b, fd_a, fd_b = linked
+        process = cluster.machines[0].spawn_process()
+        process.write(fd_a, b"from a process")
+        assert agent_b.read(fd_b, 64) == b"from a process"
+
+    def test_metrics_account_both_directions(self, linked):
+        cluster, agent_a, agent_b, fd_a, fd_b = linked
+        agent_a.write(fd_a, b"12345")
+        agent_b.read(fd_b, 5)
+        assert cluster.metrics.get("port.serial0.a2b.bytes_sent") == 5
+        assert cluster.metrics.get("port.serial0.a2b.bytes_received") == 5

@@ -1,0 +1,100 @@
+"""Routers: direct and RPC-backed, same surface."""
+
+import pytest
+
+from repro.agents.routing import (
+    DirectRouter,
+    FILE_SERVER_OPS,
+    RpcRouter,
+    expose_file_server,
+)
+from repro.common.clock import SimClock
+from repro.common.errors import FileNotFoundError_, FileServiceError
+from repro.common.ids import SystemName
+from repro.common.metrics import Metrics
+from repro.rpc.bus import MessageBus
+from repro.rpc.endpoint import RpcClient, RpcServer
+from tests.conftest import build_file_server
+
+
+def build_direct(n_volumes=2):
+    clock, metrics = SimClock(), Metrics()
+    servers = {
+        volume: build_file_server(clock, metrics, volume_id=volume)
+        for volume in range(n_volumes)
+    }
+    return DirectRouter(servers), servers, clock, metrics
+
+
+def build_rpc(n_volumes=2):
+    clock, metrics = SimClock(), Metrics()
+    bus = MessageBus(clock, metrics)
+    servers = {}
+    addresses = {}
+    for volume in range(n_volumes):
+        server = build_file_server(clock, metrics, volume_id=volume)
+        address = f"fs.{volume}"
+        expose_file_server(server, RpcServer(bus, address))
+        servers[volume] = server
+        addresses[volume] = address
+    return RpcRouter(RpcClient(bus), addresses), servers, clock, metrics
+
+
+@pytest.mark.parametrize("builder", [build_direct, build_rpc])
+class TestRouterSurface:
+    def test_create_routes_to_volume(self, builder):
+        router, servers, _, _ = builder()
+        name = router.create(1)
+        assert name.volume_id == 1
+        assert servers[1].exists(name)
+
+    def test_read_write_round_trip(self, builder):
+        router, _, _, _ = builder()
+        name = router.create(0)
+        router.open(name)
+        assert router.write(name, 0, b"via router") == 10
+        assert router.read(name, 0, 10) == b"via router"
+        assert router.get_attribute(name).file_size == 10
+        router.close(name)
+
+    def test_delete(self, builder):
+        router, servers, _, _ = builder()
+        name = router.create(0)
+        router.delete(name)
+        assert not servers[0].exists(name)
+
+    def test_volume_ids(self, builder):
+        router, _, _, _ = builder()
+        assert router.volume_ids() == [0, 1]
+
+    def test_unknown_volume(self, builder):
+        router, _, _, _ = builder()
+        with pytest.raises(FileServiceError):
+            router.read(SystemName(9, 0, 1), 0, 1)
+
+    def test_remote_errors_propagate(self, builder):
+        router, _, _, _ = builder()
+        stale = SystemName(0, 0, 999_999)
+        with pytest.raises(FileNotFoundError_):
+            router.open(stale)
+
+    def test_flush_volume(self, builder):
+        router, servers, _, metrics = builder()
+        name = router.create(0)
+        router.write(name, 0, b"x")
+        router.flush_volume(0)
+        assert metrics.get("file_server.0.flushes") >= 1
+
+
+class TestRpcSpecifics:
+    def test_calls_cross_the_bus(self):
+        router, _, _, metrics = build_rpc()
+        name = router.create(0)
+        router.write(name, 0, b"x")
+        assert metrics.get("rpc.messages") >= 2
+
+    def test_ops_table_complete(self):
+        """Every op the router calls must be in the exposure table."""
+        for op in ("create", "open", "close", "delete", "read", "write",
+                   "get_attribute", "flush"):
+            assert op in FILE_SERVER_OPS

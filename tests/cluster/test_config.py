@@ -1,0 +1,69 @@
+"""Cluster configuration knobs and presets."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.file_service.cache import WritePolicy
+from repro.rpc.bus import FaultProfile
+from repro.simdisk.geometry import DiskGeometry
+from repro.transactions.lock_manager import TimeoutPolicy
+
+
+class TestDefaults:
+    def test_paper_shaped_defaults(self):
+        config = ClusterConfig()
+        assert config.extent_rows == 64  # the paper's 64x64 array
+        assert config.extent_columns == 64
+        assert config.commit_technique == "auto"  # the paper's WAL/shadow rule
+        assert config.write_policy is WritePolicy.DELAYED
+        assert config.disk_readahead is True
+        assert config.cross_level_locking is False  # paper's constraint
+        assert config.fault_profile is None  # direct calls by default
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_machines=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(n_disks=-1)
+
+
+class TestPresets:
+    def test_bullet_style(self):
+        config = ClusterConfig.bullet_style()
+        assert config.client_cache_blocks == 0
+        assert config.server_cache_blocks > 0  # server caching stays
+
+    def test_bullet_style_accepts_overrides(self):
+        config = ClusterConfig.bullet_style(n_disks=3, seed=7)
+        assert config.n_disks == 3
+        assert config.seed == 7
+        assert config.client_cache_blocks == 0
+
+    def test_uncached(self):
+        config = ClusterConfig.uncached()
+        assert config.client_cache_blocks == 0
+        assert config.server_cache_blocks == 0
+        assert config.disk_cache_tracks == 0
+        assert config.disk_readahead is False
+
+
+class TestComposition:
+    def test_custom_everything(self):
+        config = ClusterConfig(
+            n_machines=4,
+            n_disks=2,
+            geometry=DiskGeometry.small(),
+            timeout_policy=TimeoutPolicy(lt_us=123_000, max_renewals=7),
+            commit_technique="shadow",
+            cross_level_locking=True,
+            fault_profile=FaultProfile(latency_us=250),
+            replication_degree=2,
+        )
+        assert config.timeout_policy.lt_us == 123_000
+        assert config.commit_technique == "shadow"
+        assert config.fault_profile.latency_us == 250
+
+    def test_geometry_objects_shared_not_copied(self):
+        geometry = DiskGeometry.small()
+        config = ClusterConfig(geometry=geometry)
+        assert config.geometry is geometry

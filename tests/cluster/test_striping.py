@@ -1,0 +1,122 @@
+"""File partitioning across disks (section 7's size claim, E11)."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.striping import StripedFile
+from repro.cluster.system import RhodosCluster
+from repro.common.errors import FileServiceError
+from repro.common.units import BLOCK_SIZE
+from repro.naming.attributed import AttributedName
+from repro.simdisk.geometry import DiskGeometry
+
+NAME = AttributedName.file("/big/striped")
+
+
+@pytest.fixture
+def cluster():
+    return RhodosCluster(
+        ClusterConfig(n_disks=4, geometry=DiskGeometry.small())
+    )
+
+
+def pattern(n, seed=1):
+    return bytes((seed * 131 + index) % 256 for index in range(n))
+
+
+class TestStripedIO:
+    def test_round_trip(self, cluster):
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=BLOCK_SIZE
+        )
+        data = pattern(10 * BLOCK_SIZE + 123)
+        striped.write(0, data)
+        assert striped.read(0, len(data)) == data
+
+    def test_stripes_land_on_distinct_volumes(self, cluster):
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=BLOCK_SIZE
+        )
+        striped.write(0, pattern(8 * BLOCK_SIZE))
+        sizes = [
+            cluster.file_servers[segment.volume_id].get_attribute(segment).file_size
+            for segment in striped.segments
+        ]
+        assert all(size == 2 * BLOCK_SIZE for size in sizes)  # 8 stripes / 4 disks
+
+    def test_unaligned_reads_and_writes(self, cluster):
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=4096
+        )
+        striped.write(0, pattern(40_000))
+        striped.write(10_000, b"Z" * 9_000)  # crosses stripe boundaries
+        expected = bytearray(pattern(40_000))
+        expected[10_000:19_000] = b"Z" * 9_000
+        assert striped.read(0, 40_000) == bytes(expected)
+        assert striped.read(9_990, 30) == bytes(expected[9_990:10_020])
+
+    def test_logical_size(self, cluster):
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=BLOCK_SIZE
+        )
+        striped.write(0, pattern(5 * BLOCK_SIZE))
+        assert striped.size == 5 * BLOCK_SIZE
+
+    def test_file_larger_than_any_single_volume(self):
+        """Section 7: 'the size of a file can be as large as the total
+        space available on all the disks.'  Use tiny disks so a single
+        volume cannot hold the file but the stripe set can."""
+        tiny = DiskGeometry(cylinders=24, heads=2, sectors_per_track=32)  # 1.5 MB
+        cluster = RhodosCluster(ClusterConfig(n_disks=4, geometry=tiny))
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=BLOCK_SIZE
+        )
+        size = 2 * 1024 * 1024  # 2 MB across 4 x 1.5 MB disks
+        data = pattern(size, seed=7)
+        striped.write(0, data)
+        assert striped.read(0, size) == data
+
+
+class TestPersistence:
+    def test_open_reconstructs_from_naming(self, cluster):
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=BLOCK_SIZE
+        )
+        striped.write(0, pattern(3 * BLOCK_SIZE))
+        reopened = StripedFile.open(cluster.naming, cluster.file_servers, NAME)
+        assert reopened.stripe_bytes == BLOCK_SIZE
+        assert reopened.read(0, 3 * BLOCK_SIZE) == pattern(3 * BLOCK_SIZE)
+
+    def test_open_unknown_name(self, cluster):
+        with pytest.raises(FileServiceError):
+            StripedFile.open(
+                cluster.naming, cluster.file_servers, AttributedName.file("/none")
+            )
+
+    def test_delete_frees_all_segments(self, cluster):
+        free_before = [
+            server.disk.free_fragments
+            for server in cluster.file_servers.values()
+        ]
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, NAME, stripe_bytes=BLOCK_SIZE
+        )
+        striped.write(0, pattern(8 * BLOCK_SIZE))
+        striped.delete(cluster.naming, NAME)
+        free_after = [
+            server.disk.free_fragments
+            for server in cluster.file_servers.values()
+        ]
+        assert free_after == free_before
+
+    def test_subset_of_volumes(self, cluster):
+        striped = StripedFile.create(
+            cluster.naming,
+            cluster.file_servers,
+            NAME,
+            volumes=[1, 3],
+            stripe_bytes=BLOCK_SIZE,
+        )
+        striped.write(0, pattern(4 * BLOCK_SIZE))
+        volumes = {segment.volume_id for segment in striped.segments}
+        assert volumes == {1, 3}

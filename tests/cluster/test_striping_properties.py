@@ -1,0 +1,74 @@
+"""Property test: striped files against a bytearray oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.striping import StripedFile
+from repro.cluster.system import RhodosCluster
+from repro.naming.attributed import AttributedName
+from repro.simdisk.geometry import DiskGeometry
+
+SPAN = 200_000
+
+
+@st.composite
+def striped_ops(draw):
+    stripe_bytes = draw(st.sampled_from([2048, 8192, 65536]))
+    n_disks = draw(st.integers(min_value=1, max_value=4))
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for _ in range(n_ops):
+        offset = draw(st.integers(min_value=0, max_value=SPAN))
+        length = draw(st.integers(min_value=1, max_value=50_000))
+        fill = draw(st.integers(min_value=1, max_value=255))
+        ops.append((offset, length, fill))
+    return stripe_bytes, n_disks, ops
+
+
+class TestStripingOracle:
+    @given(striped_ops())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_bytearray_oracle(self, plan):
+        stripe_bytes, n_disks, ops = plan
+        cluster = RhodosCluster(
+            ClusterConfig(n_disks=n_disks, geometry=DiskGeometry.small())
+        )
+        striped = StripedFile.create(
+            cluster.naming,
+            cluster.file_servers,
+            AttributedName.file("/striped"),
+            stripe_bytes=stripe_bytes,
+        )
+        oracle = bytearray()
+        for offset, length, fill in ops:
+            payload = bytes([fill]) * length
+            striped.write(offset, payload)
+            if len(oracle) < offset + length:
+                oracle.extend(bytes(offset + length - len(oracle)))
+            oracle[offset : offset + length] = payload
+            # Read back a window overlapping the write.
+            lo = max(0, offset - 100)
+            window = striped.read(lo, length + 200)
+            assert window == bytes(oracle[lo : lo + length + 200])
+        assert striped.read(0, len(oracle)) == bytes(oracle)
+
+    @given(striped_ops())
+    @settings(max_examples=10, deadline=None)
+    def test_reopen_preserves_content(self, plan):
+        stripe_bytes, n_disks, ops = plan
+        cluster = RhodosCluster(
+            ClusterConfig(n_disks=n_disks, geometry=DiskGeometry.small())
+        )
+        name = AttributedName.file("/striped")
+        striped = StripedFile.create(
+            cluster.naming, cluster.file_servers, name, stripe_bytes=stripe_bytes
+        )
+        oracle = bytearray()
+        for offset, length, fill in ops:
+            payload = bytes([fill]) * length
+            striped.write(offset, payload)
+            if len(oracle) < offset + length:
+                oracle.extend(bytes(offset + length - len(oracle)))
+            oracle[offset : offset + length] = payload
+        reopened = StripedFile.open(cluster.naming, cluster.file_servers, name)
+        assert reopened.read(0, len(oracle)) == bytes(oracle)

@@ -1,0 +1,148 @@
+"""The assembled cluster: wiring, shared clock, cache toggles, RPC mode."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import RhodosCluster
+from repro.file_service.cache import WritePolicy
+from repro.naming.attributed import AttributedName
+from repro.rpc.bus import FaultProfile
+from repro.simdisk.geometry import DiskGeometry
+
+
+class TestAssembly:
+    def test_default_build(self):
+        cluster = RhodosCluster()
+        assert len(cluster.machines) == 1
+        assert len(cluster.file_servers) == 1
+        assert cluster.bus is None  # direct calls by default
+
+    def test_multi_machine_multi_disk(self):
+        cluster = RhodosCluster(ClusterConfig(n_machines=3, n_disks=4))
+        assert len(cluster.machines) == 3
+        assert len(cluster.disk_servers) == 4
+        assert sorted(cluster.file_servers) == [0, 1, 2, 3]
+
+    def test_everything_shares_one_clock(self):
+        cluster = RhodosCluster(ClusterConfig(n_disks=2, n_machines=2))
+        assert cluster.disks[0].clock is cluster.clock
+        assert cluster.machines[1].file_agent.clock is cluster.clock
+        assert cluster.coordinator.clock is cluster.clock
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_machines=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(n_disks=0)
+
+
+class TestEndToEnd:
+    def test_file_io_through_a_machine(self):
+        cluster = RhodosCluster()
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(AttributedName.file("/hello"))
+        agent.write(descriptor, b"hello rhodos")
+        agent.lseek(descriptor, 0)
+        assert agent.read(descriptor, 64) == b"hello rhodos"
+        agent.close(descriptor)
+
+    def test_machines_share_files_through_naming(self):
+        cluster = RhodosCluster(ClusterConfig(n_machines=2))
+        writer = cluster.machines[0].file_agent
+        reader = cluster.machines[1].file_agent
+        descriptor = writer.create(AttributedName.file("/shared"))
+        writer.write(descriptor, b"from m0")
+        writer.close(descriptor)
+        other = reader.open(AttributedName.file("/shared"))
+        assert reader.read(other, 7) == b"from m0"
+
+    def test_files_spread_across_volumes(self):
+        cluster = RhodosCluster(ClusterConfig(n_disks=3))
+        agent = cluster.machine.file_agent
+        for volume in range(3):
+            descriptor = agent.create(
+                AttributedName.file(f"/v{volume}", volume=str(volume))
+            )
+            agent.write(descriptor, b"x")
+            assert agent.system_name(descriptor).volume_id == volume
+            agent.close(descriptor)
+
+    def test_crash_and_recover_volume(self):
+        cluster = RhodosCluster()
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(AttributedName.file("/durable"))
+        agent.write(descriptor, b"checkpointed")
+        agent.close(descriptor)
+        cluster.flush_all()
+        cluster.crash_volume(0)
+        cluster.recover_volume(0)
+        descriptor = agent.open(AttributedName.file("/durable"))
+        assert agent.read(descriptor, 12) == b"checkpointed"
+
+
+class TestConfigurations:
+    def test_bullet_style_disables_client_cache(self):
+        config = ClusterConfig.bullet_style()
+        assert config.client_cache_blocks == 0
+        cluster = RhodosCluster(config)
+        assert cluster.machine.file_agent.cache_blocks == 0
+
+    def test_uncached_disables_every_level(self):
+        config = ClusterConfig.uncached()
+        cluster = RhodosCluster(config)
+        assert cluster.machine.file_agent.cache_blocks == 0
+        assert cluster.disk_servers[0].cache is None
+
+    def test_write_policy_propagates(self):
+        cluster = RhodosCluster(
+            ClusterConfig(write_policy=WritePolicy.WRITE_THROUGH)
+        )
+        assert cluster.file_servers[0].write_policy is WritePolicy.WRITE_THROUGH
+
+    def test_extent_table_shape_propagates(self):
+        cluster = RhodosCluster(ClusterConfig(extent_rows=16, extent_columns=8))
+        assert cluster.disk_servers[0].extent_table.rows == 16
+        assert cluster.disk_servers[0].extent_table.columns == 8
+
+    def test_total_disk_references_counts_data_disks_only(self):
+        cluster = RhodosCluster()
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(AttributedName.file("/a"))
+        agent.write(descriptor, b"x")
+        agent.close(descriptor)
+        assert cluster.total_disk_references() > 0
+        assert cluster.total_disk_references() < cluster.metrics.total("disk.")
+
+
+class TestRpcMode:
+    def test_cluster_over_message_bus(self):
+        cluster = RhodosCluster(
+            ClusterConfig(fault_profile=FaultProfile(latency_us=200))
+        )
+        assert cluster.bus is not None
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(AttributedName.file("/over-rpc"))
+        agent.write(descriptor, b"via the bus")
+        agent.close(descriptor)
+        descriptor = agent.open(AttributedName.file("/over-rpc"))
+        assert agent.read(descriptor, 11) == b"via the bus"
+        assert cluster.metrics.get("rpc.messages") > 0
+
+    def test_faulty_bus_still_converges(self):
+        """Idempotent operations under loss + duplication: the E12 core."""
+        cluster = RhodosCluster(
+            ClusterConfig(
+                fault_profile=FaultProfile(
+                    request_loss=0.1, reply_loss=0.1, duplication=0.1
+                ),
+                seed=3,
+            )
+        )
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(AttributedName.file("/lossy"))
+        payload = bytes(range(256)) * 40
+        agent.write(descriptor, payload)
+        agent.close(descriptor)
+        descriptor = agent.open(AttributedName.file("/lossy"))
+        assert agent.read(descriptor, len(payload)) == payload
+        assert cluster.metrics.get("rpc.retransmissions") > 0

@@ -1,0 +1,52 @@
+"""The simulated clock."""
+
+import pytest
+
+from repro.common.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now_us == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_us(100)
+        assert clock.now_us == 100
+
+    def test_fractional_advance_rounds_up(self):
+        clock = SimClock()
+        clock.advance_us(0.25)
+        assert clock.now_us == 1
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        for _ in range(10):
+            clock.advance_us(7)
+        assert clock.now_us == 70
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance_us(-1)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(1234)
+        assert clock.now_us == 1234
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(1000)
+        clock.advance_to(500)
+        assert clock.now_us == 1000
+
+    def test_now_ms(self):
+        clock = SimClock(2500)
+        assert clock.now_ms == 2.5

@@ -1,0 +1,61 @@
+"""Exception hierarchy relationships error-handling code relies on."""
+
+import pytest
+
+from repro.common.errors import (
+    BadAddressError,
+    DiskCrashedError,
+    DiskError,
+    DiskFullError,
+    FileNotFoundError_,
+    FileServiceError,
+    LockTimeoutError,
+    RhodosError,
+    RpcTimeoutError,
+    SerializabilityError,
+    TransactionAbortedError,
+    TransactionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            DiskError,
+            DiskFullError,
+            BadAddressError,
+            DiskCrashedError,
+            FileServiceError,
+            FileNotFoundError_,
+            TransactionError,
+            TransactionAbortedError,
+            LockTimeoutError,
+            SerializabilityError,
+            RpcTimeoutError,
+        ],
+    )
+    def test_everything_is_a_rhodos_error(self, exc_type):
+        assert issubclass(exc_type, RhodosError)
+
+    def test_disk_branch(self):
+        assert issubclass(DiskFullError, DiskError)
+        assert issubclass(BadAddressError, DiskError)
+        assert issubclass(DiskCrashedError, DiskError)
+
+    def test_lock_timeout_is_an_abort(self):
+        """Timeout-aborted transactions surface through the abort path."""
+        assert issubclass(LockTimeoutError, TransactionAbortedError)
+
+    def test_lock_timeout_reason(self):
+        try:
+            raise LockTimeoutError("txn 5 timed out")
+        except TransactionAbortedError as exc:
+            assert exc.reason == "lock-timeout"
+
+    def test_abort_default_reason(self):
+        assert TransactionAbortedError("x").reason == "aborted"
+
+    def test_catching_rhodos_error_catches_all(self):
+        with pytest.raises(RhodosError):
+            raise DiskFullError("full")

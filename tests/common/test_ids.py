@@ -1,0 +1,63 @@
+"""Identifiers: system names, descriptors, redirection constants."""
+
+from repro.common.ids import (
+    DEVICE_DESCRIPTOR_LIMIT,
+    REDIRECTED_STDERR,
+    REDIRECTED_STDIN,
+    REDIRECTED_STDOUT,
+    SystemName,
+    descriptor_is_device,
+    descriptor_is_file,
+    monotonic_id_factory,
+)
+
+
+class TestSystemName:
+    def test_equality_is_structural(self):
+        assert SystemName(1, 2, 3) == SystemName(1, 2, 3)
+        assert SystemName(1, 2, 3) != SystemName(1, 2, 4)
+
+    def test_hashable(self):
+        assert len({SystemName(0, 1, 1), SystemName(0, 1, 1)}) == 1
+
+    def test_str(self):
+        assert str(SystemName(2, 100, 7)) == "sys:2:100:7"
+
+
+class TestDescriptorBoundary:
+    def test_limit_is_paper_value(self):
+        """Section 3 picks 100 000 as the device/file boundary."""
+        assert DEVICE_DESCRIPTOR_LIMIT == 100_000
+
+    def test_redirection_descriptors(self):
+        """stdout -> 100001, stdin -> 100002, stderr -> 100003."""
+        assert REDIRECTED_STDOUT == 100_001
+        assert REDIRECTED_STDIN == 100_002
+        assert REDIRECTED_STDERR == 100_003
+
+    def test_device_classification(self):
+        assert descriptor_is_device(0)
+        assert descriptor_is_device(99_999)
+        assert not descriptor_is_device(100_000)
+        assert not descriptor_is_device(-1)
+
+    def test_file_classification(self):
+        assert descriptor_is_file(100_001)
+        assert not descriptor_is_file(100_000)
+        assert not descriptor_is_file(50)
+
+
+class TestMonotonicIds:
+    def test_sequence(self):
+        next_id = monotonic_id_factory()
+        assert [next_id() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_custom_start(self):
+        next_id = monotonic_id_factory(10)
+        assert next_id() == 10
+
+    def test_factories_independent(self):
+        a = monotonic_id_factory()
+        b = monotonic_id_factory()
+        a()
+        assert b() == 1

@@ -1,0 +1,54 @@
+"""The counter registry."""
+
+from repro.common.metrics import Metrics
+
+
+class TestMetrics:
+    def test_missing_counter_is_zero(self):
+        assert Metrics().get("nope") == 0
+
+    def test_add_default_one(self):
+        metrics = Metrics()
+        metrics.add("disk.0.reads")
+        metrics.add("disk.0.reads")
+        assert metrics.get("disk.0.reads") == 2
+
+    def test_add_amount(self):
+        metrics = Metrics()
+        metrics.add("bytes", 100)
+        metrics.add("bytes", -40)
+        assert metrics.get("bytes") == 60
+
+    def test_total_by_prefix(self):
+        metrics = Metrics()
+        metrics.add("disk.0.reads", 3)
+        metrics.add("disk.1.reads", 4)
+        metrics.add("rpc.messages", 9)
+        assert metrics.total("disk.") == 7
+
+    def test_snapshot_and_diff(self):
+        metrics = Metrics()
+        metrics.add("a", 5)
+        before = metrics.snapshot()
+        metrics.add("a", 2)
+        metrics.add("b", 1)
+        assert metrics.diff(before) == {"a": 2, "b": 1}
+
+    def test_snapshot_filtered(self):
+        metrics = Metrics()
+        metrics.add("x.one")
+        metrics.add("y.two")
+        assert metrics.snapshot(prefixes=["x."]) == {"x.one": 1}
+
+    def test_snapshot_is_a_copy(self):
+        metrics = Metrics()
+        metrics.add("a")
+        snap = metrics.snapshot()
+        metrics.add("a")
+        assert snap["a"] == 1
+
+    def test_reset(self):
+        metrics = Metrics()
+        metrics.add("a", 3)
+        metrics.reset()
+        assert metrics.get("a") == 0

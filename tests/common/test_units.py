@@ -1,0 +1,70 @@
+"""Unit arithmetic: the paper's fragment/block relationships."""
+
+import pytest
+
+from repro.common.units import (
+    BLOCK_SIZE,
+    FRAGMENT_SIZE,
+    FRAGMENTS_PER_BLOCK,
+    SECTOR_SIZE,
+    SECTORS_PER_BLOCK,
+    SECTORS_PER_FRAGMENT,
+    blocks_for_bytes,
+    fragments_for_bytes,
+)
+
+
+class TestUnitConstants:
+    def test_fragment_is_2k(self):
+        assert FRAGMENT_SIZE == 2048
+
+    def test_block_is_8k(self):
+        assert BLOCK_SIZE == 8192
+
+    def test_four_contiguous_fragments_make_one_block(self):
+        """Paper section 4, verbatim relationship."""
+        assert FRAGMENTS_PER_BLOCK == 4
+        assert FRAGMENT_SIZE * 4 == BLOCK_SIZE
+
+    def test_sector_relationships(self):
+        assert SECTOR_SIZE == 512
+        assert SECTORS_PER_FRAGMENT * SECTOR_SIZE == FRAGMENT_SIZE
+        assert SECTORS_PER_BLOCK * SECTOR_SIZE == BLOCK_SIZE
+
+
+class TestFragmentsForBytes:
+    def test_zero_bytes_still_occupy_one_fragment(self):
+        assert fragments_for_bytes(0) == 1
+
+    def test_exact_fragment(self):
+        assert fragments_for_bytes(FRAGMENT_SIZE) == 1
+
+    def test_one_byte_over(self):
+        assert fragments_for_bytes(FRAGMENT_SIZE + 1) == 2
+
+    def test_one_byte(self):
+        assert fragments_for_bytes(1) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fragments_for_bytes(-1)
+
+
+class TestBlocksForBytes:
+    def test_zero_bytes_zero_blocks(self):
+        assert blocks_for_bytes(0) == 0
+
+    def test_exact_block(self):
+        assert blocks_for_bytes(BLOCK_SIZE) == 1
+
+    def test_partial_block_rounds_up(self):
+        assert blocks_for_bytes(BLOCK_SIZE + 1) == 2
+        assert blocks_for_bytes(1) == 1
+
+    def test_half_megabyte_is_64_blocks(self):
+        """The FIT's direct area: 64 descriptors cover 512 KB."""
+        assert blocks_for_bytes(512 * 1024) == 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_for_bytes(-5)

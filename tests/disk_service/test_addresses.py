@@ -1,0 +1,88 @@
+"""Extents: the fragment-granularity addressing unit."""
+
+import pytest
+
+from repro.common.errors import BadAddressError
+from repro.disk_service.addresses import Extent
+
+
+class TestConstruction:
+    def test_bounds(self):
+        extent = Extent(10, 5)
+        assert extent.end == 15
+        assert extent.byte_size == 5 * 2048
+        assert extent.first_sector == 40
+        assert extent.n_sectors == 20
+
+    def test_whole_blocks(self):
+        assert Extent(0, 4).whole_blocks == 1
+        assert Extent(0, 7).whole_blocks == 1
+        assert Extent(0, 8).whole_blocks == 2
+        assert Extent(0, 3).whole_blocks == 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(BadAddressError):
+            Extent(-1, 1)
+        with pytest.raises(BadAddressError):
+            Extent(0, 0)
+
+    def test_for_block_run(self):
+        extent = Extent.for_block_run(12, 3)
+        assert extent.start == 12
+        assert extent.length == 12
+        assert extent.whole_blocks == 3
+
+    def test_ordering(self):
+        assert Extent(1, 2) < Extent(2, 1)
+
+
+class TestRelations:
+    def test_contains(self):
+        assert Extent(0, 10).contains(Extent(2, 3))
+        assert Extent(0, 10).contains(Extent(0, 10))
+        assert not Extent(0, 10).contains(Extent(8, 5))
+
+    def test_overlaps(self):
+        assert Extent(0, 5).overlaps(Extent(4, 5))
+        assert not Extent(0, 5).overlaps(Extent(5, 5))
+
+    def test_adjacent(self):
+        assert Extent(0, 5).adjacent_to(Extent(5, 2))
+        assert Extent(5, 2).adjacent_to(Extent(0, 5))
+        assert not Extent(0, 5).adjacent_to(Extent(6, 2))
+
+
+class TestSubdivision:
+    def test_split(self):
+        prefix, rest = Extent(10, 6).split(2)
+        assert prefix == Extent(10, 2)
+        assert rest == Extent(12, 4)
+
+    def test_split_bounds(self):
+        with pytest.raises(BadAddressError):
+            Extent(0, 4).split(4)
+        with pytest.raises(BadAddressError):
+            Extent(0, 4).split(0)
+
+    def test_take(self):
+        assert Extent(7, 5).take(3) == Extent(7, 3)
+        assert Extent(7, 5).take(5) == Extent(7, 5)
+        with pytest.raises(BadAddressError):
+            Extent(7, 5).take(6)
+
+    def test_merge(self):
+        assert Extent(0, 3).merge(Extent(3, 2)) == Extent(0, 5)
+        assert Extent(3, 2).merge(Extent(0, 3)) == Extent(0, 5)
+        with pytest.raises(BadAddressError):
+            Extent(0, 3).merge(Extent(4, 2))
+
+    def test_slice_bytes(self):
+        outer = Extent(10, 4)
+        data = bytes(range(256)) * 32  # 8192 bytes
+        inner = Extent(11, 2)
+        assert outer.slice_bytes(data, inner) == data[2048 : 3 * 2048]
+        with pytest.raises(BadAddressError):
+            outer.slice_bytes(data, Extent(9, 1))
+
+    def test_fragments_iteration(self):
+        assert list(Extent(3, 3).fragments()) == [3, 4, 5]

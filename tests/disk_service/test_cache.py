@@ -1,0 +1,110 @@
+"""The track cache: rest-of-track readahead, LRU, write-through."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics
+from repro.disk_service.cache import TrackCache
+from repro.simdisk.disk import SimDisk
+from repro.simdisk.geometry import DiskGeometry
+
+
+def build(readahead=True, capacity_tracks=4):
+    clock = SimClock()
+    metrics = Metrics()
+    disk = SimDisk("t", DiskGeometry(cylinders=8, heads=2, sectors_per_track=16),
+                   clock, metrics)
+    cache = TrackCache(
+        disk, metrics, capacity_tracks=capacity_tracks, readahead=readahead,
+        name="cache",
+    )
+    return cache, disk, metrics
+
+
+class TestReadPath:
+    def test_miss_then_hit(self):
+        cache, disk, metrics = build()
+        disk.write_sectors(0, b"\x01" * 512 * 2)
+        assert cache.read(0, 2) == b"\x01" * 1024
+        refs = metrics.get("disk.t.references")
+        assert cache.read(0, 2) == b"\x01" * 1024  # hit: no new reference
+        assert metrics.get("disk.t.references") == refs
+        assert metrics.get("cache.hits") == 1
+        assert metrics.get("cache.misses") == 1
+
+    def test_readahead_caches_rest_of_track(self):
+        """Paper section 4: the disk service caches the rest of the data
+        from the same track to satisfy subsequent requests."""
+        cache, disk, metrics = build()
+        disk.write_sectors(0, bytes(range(16)) * 512)
+        cache.read(0, 2)  # miss: sectors 0-1 read, 2-15 cached in passing
+        refs = metrics.get("disk.t.references")
+        cache.read(4, 4)  # same track: must be a hit
+        assert metrics.get("disk.t.references") == refs
+        assert metrics.get("cache.hits") == 1
+
+    def test_no_readahead_means_next_sectors_miss(self):
+        cache, disk, metrics = build(readahead=False)
+        cache.read(0, 2)
+        refs = metrics.get("disk.t.references")
+        cache.read(4, 4)
+        assert metrics.get("disk.t.references") == refs + 1
+
+    def test_request_at_track_end_has_nothing_to_readahead(self):
+        cache, disk, metrics = build()
+        cache.read(14, 2)  # last two sectors of track 0
+        assert metrics.get("disk.t.readahead_sectors") == 0
+
+    def test_cross_track_read(self):
+        cache, disk, _ = build()
+        disk.write_sectors(14, b"\x05" * 512 * 4)  # spans track 0 -> 1
+        assert cache.read(14, 4) == b"\x05" * 2048
+
+    def test_partial_hit_fetches_only_missing(self):
+        cache, disk, metrics = build(readahead=False)
+        cache.read(0, 2)
+        refs = metrics.get("disk.t.references")
+        cache.read(0, 4)  # sectors 0-1 cached, 2-3 not: one more reference
+        assert metrics.get("disk.t.references") == refs + 1
+
+
+class TestWritePath:
+    def test_write_through_updates_disk_and_cache(self):
+        cache, disk, metrics = build()
+        cache.read(0, 2)
+        cache.write_through(0, b"\x09" * 512)
+        assert disk.read_sectors(0, 1) == b"\x09" * 512
+        refs = metrics.get("disk.t.references")
+        assert cache.read(0, 1) == b"\x09" * 512  # cached copy refreshed
+        assert metrics.get("disk.t.references") == refs
+
+
+class TestEviction:
+    def test_lru_eviction_by_track(self):
+        cache, disk, metrics = build(readahead=False, capacity_tracks=2)
+        cache.read(0, 1)  # track 0
+        cache.read(16, 1)  # track 1
+        cache.read(32, 1)  # track 2: evicts track 0
+        assert metrics.get("cache.evictions") == 1
+        refs = metrics.get("disk.t.references")
+        cache.read(0, 1)  # track 0 must miss again
+        assert metrics.get("disk.t.references") == refs + 1
+
+    def test_touch_refreshes_lru(self):
+        cache, disk, metrics = build(readahead=False, capacity_tracks=2)
+        cache.read(0, 1)
+        cache.read(16, 1)
+        cache.read(0, 1)  # touch track 0
+        cache.read(32, 1)  # evicts track 1, not 0
+        refs = metrics.get("disk.t.references")
+        cache.read(0, 1)
+        assert metrics.get("disk.t.references") == refs  # still cached
+
+    def test_invalidate(self):
+        cache, disk, metrics = build()
+        cache.read(0, 2)
+        cache.invalidate()
+        assert cache.cached_sector_count() == 0
+        refs = metrics.get("disk.t.references")
+        cache.read(0, 2)
+        assert metrics.get("disk.t.references") == refs + 1

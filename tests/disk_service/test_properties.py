@@ -1,0 +1,113 @@
+"""Property-based tests: bitmap/extent-table agreement under churn."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.common.errors import DiskFullError
+from repro.common.metrics import Metrics
+from repro.disk_service.addresses import Extent
+from repro.disk_service.bitmap import FragmentBitmap
+from tests.conftest import build_disk_server
+
+
+@st.composite
+def operations(draw):
+    """A churn schedule: allocate sizes / free earlier allocations."""
+    n_ops = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            ops.append(("alloc", draw(st.integers(min_value=1, max_value=70))))
+        else:
+            ops.append(("free", draw(st.integers(min_value=0, max_value=1000))))
+    return ops
+
+
+class TestAllocatorProperties:
+    @given(operations())
+    @settings(max_examples=60, deadline=None)
+    def test_extent_table_always_agrees_with_bitmap(self, ops):
+        server = build_disk_server(SimClock(), Metrics())
+        live = []
+        for op, value in ops:
+            if op == "alloc":
+                try:
+                    live.append(server.allocate(value))
+                except DiskFullError:
+                    pass
+            elif live:
+                extent = live.pop(value % len(live))
+                server.free(extent)
+        server.extent_table.check_against(server.bitmap)
+        # Conservation: free + live == total.
+        assert server.free_fragments + sum(e.length for e in live) == (
+            server.n_fragments
+        )
+
+    @given(operations())
+    @settings(max_examples=40, deadline=None)
+    def test_live_extents_never_overlap(self, ops):
+        server = build_disk_server(SimClock(), Metrics())
+        live = []
+        for op, value in ops:
+            if op == "alloc":
+                try:
+                    live.append(server.allocate(value))
+                except DiskFullError:
+                    pass
+            elif live:
+                server.free(live.pop(value % len(live)))
+        for i, a in enumerate(live):
+            for b in live[i + 1 :]:
+                assert not a.overlaps(b)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=40)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_free_everything_returns_to_pristine(self, sizes):
+        server = build_disk_server(SimClock(), Metrics())
+        extents = []
+        for size in sizes:
+            try:
+                extents.append(server.allocate(size))
+            except DiskFullError:
+                break
+        for extent in extents:
+            server.free(extent)
+        assert server.free_fragments == server.n_fragments
+        runs = list(server.bitmap.free_runs())
+        assert runs == [Extent(0, server.n_fragments)]
+
+
+class TestBitmapProperties:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=499),
+                st.integers(min_value=1, max_value=40),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_serialisation_round_trip(self, n_fragments, allocations):
+        bitmap = FragmentBitmap(n_fragments)
+        for start, length in allocations:
+            extent = Extent(start % n_fragments, min(length, n_fragments))
+            if extent.end <= n_fragments and bitmap.is_free_run(extent):
+                bitmap.mark_allocated(extent)
+        restored = FragmentBitmap.from_bytes(bitmap.to_bytes(), n_fragments)
+        assert restored.free_count == bitmap.free_count
+        assert list(restored.free_runs()) == list(bitmap.free_runs())
+
+    @given(st.integers(min_value=2, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_free_runs_partition_free_space(self, n_fragments):
+        bitmap = FragmentBitmap(n_fragments)
+        bitmap.mark_allocated(Extent(n_fragments // 2, 1))
+        runs = list(bitmap.free_runs())
+        assert sum(run.length for run in runs) == bitmap.free_count
+        for a, b in zip(runs, runs[1:]):
+            assert a.end < b.start  # maximal runs are separated

@@ -1,0 +1,202 @@
+"""The disk server: allocation, the five service functions, stability."""
+
+import pytest
+
+from repro.common.errors import BadAddressError, DiskFullError
+from repro.disk_service.addresses import Extent
+from repro.disk_service.server import DiskServer, Source, Stability, SyncMode
+from tests.conftest import build_disk_server
+
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics
+
+
+@pytest.fixture
+def server():
+    return build_disk_server(SimClock(), Metrics())
+
+
+def payload(extent: Extent, fill: int = 0xAB) -> bytes:
+    return bytes([fill]) * extent.byte_size
+
+
+class TestAllocation:
+    def test_contiguous_allocation(self, server):
+        extent = server.allocate(5)
+        assert isinstance(extent, Extent)
+        assert extent.length == 5
+        assert server.bitmap.is_allocated_run(extent)
+
+    def test_allocate_block_is_four_fragments(self, server):
+        extent = server.allocate_block()
+        assert extent.length == 4
+        assert server.allocate_block(3).length == 12
+
+    def test_allocations_do_not_overlap(self, server):
+        extents = [server.allocate(3) for _ in range(50)]
+        for i, a in enumerate(extents):
+            for b in extents[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_free_and_reuse(self, server):
+        extent = server.allocate(10)
+        server.free(extent)
+        assert server.free_fragments == server.n_fragments
+        again = server.allocate(10)
+        assert again == extent  # best-fit finds the same hole
+
+    def test_free_coalesces_neighbours(self, server):
+        a = server.allocate(4)
+        b = server.allocate(4)
+        c = server.allocate(4)
+        assert b.start == a.end and c.start == b.end
+        server.free(a)
+        server.free(c)
+        server.free(b)  # merges with both sides
+        server.extent_table.check_against(server.bitmap)
+        run = server.bitmap.run_containing(a.start)
+        assert run is not None and run.length >= 12
+
+    def test_disk_full(self, server):
+        server.allocate(server.n_fragments)
+        with pytest.raises(DiskFullError):
+            server.allocate(1)
+
+    def test_fragmented_contiguous_request_fails(self):
+        server = build_disk_server(SimClock(), Metrics())
+        # Allocate everything, then free every other fragment.
+        whole = server.allocate(server.n_fragments)
+        for fragment in range(0, server.n_fragments, 2):
+            server.free(Extent(fragment, 1))
+        with pytest.raises(DiskFullError):
+            server.allocate(2)
+
+    def test_gather_allocation_spans_fragmented_space(self):
+        server = build_disk_server(SimClock(), Metrics())
+        server.allocate(server.n_fragments)
+        for fragment in range(0, 40, 2):
+            server.free(Extent(fragment, 1))
+        pieces = server.allocate(10, contiguous=False)
+        assert sum(piece.length for piece in pieces) == 10
+
+    def test_gather_insufficient_space(self, server):
+        server.allocate(server.n_fragments - 2)
+        with pytest.raises(DiskFullError):
+            server.allocate(5, contiguous=False)
+
+    def test_try_allocate_at(self, server):
+        first = server.allocate(4)
+        extension = server.try_allocate_at(first.end, 4)
+        assert extension == Extent(first.end, 4)
+        # Now taken: a second attempt must fail politely.
+        assert server.try_allocate_at(first.end, 4) is None
+        server.extent_table.check_against(server.bitmap)
+
+    def test_try_allocate_at_out_of_range(self, server):
+        assert server.try_allocate_at(server.n_fragments - 1, 5) is None
+
+    def test_zero_fragment_request_rejected(self, server):
+        with pytest.raises(BadAddressError):
+            server.allocate(0)
+
+
+class TestGetPut:
+    def test_round_trip(self, server):
+        extent = server.allocate(3)
+        server.put(extent, payload(extent))
+        assert server.get(extent) == payload(extent)
+
+    def test_contiguous_get_is_one_disk_reference(self, server):
+        """Paper section 4: any operation on a set of contiguous
+        blocks/fragments is one single reference to the disk."""
+        extent = server.allocate(16)  # 4 blocks
+        server.put(extent, payload(extent))
+        before = server.metrics.get("disk.0.references")
+        server.get(extent, use_cache=False)
+        assert server.metrics.get("disk.0.references") == before + 1
+
+    def test_put_length_must_match(self, server):
+        extent = server.allocate(2)
+        with pytest.raises(BadAddressError):
+            server.put(extent, b"short")
+
+    def test_out_of_range_extent(self, server):
+        with pytest.raises(BadAddressError):
+            server.get(Extent(server.n_fragments, 1))
+
+
+class TestStability:
+    def test_both_saves_original_and_stable(self, server):
+        extent = server.allocate(1)
+        server.put(extent, payload(extent), stability=Stability.BOTH)
+        assert server.get(extent) == payload(extent)
+        assert server.get(extent, source=Source.STABLE) == payload(extent)
+
+    def test_stable_only_is_a_shadow(self, server):
+        """Shadow pages go exclusively to stable storage: the original
+        location is untouched."""
+        extent = server.allocate(1)
+        server.put(extent, payload(extent, 0x11))
+        server.put(extent, payload(extent, 0x22), stability=Stability.STABLE_ONLY)
+        assert server.get(extent, use_cache=False) == payload(extent, 0x11)
+        assert server.get(extent, source=Source.STABLE) == payload(extent, 0x22)
+
+    def test_deferred_stable_write(self, server):
+        """sync=BEFORE_STABLE returns before the stable save; the save
+        happens at the next flush."""
+        extent = server.allocate(1)
+        server.put(
+            extent,
+            payload(extent),
+            stability=Stability.BOTH,
+            sync=SyncMode.BEFORE_STABLE,
+        )
+        assert server.pending_stable_writes == 1
+        server.flush()
+        assert server.pending_stable_writes == 0
+        assert server.get(extent, source=Source.STABLE) == payload(extent)
+
+    def test_deferred_write_drained_by_stable_read(self, server):
+        extent = server.allocate(1)
+        server.put(
+            extent,
+            payload(extent),
+            stability=Stability.BOTH,
+            sync=SyncMode.BEFORE_STABLE,
+        )
+        assert server.get(extent, source=Source.STABLE) == payload(extent)
+
+    def test_release_stable(self, server):
+        extent = server.allocate(1)
+        server.put(extent, payload(extent), stability=Stability.STABLE_ONLY)
+        server.release_stable(extent)
+        with pytest.raises(KeyError):
+            server.get(extent, source=Source.STABLE)
+
+
+class TestRecovery:
+    def test_bitmap_survives_via_checkpoint(self, server):
+        extents = [server.allocate(4) for _ in range(5)]
+        server.checkpoint_free_space()
+        free_before = server.free_fragments
+        server.recover()
+        assert server.free_fragments == free_before
+        for extent in extents:
+            assert server.bitmap.is_allocated_run(extent)
+        server.extent_table.check_against(server.bitmap)
+
+    def test_recover_without_checkpoint_resets(self, server):
+        server.allocate(4)
+        server.recover()  # no checkpoint was taken
+        assert server.free_fragments == server.n_fragments
+
+    def test_recover_drops_pending_stable_writes(self, server):
+        extent = server.allocate(1)
+        server.put(
+            extent,
+            payload(extent),
+            stability=Stability.STABLE_ONLY,
+            sync=SyncMode.BEFORE_STABLE,
+        )
+        server.recover()
+        assert server.pending_stable_writes == 0

@@ -1,0 +1,73 @@
+"""The file-attribute block (the paper's section-5 attribute list)."""
+
+from repro.file_service.attributes import (
+    FileAttributes,
+    LockingLevel,
+    ServiceType,
+)
+
+
+class TestPaperAttributeList:
+    """Section 5 enumerates the FIT's file-specific attributes; each
+    must exist and default sensibly."""
+
+    def test_all_paper_attributes_present(self):
+        attrs = FileAttributes()
+        assert attrs.file_size == 0  # "file size"
+        assert attrs.created_us == 0  # "date and time of file creation"
+        assert attrs.last_read_us == 0  # "last read access"
+        assert attrs.ref_count == 0  # "reference count ... opened simultaneously"
+        assert attrs.service_type is ServiceType.BASIC  # "service type"
+        assert attrs.locking_level is LockingLevel.DEFAULT  # "locking level"
+        assert attrs.extra_space == 0  # "space ... for the file-specific attributes"
+
+    def test_service_types_match_paper_classification(self):
+        """Section 2.2: a file is a basic file or a transaction file."""
+        assert {t.name for t in ServiceType} == {"BASIC", "TRANSACTION"}
+
+    def test_locking_levels_match_paper(self):
+        """Section 6.1: record, page, or complete file locking."""
+        assert {l.name for l in LockingLevel} == {
+            "RECORD",
+            "PAGE",
+            "FILE",
+            "DEFAULT",
+        }
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self):
+        attrs = FileAttributes(file_size=100, ref_count=2)
+        clone = attrs.copy()
+        clone.file_size = 999
+        clone.ref_count = 0
+        assert attrs.file_size == 100
+        assert attrs.ref_count == 2
+
+    def test_copy_preserves_every_field(self):
+        attrs = FileAttributes(
+            file_size=5,
+            created_us=1,
+            last_read_us=2,
+            last_write_us=3,
+            ref_count=4,
+            service_type=ServiceType.TRANSACTION,
+            locking_level=LockingLevel.RECORD,
+            extra_space=6,
+            generation=7,
+            open_count_total=8,
+        )
+        clone = attrs.copy()
+        for field in (
+            "file_size",
+            "created_us",
+            "last_read_us",
+            "last_write_us",
+            "ref_count",
+            "service_type",
+            "locking_level",
+            "extra_space",
+            "generation",
+            "open_count_total",
+        ):
+            assert getattr(clone, field) == getattr(attrs, field)

@@ -1,0 +1,152 @@
+"""File-service resilience: FIT restore from stable, size limits, raw IO."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import FileNotFoundError_
+from repro.common.metrics import Metrics
+from repro.common.units import BLOCK_SIZE
+from repro.disk_service.addresses import Extent
+from repro.file_service.fit import (
+    DESCRIPTORS_PER_INDIRECT,
+    DIRECT_DESCRIPTORS,
+    SINGLE_INDIRECT_SLOTS,
+)
+from tests.conftest import build_file_server
+
+
+@pytest.fixture
+def server():
+    return build_file_server(SimClock(), Metrics())
+
+
+class TestFitRestoreFromStable:
+    def test_torn_fit_healed_from_stable_copy(self, server):
+        """Paper section 5: 'A copy of the file index table is always
+        available in stable storage' — a corrupted main copy is healed."""
+        name = server.create()
+        server.write(name, 0, b"important" * 100)
+        server.flush()
+        # Corrupt the main FIT copy directly on disk.
+        server.disk.disk.write_sectors(
+            name.fit_address * 4, b"\xde\xad\xbe\xef" * 512
+        )
+        server.recover()  # drop the cached FIT
+        assert server.read(name, 0, 9) == b"important"
+        assert server.metrics.get("file_server.0.fit_restores") == 1
+
+    def test_unrecoverable_fit_raises_not_found(self, server):
+        """Garbage where no file ever was stays an error."""
+        extent = server.disk.allocate(1)
+        server.disk.put(extent, b"\x00" * extent.byte_size)
+        from repro.common.ids import SystemName
+
+        with pytest.raises(FileNotFoundError_):
+            server.read(SystemName(0, extent.start, 1), 0, 1)
+
+    def test_healed_fit_repairs_the_main_copy(self, server):
+        name = server.create()
+        server.write(name, 0, b"data")
+        server.flush()
+        server.disk.disk.write_sectors(name.fit_address * 4, b"\xff" * 2048)
+        server.recover()
+        server.read(name, 0, 4)  # triggers the heal
+        server.recover()  # drop caches again: main copy must now be valid
+        assert server.read(name, 0, 4) == b"data"
+        assert server.metrics.get("file_server.0.fit_restores") == 1
+
+
+class TestSizeLimits:
+    def test_write_into_double_indirect_range(self, server):
+        """'Virtually no limitation on file size': past the single-
+        indirect range (~85 MB), double indirection takes over."""
+        boundary = (
+            DIRECT_DESCRIPTORS + SINGLE_INDIRECT_SLOTS * DESCRIPTORS_PER_INDIRECT
+        )
+        name = server.create()
+        offset = boundary * BLOCK_SIZE + 123  # first double-indirect block
+        server.write(name, offset, b"beyond the single range")
+        assert server.read(name, offset, 23) == b"beyond the single range"
+        assert server.get_attribute(name).file_size == offset + 23
+
+    def test_double_indirect_survives_cache_drop(self, server):
+        boundary = (
+            DIRECT_DESCRIPTORS + SINGLE_INDIRECT_SLOTS * DESCRIPTORS_PER_INDIRECT
+        )
+        name = server.create()
+        offset = (boundary + 7) * BLOCK_SIZE
+        server.write(name, offset, b"durable deep data")
+        server.flush()
+        server.recover()
+        assert server.read(name, offset, 17) == b"durable deep data"
+
+    def test_double_indirect_file_deletes_cleanly(self, server):
+        pristine = server.disk.free_fragments
+        boundary = (
+            DIRECT_DESCRIPTORS + SINGLE_INDIRECT_SLOTS * DESCRIPTORS_PER_INDIRECT
+        )
+        name = server.create()
+        server.write(name, boundary * BLOCK_SIZE, b"x" * BLOCK_SIZE)
+        server.flush()
+        server.delete(name)
+        assert server.disk.free_fragments == pristine
+
+    def test_largest_supported_offset_works(self, server):
+        name = server.create()
+        offset = (DIRECT_DESCRIPTORS + 5) * BLOCK_SIZE  # into indirection
+        server.write(name, offset, b"deep")
+        assert server.read(name, offset, 4) == b"deep"
+
+
+class TestRawBlockIO:
+    def test_read_write_block(self, server):
+        extent = server.disk.allocate_block(2)
+        payload = bytes(range(256)) * 64  # 16 KB
+        server.write_block(extent.start, payload)
+        assert server.read_block(extent.start, 2) == payload
+
+    def test_write_block_requires_whole_blocks(self, server):
+        extent = server.disk.allocate_block(1)
+        from repro.common.errors import BadAddressError
+
+        with pytest.raises(BadAddressError):
+            server.write_block(extent.start, b"partial")
+
+
+class TestGrowthPreallocation:
+    def test_interleaved_appenders_stay_mostly_contiguous(self):
+        from repro.file_service.fit import contiguous_runs
+
+        clock, metrics = SimClock(), Metrics()
+        server = build_file_server(clock, metrics, growth_batch_blocks=8)
+        file_a = server.create()
+        file_b = server.create()
+        for index in range(16):
+            server.write(file_a, index * BLOCK_SIZE, bytes([1]) * BLOCK_SIZE)
+            server.write(file_b, index * BLOCK_SIZE, bytes([2]) * BLOCK_SIZE)
+        for name in (file_a, file_b):
+            fit = server.load_fit(name)
+            runs = [
+                run
+                for run in contiguous_runs(fit.direct, 0, DIRECT_DESCRIPTORS - 1)
+                if run[2] >= 0
+            ]
+            # 16 interleaved appends collapse into a handful of runs.
+            assert len(runs) <= 6
+
+    def test_preallocated_blocks_freed_on_delete(self, server):
+        pristine = server.disk.free_fragments
+        name = server.create()
+        server.write(name, BLOCK_SIZE, b"x")  # triggers growth + prealloc
+        server.flush()
+        server.delete(name)
+        assert server.disk.free_fragments == pristine
+
+    def test_batch_one_disables_preallocation(self):
+        clock, metrics = SimClock(), Metrics()
+        server = build_file_server(clock, metrics, growth_batch_blocks=1)
+        name = server.create()
+        server.write(name, BLOCK_SIZE, b"x")  # block 1
+        fit = server.load_fit(name)
+        mapped = sum(1 for d in fit.direct if d is not None)
+        assert mapped == 2  # exactly blocks 0 and 1, nothing reserved

@@ -1,0 +1,79 @@
+"""Attributed names: structure, matching, immutability."""
+
+import pytest
+
+from repro.naming.attributed import AttributedName, ObjectType
+
+
+class TestConstruction:
+    def test_file_builder(self):
+        name = AttributedName.file("/docs/a.txt", owner="raj")
+        assert name.object_type is ObjectType.FILE
+        assert name.get("path") == "/docs/a.txt"
+        assert name.get("owner") == "raj"
+
+    def test_tty_builder(self):
+        name = AttributedName.tty("console0")
+        assert name.object_type is ObjectType.TTY
+        assert name.get("device") == "console0"
+
+    def test_needs_at_least_one_attribute(self):
+        with pytest.raises(ValueError):
+            AttributedName(ObjectType.FILE, {})
+
+    def test_attribute_types_enforced(self):
+        with pytest.raises(TypeError):
+            AttributedName(ObjectType.FILE, {"size": 42})  # type: ignore[dict-item]
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            AttributedName(ObjectType.FILE, {"": "x"})
+
+
+class TestEquality:
+    def test_order_independent(self):
+        a = AttributedName(ObjectType.FILE, {"x": "1", "y": "2"})
+        b = AttributedName(ObjectType.FILE, {"y": "2", "x": "1"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_type_distinguishes(self):
+        a = AttributedName(ObjectType.FILE, {"name": "n"})
+        b = AttributedName(ObjectType.TTY, {"name": "n"})
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        table = {AttributedName.file("/a"): 1}
+        assert table[AttributedName.file("/a")] == 1
+
+
+class TestMatching:
+    def test_subset_matches(self):
+        binding = AttributedName.file("/a", owner="raj", project="dff")
+        query = AttributedName.file(owner="raj")
+        assert binding.matches(query)
+
+    def test_superset_does_not_match(self):
+        binding = AttributedName.file(owner="raj")
+        query = AttributedName.file(owner="raj", project="dff")
+        assert not binding.matches(query)
+
+    def test_value_mismatch(self):
+        binding = AttributedName.file(owner="raj")
+        assert not binding.matches(AttributedName.file(owner="ann"))
+
+    def test_type_mismatch_never_matches(self):
+        binding = AttributedName.file(name="x")
+        query = AttributedName(ObjectType.TTY, {"name": "x"})
+        assert not binding.matches(query)
+
+    def test_with_attributes_extends(self):
+        base = AttributedName.file("/a")
+        extended = base.with_attributes(replica="2")
+        assert extended.get("replica") == "2"
+        assert extended.get("path") == "/a"
+        assert base.get("replica") is None  # original untouched
+
+    def test_iteration_sorted(self):
+        name = AttributedName.file(z="1", a="2")
+        assert list(name) == [("a", "2"), ("z", "1")]

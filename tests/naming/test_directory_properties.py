@@ -1,0 +1,150 @@
+"""Property test: the directory service against a dict-tree oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import RhodosCluster
+from repro.common.errors import NameExistsError, NameNotFoundError, NamingError
+from repro.simdisk.geometry import DiskGeometry
+
+NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def directory_ops(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(
+            st.sampled_from(
+                ["mkdir", "create", "unlink", "rmdir", "rename", "list"]
+            )
+        )
+        depth = draw(st.integers(min_value=1, max_value=3))
+        path = "/" + "/".join(
+            draw(st.sampled_from(NAMES)) for _ in range(depth)
+        )
+        other = "/" + "/".join(
+            draw(st.sampled_from(NAMES))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        ops.append((kind, path, other))
+    return ops
+
+
+class _Oracle:
+    """A plain dict-of-dicts model of the tree (files are None values)."""
+
+    def __init__(self):
+        self.root: dict = {}
+
+    def _walk(self, path):
+        parts = [p for p in path.split("/") if p]
+        node = self.root
+        for part in parts[:-1]:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                raise KeyError(path)
+            node = child
+        return node, (parts[-1] if parts else None)
+
+    def mkdir(self, path):
+        parent, leaf = self._walk(path)
+        if leaf in parent:
+            raise FileExistsError(path)
+        parent[leaf] = {}
+
+    def create(self, path):
+        parent, leaf = self._walk(path)
+        if leaf in parent:
+            raise FileExistsError(path)
+        parent[leaf] = None
+
+    def unlink(self, path):
+        parent, leaf = self._walk(path)
+        if leaf not in parent or isinstance(parent[leaf], dict):
+            raise KeyError(path)
+        del parent[leaf]
+
+    def rmdir(self, path):
+        parent, leaf = self._walk(path)
+        node = parent.get(leaf)
+        if not isinstance(node, dict) or node:
+            raise KeyError(path)
+        del parent[leaf]
+
+    def rename(self, old, new):
+        old_parent, old_leaf = self._walk(old)
+        if old_leaf not in old_parent:
+            raise KeyError(old)
+        new_parent, new_leaf = self._walk(new)
+        if new_leaf in new_parent:
+            raise FileExistsError(new)
+        # Moving a directory under itself is undefined; the oracle and
+        # the service both simply move the reference.
+        new_parent[new_leaf] = old_parent.pop(old_leaf)
+
+    def listing(self, path):
+        parent, leaf = self._walk(path)
+        node = parent[leaf] if leaf else self.root
+        if not isinstance(node, dict):
+            raise KeyError(path)
+        return sorted(node)
+
+
+class TestDirectoryOracle:
+    @given(directory_ops())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dict_tree_oracle(self, ops):
+        cluster = RhodosCluster(ClusterConfig(geometry=DiskGeometry.small()))
+        service = cluster.directories
+        oracle = _Oracle()
+        for kind, path, other in ops:
+            if kind == "rename" and (other == path or other.startswith(path + "/")):
+                continue  # moving into itself: skip (undefined either way)
+            service_error = oracle_error = False
+            try:
+                if kind == "mkdir":
+                    service.mkdir(path)
+                elif kind == "create":
+                    service.create_file(path)
+                elif kind == "unlink":
+                    service.unlink(path)
+                elif kind == "rmdir":
+                    service.rmdir(path)
+                elif kind == "rename":
+                    service.rename(path, other)
+                else:
+                    listing = [e.name for e in service.list_directory(path)]
+            except (NameExistsError, NameNotFoundError, NamingError):
+                service_error = True
+            try:
+                if kind == "mkdir":
+                    oracle.mkdir(path)
+                elif kind == "create":
+                    oracle.create(path)
+                elif kind == "unlink":
+                    oracle.unlink(path)
+                elif kind == "rmdir":
+                    oracle.rmdir(path)
+                elif kind == "rename":
+                    oracle.rename(path, other)
+                else:
+                    expected = oracle.listing(path)
+            except (KeyError, FileExistsError):
+                oracle_error = True
+            assert service_error == oracle_error, (
+                f"{kind} {path} {other}: service_error={service_error}, "
+                f"oracle_error={oracle_error}"
+            )
+            if kind == "list" and not service_error:
+                assert listing == expected
+        # Final structural agreement.
+        def compare(path, node):
+            listing = [e.name for e in cluster.directories.list_directory(path)]
+            assert listing == sorted(node)
+            for name, child in node.items():
+                if isinstance(child, dict):
+                    compare(f"{path.rstrip('/')}/{name}", child)
+
+        compare("/", oracle.root)

@@ -1,0 +1,122 @@
+"""The naming service: binding, resolution, search, persistence."""
+
+import pytest
+
+from repro.common.errors import NameExistsError, NameNotFoundError, NamingError
+from repro.common.ids import SystemName
+from repro.naming.attributed import AttributedName, ObjectType
+from repro.naming.service import NamingService
+
+
+@pytest.fixture
+def service():
+    return NamingService()
+
+
+SYS = SystemName(0, 100, 1)
+SYS2 = SystemName(1, 200, 1)
+
+
+class TestBinding:
+    def test_bind_resolve(self, service):
+        name = AttributedName.file("/a")
+        service.bind(name, SYS)
+        assert service.resolve(name) == SYS
+
+    def test_duplicate_bind_rejected(self, service):
+        name = AttributedName.file("/a")
+        service.bind(name, SYS)
+        with pytest.raises(NameExistsError):
+            service.bind(name, SYS2)
+
+    def test_rebind_replaces(self, service):
+        name = AttributedName.file("/a")
+        service.bind(name, SYS)
+        service.rebind(name, SYS2)
+        assert service.resolve(name) == SYS2
+
+    def test_unbind(self, service):
+        name = AttributedName.file("/a")
+        service.bind(name, SYS)
+        assert service.unbind(name) == SYS
+        with pytest.raises(NameNotFoundError):
+            service.resolve(name)
+
+    def test_unbind_missing(self, service):
+        with pytest.raises(NameNotFoundError):
+            service.unbind(AttributedName.file("/missing"))
+
+    def test_file_names_must_bind_system_names(self, service):
+        with pytest.raises(NamingError):
+            service.bind(AttributedName.file("/a"), "a-device")
+
+    def test_tty_names_must_bind_device_strings(self, service):
+        with pytest.raises(NamingError):
+            service.bind(AttributedName.tty("kbd"), SYS)
+
+    def test_container_protocol(self, service):
+        name = AttributedName.file("/a")
+        assert name not in service
+        service.bind(name, SYS)
+        assert name in service
+        assert len(service) == 1
+
+
+class TestResolution:
+    def test_subset_resolution(self, service):
+        """The point of attributed naming: partial queries resolve."""
+        service.bind(AttributedName.file("/a", owner="raj", lang="en"), SYS)
+        assert service.resolve(AttributedName.file(owner="raj")) == SYS
+
+    def test_ambiguous_subset_is_an_error(self, service):
+        service.bind(AttributedName.file("/a", owner="raj"), SYS)
+        service.bind(AttributedName.file("/b", owner="raj"), SYS2)
+        with pytest.raises(NamingError, match="ambiguous"):
+            service.resolve(AttributedName.file(owner="raj"))
+
+    def test_exact_match_beats_ambiguity(self, service):
+        exact = AttributedName.file(owner="raj")
+        service.bind(exact, SYS)
+        service.bind(AttributedName.file("/b", owner="raj"), SYS2)
+        assert service.resolve(exact) == SYS
+
+    def test_resolve_file_type_checks(self, service):
+        service.bind(AttributedName.tty("kbd"), "m0:kbd")
+        with pytest.raises(NamingError):
+            service.resolve_file(AttributedName.tty("kbd"))
+
+    def test_lookup_returns_all_matches(self, service):
+        service.bind(AttributedName.file("/a", owner="raj"), SYS)
+        service.bind(AttributedName.file("/b", owner="raj"), SYS2)
+        matches = service.lookup(AttributedName.file(owner="raj"))
+        assert len(matches) == 2
+
+
+class TestPathHelpers:
+    def test_bind_and_resolve_path(self, service):
+        service.bind_path("/docs/readme.md", SYS)
+        assert service.resolve_path("/docs/readme.md") == SYS
+
+    def test_path_normalisation(self, service):
+        service.bind_path("docs//x", SYS)
+        assert service.resolve_path("/docs/x") == SYS
+
+    def test_unbind_path(self, service):
+        service.bind_path("/a/b", SYS, owner="raj")
+        assert service.unbind_path("/a/b") == SYS
+
+    def test_list_directory(self, service):
+        service.bind_path("/docs/a.txt", SYS)
+        service.bind_path("/docs/sub/b.txt", SYS2)
+        service.bind_path("/other/c.txt", SystemName(0, 300, 1))
+        assert service.list_directory("/docs") == ["a.txt", "sub"]
+
+
+class TestPersistence:
+    def test_round_trip(self, service):
+        service.bind(AttributedName.file("/a", owner="raj"), SYS)
+        service.bind(AttributedName.tty("kbd"), "m0:kbd")
+        restored = NamingService.from_bytes(service.to_bytes())
+        assert restored.resolve(AttributedName.file("/a", owner="raj")) == SYS
+        assert restored.resolve(AttributedName.tty("kbd")) == "m0:kbd"
+        assert len(restored) == 2

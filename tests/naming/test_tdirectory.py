@@ -1,0 +1,135 @@
+"""Transactional directories: atomic multi-entry namespace updates."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import RhodosCluster
+from repro.common.errors import (
+    DiskCrashedError,
+    NameExistsError,
+    NameNotFoundError,
+)
+from repro.naming.tdirectory import TransactionalDirectory
+from repro.simdisk.geometry import DiskGeometry
+
+
+@pytest.fixture
+def cluster():
+    return RhodosCluster(ClusterConfig(geometry=DiskGeometry.medium()))
+
+
+@pytest.fixture
+def tdir(cluster):
+    return TransactionalDirectory(
+        cluster.directories, cluster.machine.transactions
+    )
+
+
+class TestBasics:
+    def test_mkdir_and_create(self, cluster, tdir):
+        tdir.mkdir("/projects")
+        target = tdir.create_file("/projects/paper")
+        assert cluster.directories.resolve("/projects/paper") == target
+
+    def test_plain_service_sees_committed_changes(self, cluster, tdir):
+        tdir.mkdir("/a")
+        entries = cluster.directories.list_directory("/")
+        assert [e.name for e in entries] == ["a"]
+
+    def test_unlink_and_rmdir(self, cluster, tdir):
+        tdir.mkdir("/d")
+        tdir.create_file("/d/f")
+        tdir.unlink("/d/f")
+        tdir.rmdir("/d")
+        assert cluster.directories.list_directory("/") == []
+
+    def test_rename_across_directories(self, cluster, tdir):
+        tdir.mkdir("/src")
+        tdir.mkdir("/dst")
+        tdir.create_file("/src/f")
+        tdir.rename("/src/f", "/dst/g")
+        assert not cluster.directories.exists("/src/f")
+        assert cluster.directories.exists("/dst/g")
+
+    def test_rename_within_directory(self, cluster, tdir):
+        tdir.create_file("/old")
+        tdir.rename("/old", "/new")
+        assert cluster.directories.exists("/new")
+        assert not cluster.directories.exists("/old")
+
+    def test_duplicate_rejected(self, tdir):
+        tdir.create_file("/f")
+        with pytest.raises(NameExistsError):
+            tdir.create_file("/f")
+
+    def test_missing_rejected(self, tdir):
+        with pytest.raises(NameNotFoundError):
+            tdir.unlink("/ghost")
+
+
+class TestAtomicity:
+    def test_failed_batch_leaves_no_trace(self, cluster, tdir):
+        """An exception inside the batch aborts everything."""
+        tdir.mkdir("/a")
+        with pytest.raises(RuntimeError):
+            with tdir.transaction() as view:
+                view.create_file("/a/one")
+                view.create_file("/a/two")
+                raise RuntimeError("business logic failed")
+        assert cluster.directories.list_directory("/a") == []
+
+    def test_batch_commits_together(self, cluster, tdir):
+        with tdir.transaction() as view:
+            view.mkdir("/batch")
+            view.create_file("/batch/x")
+            view.write_file("/batch/x", 0, b"payload")
+            view.rename("/batch/x", "/batch/y")
+            # Inside the transaction the view sees its own state...
+            assert [e.name for e in view.list_directory("/batch")] == ["y"]
+            # ...while the outside world sees nothing yet.
+            assert not cluster.directories.exists("/batch")
+        resolved = cluster.directories.resolve("/batch/y")
+        assert cluster.file_servers[0].read(resolved, 0, 7) == b"payload"
+
+    @pytest.mark.parametrize("crash_at_write", range(1, 10))
+    def test_rename_is_crash_atomic(self, crash_at_write):
+        """Crash at every commit write position during a cross-directory
+        rename: afterwards the entry exists in exactly one place."""
+        cluster = RhodosCluster(ClusterConfig(geometry=DiskGeometry.medium()))
+        tdir = TransactionalDirectory(
+            cluster.directories, cluster.machine.transactions
+        )
+        tdir.mkdir("/src")
+        tdir.mkdir("/dst")
+        tdir.create_file("/src/f")
+        cluster.disks[0].faults.crash_after_writes(crash_at_write)
+        try:
+            tdir.rename("/src/f", "/dst/f")
+        except DiskCrashedError:
+            pass
+        cluster.disks[0].repair()
+        cluster.coordinator.recover_volume(0)
+        in_src = cluster.directories.exists("/src/f")
+        in_dst = cluster.directories.exists("/dst/f")
+        assert in_src != in_dst, (
+            f"crash at write {crash_at_write}: entry in src={in_src}, "
+            f"dst={in_dst} — rename was not atomic"
+        )
+
+    def test_concurrent_mutators_serialise(self, cluster, tdir):
+        """A second transaction touching the same directory blocks."""
+        from repro.simkernel.runner import LockWaitPending
+
+        host = cluster.machine.transactions
+        tdir.mkdir("/shared")
+        tid = host.tbegin()
+        from repro.naming.tdirectory import _TxnView
+
+        view = _TxnView(tdir, tid)
+        view.create_file("/shared/first")
+        other = host.tbegin()
+        other_view = _TxnView(tdir, other)
+        with pytest.raises(LockWaitPending):
+            other_view.create_file("/shared/second")
+        host.tend(tid)
+        host.tabort(other)

@@ -1,0 +1,148 @@
+"""The replication service: read-one/write-all, failover, resync."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ReplicationError
+from repro.common.metrics import Metrics
+from repro.naming.attributed import AttributedName
+from repro.naming.service import NamingService
+from repro.replication.service import ReplicationService
+from tests.conftest import build_file_server
+
+NAME = AttributedName.file("/replicated/data")
+
+
+def build(n_volumes=3, degree=3):
+    clock, metrics = SimClock(), Metrics()
+    servers = {
+        volume: build_file_server(clock, metrics, volume_id=volume)
+        for volume in range(n_volumes)
+    }
+    naming = NamingService(metrics)
+    service = ReplicationService(
+        naming, servers, clock, metrics, default_degree=degree
+    )
+    return service, servers, naming, metrics
+
+
+class TestCreateReadWrite:
+    def test_create_places_replicas_on_distinct_volumes(self):
+        service, servers, _, _ = build()
+        replica_set = service.create(NAME)
+        assert replica_set.degree == 3
+        volumes = {replica.volume_id for replica in replica_set.replicas}
+        assert len(volumes) == 3
+
+    def test_degree_cannot_exceed_volumes(self):
+        service, _, _, _ = build(n_volumes=2, degree=2)
+        with pytest.raises(ReplicationError):
+            service.create(NAME, degree=5)
+
+    def test_write_all_read_one(self):
+        service, servers, _, metrics = build()
+        replica_set = service.create(NAME)
+        service.write(NAME, 0, b"replicated!")
+        assert metrics.get("replication.replica_writes") == 3
+        assert service.read(NAME, 0, 11) == b"replicated!"
+        # Every replica holds the data independently.
+        for replica in replica_set.replicas:
+            assert servers[replica.volume_id].read(replica, 0, 11) == b"replicated!"
+
+    def test_get_attribute(self):
+        service, _, _, _ = build()
+        service.create(NAME)
+        service.write(NAME, 0, b"12345")
+        assert service.get_attribute(NAME).file_size == 5
+
+    def test_delete_removes_all_replicas(self):
+        service, servers, naming, _ = build()
+        replica_set = service.create(NAME)
+        replicas = list(replica_set.replicas)
+        service.delete(NAME)
+        for replica in replicas:
+            assert not servers[replica.volume_id].exists(replica)
+        assert len(naming) == 0
+
+    def test_lookup_unknown_name(self):
+        service, _, _, _ = build()
+        with pytest.raises(ReplicationError):
+            service.read(AttributedName.file("/nope"), 0, 1)
+
+    def test_lookup_rebuilds_from_naming(self):
+        """A fresh service instance recovers replica sets from naming."""
+        service, servers, naming, metrics = build()
+        service.create(NAME)
+        service.write(NAME, 0, b"persisted")
+        fresh = ReplicationService(
+            naming, servers, SimClock(), Metrics(), default_degree=3
+        )
+        assert fresh.read(NAME, 0, 9) == b"persisted"
+
+
+class TestFailover:
+    def test_read_fails_over_when_primary_crashes(self):
+        service, servers, _, metrics = build()
+        service.create(NAME)
+        service.write(NAME, 0, b"survives")
+        servers[0].crash()
+        assert service.read(NAME, 0, 8) == b"survives"
+        assert metrics.get("replication.failovers") >= 1
+        assert service.live_replicas(NAME) == 2
+
+    def test_write_continues_on_survivors(self):
+        service, servers, _, _ = build()
+        replica_set = service.create(NAME)
+        servers[1].crash()
+        service.write(NAME, 0, b"partial write-all")
+        assert service.read(NAME, 0, 17) == b"partial write-all"
+        assert service.live_replicas(NAME) == 2
+
+    def test_all_replicas_down_is_an_error(self):
+        service, servers, _, _ = build()
+        service.create(NAME)
+        service.write(NAME, 0, b"x")
+        for server in servers.values():
+            server.crash()
+        with pytest.raises(ReplicationError):
+            service.read(NAME, 0, 1)
+
+    def test_single_volume_degree_one_still_works(self):
+        service, _, _, _ = build(n_volumes=1, degree=1)
+        service.create(NAME)
+        service.write(NAME, 0, b"solo")
+        assert service.read(NAME, 0, 4) == b"solo"
+
+
+class TestResync:
+    def test_resync_repairs_stale_replica(self):
+        service, servers, _, _ = build()
+        service.create(NAME)
+        service.write(NAME, 0, b"v1")
+        servers[0].crash()
+        service.write(NAME, 0, b"v2")  # volume 0 misses this write
+        servers[0].disk.disk.repair()
+        servers[0].recover()
+        repaired = service.resync(NAME)
+        assert repaired == 1
+        assert service.live_replicas(NAME) == 3
+        # Force reading from volume 0's replica: others crash.
+        servers[1].crash()
+        servers[2].crash()
+        assert service.read(NAME, 0, 2) == b"v2"
+
+    def test_resync_noop_when_healthy(self):
+        service, _, _, _ = build()
+        service.create(NAME)
+        assert service.resync(NAME) == 0
+
+    def test_availability_improves_with_degree(self):
+        """The point of the replication layer: degree-k tolerates k-1
+        volume crashes."""
+        for degree in (1, 2, 3):
+            service, servers, _, _ = build(degree=degree)
+            service.create(NAME, degree=degree)
+            service.write(NAME, 0, b"data")
+            for volume in range(degree - 1):
+                servers[volume].crash()
+            assert service.read(NAME, 0, 4) == b"data"

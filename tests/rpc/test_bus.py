@@ -1,0 +1,101 @@
+"""The message bus: latency, loss, duplication, downed endpoints."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import RpcError
+from repro.common.metrics import Metrics
+from repro.rpc.bus import FaultProfile, MessageBus
+
+
+def build(profile=None, seed=0):
+    clock, metrics = SimClock(), Metrics()
+    bus = MessageBus(clock, metrics, profile, seed=seed)
+    return bus, clock, metrics
+
+
+class TestFaultProfile:
+    def test_reliable_default(self):
+        profile = FaultProfile.reliable()
+        assert profile.request_loss == 0.0
+        assert profile.duplication == 0.0
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultProfile(request_loss=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(latency_us=-1)
+
+
+class TestTransmit:
+    def test_round_trip_charges_two_latencies(self):
+        bus, clock, _ = build(FaultProfile(latency_us=300))
+        bus.register("srv", lambda op, payload: payload * 2)
+        arrived, reply = bus.transmit("srv", "double", 21)
+        assert arrived and reply == 42
+        assert clock.now_us == 600
+
+    def test_unknown_endpoint(self):
+        bus, _, _ = build()
+        with pytest.raises(RpcError):
+            bus.transmit("ghost", "op", None)
+
+    def test_duplicate_registration_rejected(self):
+        bus, _, _ = build()
+        bus.register("srv", lambda op, payload: None)
+        with pytest.raises(RpcError):
+            bus.register("srv", lambda op, payload: None)
+
+    def test_down_endpoint_loses_requests(self):
+        bus, _, metrics = build()
+        executed = []
+        bus.register("srv", lambda op, payload: executed.append(payload))
+        bus.set_down("srv")
+        arrived, _ = bus.transmit("srv", "op", 1)
+        assert not arrived
+        assert executed == []
+        bus.set_down("srv", False)
+        arrived, _ = bus.transmit("srv", "op", 2)
+        assert arrived
+        assert executed == [2]
+
+
+class TestFaults:
+    def test_request_loss_prevents_execution(self):
+        bus, _, metrics = build(FaultProfile(request_loss=0.999), seed=7)
+        executed = []
+        bus.register("srv", lambda op, payload: executed.append(1))
+        arrived, _ = bus.transmit("srv", "op", None)
+        assert not arrived
+        assert executed == []
+        assert metrics.get("rpc.requests_lost") == 1
+
+    def test_reply_loss_still_executes(self):
+        """The dangerous case: the server executed, the client never
+        hears — exactly what idempotency must absorb."""
+        bus, _, metrics = build(FaultProfile(reply_loss=0.999), seed=3)
+        executed = []
+        bus.register("srv", lambda op, payload: executed.append(1))
+        arrived, _ = bus.transmit("srv", "op", None)
+        assert not arrived
+        assert executed == [1]
+        assert metrics.get("rpc.replies_lost") == 1
+
+    def test_duplication_executes_twice(self):
+        bus, _, metrics = build(FaultProfile(duplication=0.999), seed=5)
+        executed = []
+        bus.register("srv", lambda op, payload: executed.append(1))
+        arrived, _ = bus.transmit("srv", "op", None)
+        assert arrived
+        assert executed == [1, 1]
+        assert metrics.get("rpc.duplicated_executions") == 1
+
+    def test_seeded_runs_are_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            bus, _, _ = build(FaultProfile(request_loss=0.5), seed=11)
+            bus.register("srv", lambda op, payload: None)
+            outcomes.append(
+                [bus.transmit("srv", "op", None)[0] for _ in range(20)]
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,68 @@
+"""The fault injector's own contract."""
+
+import pytest
+
+from repro.simdisk.faults import FaultInjector
+
+
+class TestCrashControl:
+    def test_starts_quiescent(self):
+        injector = FaultInjector()
+        assert not injector.crashed
+        assert injector.note_write(4) is None
+
+    def test_crash_now(self):
+        injector = FaultInjector()
+        injector.crash_now()
+        assert injector.crashed
+        assert injector.note_write(4) == 0  # nothing reaches the platter
+
+    def test_repair_resets(self):
+        injector = FaultInjector()
+        injector.crash_after_writes(1)
+        injector.note_write(4)
+        assert injector.crashed
+        injector.repair()
+        assert not injector.crashed
+        assert injector.note_write(4) is None  # schedule cleared too
+
+    def test_crash_after_writes_counts(self):
+        injector = FaultInjector()
+        injector.crash_after_writes(3)
+        assert injector.note_write(1) is None
+        assert injector.note_write(1) is None
+        survivors = injector.note_write(10)
+        assert survivors is not None and 0 <= survivors <= 10
+        assert injector.crashed
+
+    def test_torn_write_is_a_prefix(self):
+        for seed in range(5):
+            injector = FaultInjector(seed=seed)
+            injector.crash_after_writes(1)
+            survivors = injector.note_write(8)
+            assert 0 <= survivors <= 8
+
+    def test_crash_point_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector().crash_after_writes(0)
+
+    def test_deterministic_with_seed(self):
+        results = []
+        for _ in range(2):
+            injector = FaultInjector(seed=9)
+            injector.crash_after_writes(1)
+            results.append(injector.note_write(16))
+        assert results[0] == results[1]
+
+
+class TestBadSectors:
+    def test_mark_and_heal(self):
+        injector = FaultInjector()
+        injector.mark_bad(7)
+        assert injector.is_bad(7)
+        assert not injector.is_bad(8)
+        injector.heal(7)
+        assert not injector.is_bad(7)
+
+    def test_heal_unknown_is_noop(self):
+        FaultInjector().heal(99)

@@ -1,0 +1,66 @@
+"""Disk geometry mappings."""
+
+import pytest
+
+from repro.common.errors import BadAddressError
+from repro.simdisk.geometry import DiskGeometry
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(cylinders=4, heads=2, sectors_per_track=8)
+
+
+class TestSizes:
+    def test_totals(self, geometry):
+        assert geometry.sectors_per_cylinder == 16
+        assert geometry.total_sectors == 64
+        assert geometry.total_tracks == 8
+        assert geometry.capacity_bytes == 64 * 512
+
+    def test_presets_are_plausible(self):
+        assert DiskGeometry.small().capacity_bytes == 64 * 1024 * 1024
+        assert DiskGeometry.medium().capacity_bytes == 1024 * 1024 * 1024
+        assert DiskGeometry.large().capacity_bytes == 8 * 1024 * 1024 * 1024
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(cylinders=0, heads=1, sectors_per_track=1)
+
+    def test_sector_size_fixed(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(cylinders=1, heads=1, sectors_per_track=1, sector_size=4096)
+
+
+class TestMappings:
+    def test_cylinder_of(self, geometry):
+        assert geometry.cylinder_of(0) == 0
+        assert geometry.cylinder_of(15) == 0
+        assert geometry.cylinder_of(16) == 1
+        assert geometry.cylinder_of(63) == 3
+
+    def test_track_of(self, geometry):
+        assert geometry.track_of(0) == 0
+        assert geometry.track_of(7) == 0
+        assert geometry.track_of(8) == 1
+        assert geometry.track_of(63) == 7
+
+    def test_track_bounds(self, geometry):
+        assert geometry.track_bounds(0) == (0, 8)
+        assert geometry.track_bounds(7) == (56, 64)
+
+    def test_track_bounds_out_of_range(self, geometry):
+        with pytest.raises(BadAddressError):
+            geometry.track_bounds(8)
+
+    def test_rotational_position(self, geometry):
+        assert geometry.rotational_position(0) == 0
+        assert geometry.rotational_position(9) == 1
+        assert geometry.rotational_position(15) == 7
+
+    def test_check_sector_bounds(self, geometry):
+        with pytest.raises(BadAddressError):
+            geometry.check_sector(64)
+        with pytest.raises(BadAddressError):
+            geometry.check_sector(-1)
+        geometry.check_sector(63)  # no raise

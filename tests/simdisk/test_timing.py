@@ -1,0 +1,106 @@
+"""The seek + rotation + transfer service-time model."""
+
+import pytest
+
+from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.timing import DiskTimingModel
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(cylinders=100, heads=2, sectors_per_track=10)
+
+
+@pytest.fixture
+def timing():
+    return DiskTimingModel(
+        seek_settle_us=1000,
+        seek_per_cylinder_us=100,
+        rotation_time_us=10_000,
+        head_switch_us=500,
+        controller_overhead_us=100,
+    )
+
+
+class TestSeek:
+    def test_no_seek_when_on_cylinder(self, timing):
+        assert timing.seek_time_us(5, 5) == 0.0
+
+    def test_seek_grows_with_distance(self, timing):
+        near = timing.seek_time_us(0, 1)
+        far = timing.seek_time_us(0, 81)
+        assert far > near
+        # Square-root model: 81x the distance is 9x the variable part.
+        assert far - 1000 == pytest.approx(9 * (near - 1000))
+
+    def test_seek_symmetric(self, timing):
+        assert timing.seek_time_us(10, 50) == timing.seek_time_us(50, 10)
+
+
+class TestRotation:
+    def test_slot_time(self, timing, geometry):
+        assert timing.slot_time_us(geometry) == 1000.0
+
+    def test_latency_to_next_slot(self, timing, geometry):
+        assert timing.rotational_latency_us(geometry, 0.0, 3) == 3000.0
+
+    def test_latency_wraps_around(self, timing, geometry):
+        assert timing.rotational_latency_us(geometry, 7.0, 2) == 5000.0
+
+    def test_latency_zero_when_under_head(self, timing, geometry):
+        assert timing.rotational_latency_us(geometry, 4.0, 4) == 0.0
+
+
+class TestServiceTime:
+    def test_single_sector(self, timing, geometry):
+        elapsed, cylinder, angular = timing.service_time_us(geometry, 0, 0.0, 0, 1)
+        # overhead + no seek + no latency + 1 slot transfer
+        assert elapsed == pytest.approx(100 + 0 + 0 + 1000)
+        assert cylinder == 0
+        assert angular == 1.0
+
+    def test_large_contiguous_transfer_amortises_overhead(self, timing, geometry):
+        """The paper's core effect: per-byte cost falls with transfer size."""
+        one, _, _ = timing.service_time_us(geometry, 50, 0.0, 0, 1)
+        ten, _, _ = timing.service_time_us(geometry, 50, 0.0, 0, 10)
+        assert ten < 10 * one
+
+    def test_track_crossing_charges_head_switch(self, timing, geometry):
+        # Sectors 5..14 cross track 0 -> 1 within cylinder 0:
+        # overhead + rotate to slot 5 + 10 slots transfer + head switch.
+        crossing, _, _ = timing.service_time_us(geometry, 0, 0.0, 5, 10)
+        assert crossing == pytest.approx(100 + 5000 + 10 * 1000 + 500)
+
+    def test_cylinder_crossing_charges_seek(self, timing, geometry):
+        # Sectors 15..24 span cylinder 0 -> 1 (20 sectors per cylinder).
+        elapsed, cylinder, _ = timing.service_time_us(geometry, 0, 0.0, 15, 10)
+        base, _, _ = timing.service_time_us(geometry, 0, 0.0, 15, 5)
+        assert cylinder == 1
+        assert elapsed > base + 5 * 1000  # extra includes the seek
+
+    def test_head_state_carries(self, timing, geometry):
+        _, cylinder, angular = timing.service_time_us(geometry, 0, 0.0, 25, 3)
+        assert cylinder == 1
+        assert angular == pytest.approx((5 + 3) % 10)
+
+    def test_rejects_empty_request(self, timing, geometry):
+        with pytest.raises(ValueError):
+            timing.service_time_us(geometry, 0, 0.0, 0, 0)
+
+    def test_sequential_requests_cheaper_than_random(self, timing, geometry):
+        """Sequential access avoids seeks; random pays them."""
+        sequential = 0.0
+        cylinder, angular = 0, 0.0
+        for index in range(5):
+            elapsed, cylinder, angular = timing.service_time_us(
+                geometry, cylinder, angular, index * 2, 2
+            )
+            sequential += elapsed
+        scattered = 0.0
+        cylinder, angular = 0, 0.0
+        for index in range(5):
+            elapsed, cylinder, angular = timing.service_time_us(
+                geometry, cylinder, angular, (index * 397) % 1990, 2
+            )
+            scattered += elapsed
+        assert sequential < scattered

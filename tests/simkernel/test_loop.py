@@ -1,0 +1,83 @@
+"""The deterministic event loop."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.simkernel.loop import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(SimClock())
+
+
+class TestEventLoop:
+    def test_call_later_fires_in_order(self, loop):
+        fired = []
+        loop.call_later(200, lambda: fired.append("b"))
+        loop.call_later(100, lambda: fired.append("a"))
+        loop.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_ties_fire_in_scheduling_order(self, loop):
+        fired = []
+        loop.call_at(50, lambda: fired.append(1))
+        loop.call_at(50, lambda: fired.append(2))
+        loop.run_until_idle()
+        assert fired == [1, 2]
+
+    def test_clock_advances_to_event_time(self, loop):
+        loop.call_later(300, lambda: None)
+        loop.run_until_idle()
+        assert loop.clock.now_us == 300
+
+    def test_cancel(self, loop):
+        fired = []
+        handle = loop.call_later(10, lambda: fired.append("x"))
+        loop.cancel(handle)
+        assert loop.run_until_idle() == 0
+        assert fired == []
+
+    def test_next_event_time(self, loop):
+        loop.call_later(70, lambda: None)
+        assert loop.next_event_time() == 70
+
+    def test_next_event_time_skips_cancelled(self, loop):
+        handle = loop.call_later(10, lambda: None)
+        loop.call_later(90, lambda: None)
+        loop.cancel(handle)
+        assert loop.next_event_time() == 90
+
+    def test_past_deadline_clamped_to_now(self, loop):
+        loop.clock.advance_us(1000)
+        fired = []
+        loop.call_at(5, lambda: fired.append("late"))
+        loop.run_due()
+        assert fired == ["late"]
+
+    def test_events_scheduling_events(self, loop):
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.call_later(10, lambda: fired.append("second"))
+
+        loop.call_later(5, first)
+        loop.run_until_idle()
+        assert fired == ["first", "second"]
+        assert loop.clock.now_us == 15
+
+    def test_run_due_only_runs_due(self, loop):
+        fired = []
+        loop.call_at(0, lambda: fired.append("now"))
+        loop.call_at(500, lambda: fired.append("later"))
+        loop.run_due()
+        assert fired == ["now"]
+
+    def test_runaway_guard(self, loop):
+        def reschedule():
+            loop.call_later(1, reschedule)
+
+        loop.call_later(1, reschedule)
+        with pytest.raises(RuntimeError):
+            loop.run_until_idle(max_events=100)

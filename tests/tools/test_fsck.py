@@ -1,0 +1,128 @@
+"""The volume checker: clean volumes pass, every corruption is found."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics
+from repro.common.units import BLOCK_SIZE
+from repro.disk_service.addresses import Extent
+from repro.tools.fsck import fsck_volume
+from tests.conftest import build_file_server
+
+
+@pytest.fixture
+def server():
+    return build_file_server(SimClock(), Metrics())
+
+
+def make_files(server, count=5, blocks=3):
+    names = []
+    for index in range(count):
+        name = server.create()
+        server.write(name, 0, bytes([index + 1]) * (blocks * BLOCK_SIZE))
+        names.append(name)
+    server.flush()
+    return names
+
+
+class TestCleanVolume:
+    def test_empty_volume_is_clean(self, server):
+        report = fsck_volume(server)
+        assert report.clean
+        assert report.files_found == 0
+
+    def test_populated_volume_is_clean(self, server):
+        make_files(server)
+        report = fsck_volume(server)
+        assert report.clean, report.errors
+        assert report.files_found == 5
+        # 3 written blocks per file plus any growth-batch preallocation.
+        assert report.blocks_referenced >= 15
+        assert report.orphaned_fragments == 0
+
+    def test_after_deletes_still_clean(self, server):
+        names = make_files(server)
+        server.delete(names[2])
+        server.flush()
+        report = fsck_volume(server)
+        assert report.clean
+        assert report.files_found == 4
+
+    def test_indirect_files_walked(self, server):
+        name = server.create()
+        server.write(name, 0, b"\x33" * (70 * BLOCK_SIZE))  # past direct
+        server.flush()
+        report = fsck_volume(server)
+        assert report.clean, report.errors
+        assert report.blocks_referenced >= 70
+
+    def test_summary_format(self, server):
+        make_files(server, count=2, blocks=1)
+        summary = fsck_volume(server).summary()
+        assert "CLEAN" in summary
+        assert "2 files" in summary
+
+
+class TestCorruptionDetection:
+    def test_lost_block_detected(self, server):
+        [name] = make_files(server, count=1)
+        descriptor = server.block_descriptor(name, 1)
+        server.disk.free(Extent.for_block_run(descriptor.address, 1))
+        report = fsck_volume(server)
+        assert not report.clean
+        assert any("lost block" in error for error in report.errors)
+
+    def test_cross_linked_files_detected(self, server):
+        name_a, name_b = make_files(server, count=2)
+        stolen = server.block_descriptor(name_a, 0)
+        old = server.replace_block_descriptor(name_b, 0, stolen.address)
+        server.disk.free(Extent.for_block_run(old, 1))
+        server.flush()
+        report = fsck_volume(server)
+        assert any("cross-linked" in error for error in report.errors)
+
+    def test_size_beyond_map_detected(self, server):
+        [name] = make_files(server, count=1, blocks=1)
+        server.set_file_size_at_least(name, 50 * BLOCK_SIZE)
+        server.flush()
+        report = fsck_volume(server)
+        assert any("exceeds the mapped area" in error for error in report.errors)
+
+    def test_orphaned_space_warned(self, server):
+        make_files(server, count=1)
+        server.disk.allocate(8)  # leak: allocated, never referenced
+        report = fsck_volume(server)
+        assert report.clean  # a warning, not an error
+        assert report.orphaned_fragments == 8
+
+    def test_stale_counts_warned(self, server):
+        [name] = make_files(server, count=1, blocks=4)
+        fit = server.load_fit(name)
+        from repro.file_service.fit import BlockDescriptor
+
+        # Corrupt the stored count without moving the block.
+        fit.direct[0] = BlockDescriptor(fit.direct[0].address, 1)
+        state = server._files[name.fit_address]
+        state.fit_dirty = True
+        server._store_fit(name.fit_address, state)
+        report = fsck_volume(server)
+        assert any("stale contiguity count" in w for w in report.warnings)
+
+
+class TestDoubleIndirect:
+    def test_double_indirect_file_is_clean(self, server):
+        from repro.file_service.fit import (
+            DESCRIPTORS_PER_INDIRECT,
+            DIRECT_DESCRIPTORS,
+            SINGLE_INDIRECT_SLOTS,
+        )
+
+        boundary = (
+            DIRECT_DESCRIPTORS + SINGLE_INDIRECT_SLOTS * DESCRIPTORS_PER_INDIRECT
+        )
+        name = server.create()
+        server.write(name, boundary * BLOCK_SIZE, b"deep" * 2048)
+        server.flush()
+        report = fsck_volume(server)
+        assert report.clean, report.errors
+        assert report.orphaned_fragments == 0

@@ -1,0 +1,68 @@
+"""The report generator's parsing and rendering (no subprocess)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.report import extract_tables, find_benchmarks_dir, render_markdown
+
+SAMPLE_OUTPUT = """
+some pytest noise
+=== E1  Cold whole-file read ===
+file size  refs
+---------------
+2 KB       1
+512 KB     2
+.
+=== T1  Table 1 ===
+held  req
+---------
+None  ok
+.
+
+---------------------------------------- benchmark: 2 tests ----------
+test_e1  1.0
+"""
+
+
+class TestExtractTables:
+    def test_finds_every_table(self):
+        tables = extract_tables(SAMPLE_OUTPUT)
+        titles = [title for title, _ in tables]
+        assert titles == ["E1  Cold whole-file read", "T1  Table 1"]
+
+    def test_table_lines_preserved(self):
+        tables = dict(extract_tables(SAMPLE_OUTPUT))
+        lines = tables["E1  Cold whole-file read"]
+        assert "file size  refs" in lines
+        assert "512 KB     2" in lines
+
+    def test_pytest_progress_dots_excluded(self):
+        tables = dict(extract_tables(SAMPLE_OUTPUT))
+        for lines in tables.values():
+            assert "." not in lines
+            assert "F" not in lines
+
+    def test_empty_output(self):
+        assert extract_tables("nothing here") == []
+
+
+class TestRenderMarkdown:
+    def test_renders_sorted_sections(self):
+        markdown = render_markdown(
+            [("Z last", ["row"]), ("A first", ["row1", "row2"])]
+        )
+        assert markdown.index("## A first") < markdown.index("## Z last")
+        assert "```" in markdown
+        assert "row1" in markdown
+
+    def test_header_present(self):
+        markdown = render_markdown([("T", ["x"])])
+        assert markdown.startswith("# RHODOS DFF")
+
+
+class TestDiscovery:
+    def test_finds_repo_benchmarks(self):
+        directory = find_benchmarks_dir()
+        assert directory.name == "benchmarks"
+        assert any(directory.glob("bench_*.py"))

@@ -1,0 +1,126 @@
+"""Property tests: lock-manager invariants under random schedules.
+
+Whatever sequence of acquires and releases arrives, the manager must
+never grant two incompatible locks on overlapping data to different
+transactions, and every waiter must eventually be served once holders
+drain (no lost wakeups).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.common.ids import SystemName
+from repro.common.metrics import Metrics
+from repro.transactions.lock_manager import AcquireResult, LockManager
+from repro.transactions.locks import LockMode, locks_compatible, record_item
+from repro.transactions.transaction import Transaction, TransactionPhase
+
+NAME = SystemName(0, 1, 1)
+MODES = [LockMode.RO, LockMode.IR, LockMode.IW]
+
+
+@st.composite
+def schedules(draw):
+    n_transactions = draw(st.integers(min_value=2, max_value=6))
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["acquire", "release"]))
+        txn_index = draw(st.integers(min_value=0, max_value=n_transactions - 1))
+        if kind == "acquire":
+            lo = draw(st.integers(min_value=0, max_value=80))
+            length = draw(st.integers(min_value=1, max_value=40))
+            mode = draw(st.sampled_from(MODES))
+            ops.append(("acquire", txn_index, lo, length, mode))
+        else:
+            ops.append(("release", txn_index, 0, 0, None))
+    return n_transactions, ops
+
+
+def check_no_incompatible_grants(manager: LockManager) -> None:
+    for table in manager.tables.values():
+        granted = table.all_granted()
+        for i, a in enumerate(granted):
+            for b in granted[i + 1 :]:
+                if a.tid == b.tid or not a.item.conflicts_with(b.item):
+                    continue
+                # At least one direction must be a compatible share;
+                # RO+RO and RO+single-IR are the only legal overlaps.
+                legal = (
+                    locks_compatible(a.mode, b.mode)
+                    or locks_compatible(b.mode, a.mode)
+                )
+                assert legal, (
+                    f"incompatible grants coexist: txn {a.tid} {a.mode} and "
+                    f"txn {b.tid} {b.mode} on overlapping items"
+                )
+
+
+class TestLockManagerInvariants:
+    @given(schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_never_two_incompatible_grants(self, schedule):
+        n_transactions, ops = schedule
+        manager = LockManager(SimClock(), Metrics())
+        transactions = [
+            Transaction(tid=index + 1, machine_id="m", process_id=0)
+            for index in range(n_transactions)
+        ]
+        for kind, txn_index, lo, length, mode in ops:
+            transaction = transactions[txn_index]
+            if kind == "acquire":
+                if transaction.phase is TransactionPhase.LOCKING:
+                    manager.acquire(
+                        transaction, record_item(NAME, lo, length), mode
+                    )
+            else:
+                manager.release_all(transaction)
+            check_no_incompatible_grants(manager)
+
+    @given(schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_draining_all_holders_serves_every_live_waiter_eventually(
+        self, schedule
+    ):
+        """Release every transaction one by one: afterwards no waiting
+        records can remain (no lost wakeups)."""
+        n_transactions, ops = schedule
+        manager = LockManager(SimClock(), Metrics())
+        transactions = [
+            Transaction(tid=index + 1, machine_id="m", process_id=0)
+            for index in range(n_transactions)
+        ]
+        for kind, txn_index, lo, length, mode in ops:
+            transaction = transactions[txn_index]
+            if kind == "acquire":
+                manager.acquire(transaction, record_item(NAME, lo, length), mode)
+            else:
+                manager.release_all(transaction)
+        for transaction in transactions:
+            manager.release_all(transaction)
+        for table in manager.tables.values():
+            assert table.all_waiting() == []
+            assert table.all_granted() == []
+
+    @given(schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_ro_overlaps_never_include_two_ir(self, schedule):
+        """The single-IR rule holds at every step."""
+        n_transactions, ops = schedule
+        manager = LockManager(SimClock(), Metrics())
+        transactions = [
+            Transaction(tid=index + 1, machine_id="m", process_id=0)
+            for index in range(n_transactions)
+        ]
+        for kind, txn_index, lo, length, mode in ops:
+            transaction = transactions[txn_index]
+            if kind == "acquire":
+                manager.acquire(transaction, record_item(NAME, lo, length), mode)
+            else:
+                manager.release_all(transaction)
+            for table in manager.tables.values():
+                granted = [r for r in table.all_granted() if r.mode is LockMode.IR]
+                for i, a in enumerate(granted):
+                    for b in granted[i + 1 :]:
+                        if a.tid != b.tid:
+                            assert not a.item.conflicts_with(b.item)

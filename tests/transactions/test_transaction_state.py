@@ -1,0 +1,138 @@
+"""Transaction state: overlay composition, sequences, ancestry."""
+
+from repro.common.ids import SystemName
+from repro.transactions.locks import page_item, record_item
+from repro.transactions.transaction import (
+    TentativeItem,
+    Transaction,
+    TransactionPhase,
+    TransactionStatus,
+)
+
+NAME = SystemName(0, 5, 1)
+
+
+def txn(tid=1, parent=None):
+    return Transaction(tid=tid, machine_id="m", process_id=0, parent=parent)
+
+
+class TestOverlay:
+    def test_no_tentative_is_identity(self):
+        assert txn().overlay(NAME, 0, b"base") == b"base"
+
+    def test_record_overlay_applies_in_range(self):
+        transaction = txn()
+        transaction.tentative_records.append(
+            TentativeItem(
+                item=record_item(NAME, 2, 3),
+                data=b"XYZ",
+                sequence=transaction.next_sequence(),
+            )
+        )
+        assert transaction.overlay(NAME, 0, b"0123456789") == b"01XYZ56789"
+
+    def test_overlay_clips_to_window(self):
+        transaction = txn()
+        transaction.tentative_records.append(
+            TentativeItem(
+                item=record_item(NAME, 0, 10),
+                data=b"ABCDEFGHIJ",
+                sequence=transaction.next_sequence(),
+            )
+        )
+        # Window [4, 7): sees bytes 4..6 of the record — E, F, G.
+        assert transaction.overlay(NAME, 4, b"xyz") == b"EFG"
+
+    def test_later_writes_win(self):
+        transaction = txn()
+        for index, payload in enumerate((b"first", b"SECON")):
+            transaction.tentative_records.append(
+                TentativeItem(
+                    item=record_item(NAME, 0, 5),
+                    data=payload,
+                    sequence=transaction.next_sequence(),
+                )
+            )
+        assert transaction.overlay(NAME, 0, b".....") == b"SECON"
+
+    def test_other_files_untouched(self):
+        transaction = txn()
+        transaction.tentative_records.append(
+            TentativeItem(
+                item=record_item(SystemName(0, 99, 1), 0, 4),
+                data=b"!!!!",
+                sequence=transaction.next_sequence(),
+            )
+        )
+        assert transaction.overlay(NAME, 0, b"safe") == b"safe"
+
+    def test_map_and_records_merge_by_sequence(self):
+        transaction = txn()
+        item = page_item(NAME, 0, 8)
+        transaction.tentative_map[item] = TentativeItem(
+            item=item, data=b"PAGEPAGE", sequence=transaction.next_sequence()
+        )
+        transaction.tentative_records.append(
+            TentativeItem(
+                item=record_item(NAME, 2, 2),
+                data=b"rr",
+                sequence=transaction.next_sequence(),
+            )
+        )
+        assert transaction.overlay(NAME, 0, b"........") == b"PArrPAGE"
+
+
+class TestAncestry:
+    def test_root_chain(self):
+        root = txn(1)
+        assert root.ancestry() == [root]
+        assert root.is_ancestor_or_self(root)
+
+    def test_chain_order_root_first(self):
+        root = txn(1)
+        child = txn(2, parent=root)
+        grandchild = txn(3, parent=child)
+        assert [t.tid for t in grandchild.ancestry()] == [1, 2, 3]
+
+    def test_is_ancestor_or_self(self):
+        root = txn(1)
+        child = txn(2, parent=root)
+        stranger = txn(9)
+        assert child.is_ancestor_or_self(root)
+        assert child.is_ancestor_or_self(child)
+        assert not child.is_ancestor_or_self(stranger)
+        assert not root.is_ancestor_or_self(child)  # descent, not ancestry
+
+    def test_sequences_monotonic(self):
+        transaction = txn()
+        values = [transaction.next_sequence() for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_all_tentative_items_ordered(self):
+        transaction = txn()
+        item = page_item(NAME, 0, 8)
+        transaction.tentative_records.append(
+            TentativeItem(
+                item=record_item(NAME, 0, 1),
+                data=b"a",
+                sequence=transaction.next_sequence(),
+            )
+        )
+        transaction.tentative_map[item] = TentativeItem(
+            item=item, data=b"x" * 8, sequence=transaction.next_sequence()
+        )
+        sequences = [e.sequence for e in transaction.all_tentative_items()]
+        assert sequences == sorted(sequences)
+
+
+class TestEnums:
+    def test_phase_values(self):
+        assert TransactionPhase.LOCKING.value == "locking"
+        assert TransactionPhase.UNLOCKING.value == "unlocking"
+
+    def test_status_matches_intention_flag_words(self):
+        """The paper's flag states: tentative, commit, abort."""
+        assert TransactionStatus.TENTATIVE.value == "tentative"
+        assert TransactionStatus.COMMITTED.value == "commit"
+        assert TransactionStatus.ABORTED.value == "abort"
