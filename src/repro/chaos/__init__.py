@@ -1,0 +1,36 @@
+"""Systematic crash-point exploration with recovery-invariant checking.
+
+The subsystem that turns the paper's reliability claims into an
+exhaustive, deterministic test: every physical write a workload
+performs is a numbered crash point (:mod:`repro.chaos.trace`), a
+scheduler crashes a fresh system at each one, runs recovery, and
+checks the invariants (:mod:`repro.chaos.invariants`) plus the
+workload's own content promises (:mod:`repro.chaos.workloads`).
+
+Entry point: ``python -m repro.chaos.sweep --workload append-overwrite``.
+"""
+
+from repro.chaos.invariants import check_volume
+from repro.chaos.scheduler import CrashScheduler, PointResult, SweepReport
+from repro.chaos.trace import CrashPointMonitor, TraceEntry
+from repro.chaos.workloads import (
+    WORKLOADS,
+    AppendOverwriteWorkload,
+    ChaosWorkload,
+    TransactionCommitWorkload,
+    TwoVolumeCommitWorkload,
+)
+
+__all__ = [
+    "AppendOverwriteWorkload",
+    "ChaosWorkload",
+    "CrashPointMonitor",
+    "CrashScheduler",
+    "PointResult",
+    "SweepReport",
+    "TraceEntry",
+    "TransactionCommitWorkload",
+    "TwoVolumeCommitWorkload",
+    "WORKLOADS",
+    "check_volume",
+]

@@ -1,0 +1,57 @@
+"""Recovery invariants the crash sweep checks after every crash point.
+
+A recovered volume must satisfy four properties, regardless of which
+physical write the crash interrupted:
+
+1. **Stable mirror agreement** — after :meth:`StableStore.recover`,
+   both careful-write mirrors decode, agree on version, and hold
+   identical payloads for every record (Lampson's invariant).
+2. **Intentions-list atomicity** — recovery consumed every intention
+   record and flag: a leftover ``intent:`` or ``txnflag:`` key means a
+   transaction was neither redone nor discarded.
+3. **Free-space reconciliation** — the 64x64 free-extent array indexes
+   exactly the maximal free runs of the fragment bitmap.
+4. **fsck cleanliness** — no cross-linked blocks, no lost blocks, no
+   size anomalies.  Orphaned fragments are *warnings* (leaked space is
+   safe); the bitmap-before-structure ordering in the disk server
+   guarantees crashes leak, never lose.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.file_service.server import FileServer
+from repro.tools.fsck import fsck_volume
+
+
+def check_volume(file_server: FileServer) -> List[str]:
+    """All post-recovery invariants of one volume; empty = healthy."""
+    tag = f"volume {file_server.volume_id}"
+    violations: List[str] = []
+
+    stable = file_server.disk.stable
+    for problem in stable.verify_mirrors():
+        violations.append(f"{tag}: {problem}")
+
+    residue = sorted(
+        key
+        for key in stable.keys()
+        if key.startswith(("intent:", "txnflag:"))
+    )
+    if residue:
+        violations.append(
+            f"{tag}: recovery left intention state behind: {residue} "
+            f"(transaction neither redone nor discarded)"
+        )
+
+    try:
+        file_server.disk.extent_table.check_against(file_server.disk.bitmap)
+    except AssertionError as exc:
+        violations.append(f"{tag}: free-extent array out of sync: {exc}")
+
+    report = fsck_volume(file_server)
+    for error in report.errors:
+        violations.append(f"{tag}: fsck: {error}")
+
+    return violations

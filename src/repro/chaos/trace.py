@@ -1,0 +1,151 @@
+"""Crash-point numbering: the operation trace of a volume group.
+
+The crash-schedule explorer needs one fact the fault injector alone
+cannot give it: a *global*, deterministic numbering of every physical
+write a workload performs — across the data disk and both stable
+mirrors of a volume (or several volumes).  :class:`CrashPointMonitor`
+attaches to a group of :class:`~repro.simdisk.disk.SimDisk` instances
+and numbers each write as one **crash point**; arming it at point *k*
+crashes the whole group during exactly that write, with a
+deterministic torn prefix, which is how the sweep in
+:mod:`repro.chaos.scheduler` enumerates every instant the machine
+hosting a volume could die.
+
+The trace also records careful-write sync boundaries reported by
+:class:`~repro.simdisk.stable.StableStore`, so coverage reports can
+attribute crash points to layers (data disk, stable mirrors, careful
+writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simdisk.disk import SimDisk
+from repro.simdisk.faults import FaultInjector
+
+#: Knuth's multiplicative hash constant — used to derive a deterministic
+#: but well-scattered torn-prefix length from the crash-point index, so
+#: successive crash points exercise different tear positions without any
+#: hidden RNG state.
+_SCATTER = 2654435761
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One recorded operation of the volume group.
+
+    Attributes:
+        index: crash-point number (1-based) for physical writes; 0 for
+            marker entries that are not crashable instants.
+        kind: ``"write"`` or ``"stable-sync"``.
+        disk_id: disk the operation touched (or the sync's store tag).
+        start: first sector of the write (or the record's slot).
+        n_sectors: sectors covered.
+        label: extra context (the stable key for sync markers).
+    """
+
+    index: int
+    kind: str
+    disk_id: str
+    start: int
+    n_sectors: int
+    label: str = ""
+
+    def layer(self) -> str:
+        """Coarse layer attribution for the coverage table."""
+        if self.kind == "stable-sync":
+            return "careful-write sync"
+        if ".stable_" in self.disk_id:
+            return "stable mirror"
+        return "data disk"
+
+
+class CrashPointMonitor:
+    """Numbers every physical write across a group of disks.
+
+    One monitor is shared by all disks of the system under test (data
+    disks plus stable mirrors).  Unarmed, it only records the trace —
+    a *counting run*.  Armed at crash point ``k`` it lets writes 1..k-1
+    proceed, then crashes **every** attached disk during write ``k``
+    (machine-crash semantics: the host dies, all its drives stop), with
+    ``torn_sectors(k)`` sectors of the in-flight write surviving.
+    """
+
+    def __init__(self) -> None:
+        self.disks: List[SimDisk] = []
+        self.trace: List[TraceEntry] = []
+        self.writes_seen = 0
+        self.crash_at: Optional[int] = None
+        self.fired_at: Optional[int] = None
+
+    # ------------------------------------------------------- wiring
+
+    def attach(self, *disks: SimDisk) -> "CrashPointMonitor":
+        """Observe ``disks``; their writes join the global numbering."""
+        for disk in disks:
+            disk.faults.monitor = self
+            self.disks.append(disk)
+        return self
+
+    def arm(self, crash_point: int) -> None:
+        """Crash the whole group during write number ``crash_point``."""
+        if crash_point < 1:
+            raise ValueError("crash point must be >= 1")
+        self.crash_at = crash_point
+        self.fired_at = None
+
+    def disarm(self) -> None:
+        self.crash_at = None
+
+    # ----------------------------------------------------- callbacks
+
+    def on_write(
+        self, faults: FaultInjector, disk_id: str, start: int, n_sectors: int
+    ) -> Optional[int]:
+        """FaultInjector hook: number the write, maybe crash the group."""
+        self.writes_seen += 1
+        self.trace.append(
+            TraceEntry(self.writes_seen, "write", disk_id, start, n_sectors)
+        )
+        if self.crash_at is None or self.writes_seen != self.crash_at:
+            return None
+        self.fired_at = self.writes_seen
+        self.crash_at = None  # recovery writes must not re-crash
+        for disk in self.disks:
+            disk.faults.crashed = True
+            disk.faults.last_crash_note = (
+                f"chaos crash point {self.fired_at} on {disk_id} "
+                f"(deterministic; re-run with --only {self.fired_at})"
+            )
+        return self.torn_sectors(self.fired_at, n_sectors)
+
+    def note_stable_sync(self, key: str, start: int, n_sectors: int) -> None:
+        """StableStore hook: both mirror copies of ``key`` are on disk."""
+        self.trace.append(
+            TraceEntry(0, "stable-sync", "stable", start, n_sectors, label=key)
+        )
+
+    # ------------------------------------------------------ queries
+
+    @staticmethod
+    def torn_sectors(crash_point: int, n_sectors: int) -> int:
+        """Deterministic surviving-prefix length for a torn write."""
+        return (crash_point * _SCATTER >> 7) % (n_sectors + 1)
+
+    def write_entries(self) -> List[TraceEntry]:
+        return [entry for entry in self.trace if entry.kind == "write"]
+
+    def entry_at(self, crash_point: int) -> Optional[TraceEntry]:
+        for entry in self.trace:
+            if entry.kind == "write" and entry.index == crash_point:
+                return entry
+        return None
+
+    def __repr__(self) -> str:
+        armed = f", armed at {self.crash_at}" if self.crash_at else ""
+        return (
+            f"CrashPointMonitor({len(self.disks)} disks, "
+            f"{self.writes_seen} writes{armed})"
+        )

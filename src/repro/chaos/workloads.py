@@ -1,0 +1,375 @@
+"""Workloads the crash-schedule explorer sweeps.
+
+Each workload builds a fresh, fully deterministic system (its own
+clock, metrics, disks — all seeded, nothing wall-clock dependent), runs
+a fixed operation script against it, knows how to run the recovery
+path after a crash, and can check its own *content promises* on top of
+the structural invariants in :mod:`repro.chaos.invariants`.
+
+Content promises are tracked as the script runs:
+
+* the **basic** file service promises only that data a completed
+  ``flush`` made durable survives exactly; files modified since their
+  last flush are *in flux* and get structural checks only (the basic
+  service makes no atomicity promise — paper section 3);
+* the **transaction** service promises all-or-nothing: at every crash
+  instant the workload maintains the *admissible set* of complete
+  post-recovery contents ({OLD}, {OLD, NEW} during tend, {NEW} after),
+  and a recovered state outside the set is a violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.chaos.invariants import check_volume
+from repro.chaos.trace import CrashPointMonitor
+from repro.common.clock import SimClock
+from repro.common.ids import SystemName
+from repro.common.metrics import Metrics
+from repro.common.units import BLOCK_SIZE
+from repro.disk_service.server import DiskServer
+from repro.file_service.attributes import LockingLevel
+from repro.file_service.server import FileServer
+from repro.naming.attributed import AttributedName
+from repro.naming.service import NamingService
+from repro.simdisk.disk import SimDisk
+from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.stable import StableStore
+from repro.transactions.agent import TransactionAgentHost
+from repro.transactions.coordinator import TransactionCoordinator
+
+
+class ChaosVolume:
+    """One volume's full stack: data disk, stable mirrors, servers."""
+
+    def __init__(
+        self,
+        volume_id: int,
+        clock: SimClock,
+        metrics: Metrics,
+        geometry: DiskGeometry,
+    ) -> None:
+        self.volume_id = volume_id
+        self.disk = SimDisk(f"chaos{volume_id}", geometry, clock, metrics)
+        self.stable_a = SimDisk(
+            f"chaos{volume_id}.stable_a", geometry, clock, metrics
+        )
+        self.stable_b = SimDisk(
+            f"chaos{volume_id}.stable_b", geometry, clock, metrics
+        )
+        self.stable = StableStore(self.stable_a, self.stable_b)
+        self.disk_server = DiskServer(self.disk, self.stable, clock, metrics)
+        self.file_server = FileServer(
+            volume_id, self.disk_server, clock, metrics
+        )
+
+    @property
+    def disks(self) -> Tuple[SimDisk, SimDisk, SimDisk]:
+        return (self.disk, self.stable_a, self.stable_b)
+
+    def repair(self) -> None:
+        for disk in self.disks:
+            disk.repair()
+
+
+class ChaosWorkload:
+    """Base: a deterministic script plus its recovery and checks.
+
+    Construction builds the whole system and attaches one
+    :class:`CrashPointMonitor` to every disk; :meth:`run` executes the
+    script (raising ``DiskCrashedError`` when the armed monitor fires);
+    :meth:`recover` runs the machine-restart path; :meth:`check`
+    returns invariant violations (empty = healthy).
+    """
+
+    name = "?"
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self.metrics = Metrics()
+        self.monitor = CrashPointMonitor()
+        self.volumes: List[ChaosVolume] = []
+        #: Set True before :meth:`recover` to exercise the deliberately
+        #: broken recovery path (coordinator.unsafe_skip_redo) that the
+        #: sweep must detect.  Base workloads ignore it.
+        self.break_recovery = False
+        self.build()
+
+    def build(self) -> None:
+        raise NotImplementedError
+
+    def run(self) -> None:
+        raise NotImplementedError
+
+    def recover(self) -> None:
+        """Machine restart: repair drives, rebuild state from disk."""
+        for volume in self.volumes:
+            volume.repair()
+            volume.stable.rebuild_directory()
+            volume.stable.recover()
+            volume.file_server.recover()
+
+    def check(self) -> List[str]:
+        violations: List[str] = []
+        for volume in self.volumes:
+            violations.extend(check_volume(volume.file_server))
+        violations.extend(self.check_content())
+        return violations
+
+    def check_content(self) -> List[str]:
+        return []
+
+    # ------------------------------------------------------- helpers
+
+    def add_volume(self, volume_id: int) -> ChaosVolume:
+        volume = ChaosVolume(
+            volume_id, self.clock, self.metrics, DiskGeometry.small()
+        )
+        self.monitor.attach(*volume.disks)
+        self.volumes.append(volume)
+        return volume
+
+
+class AppendOverwriteWorkload(ChaosWorkload):
+    """Basic file service: creates, appends, overwrites, deletes.
+
+    Content promise: after each completed ``flush``, the flushed
+    contents are durable and must survive any later crash exactly —
+    until the file is written again, which puts it back in flux.
+    """
+
+    name = "append-overwrite"
+
+    def build(self) -> None:
+        self.volume = self.add_volume(0)
+        self.names: Dict[str, SystemName] = {}
+        self.expected: Dict[str, bytes] = {}
+        self.durable: Dict[str, Optional[bytes]] = {}  # None = deleted
+        self.in_flux: set[str] = set()
+
+    def run(self) -> None:
+        server = self.volume.file_server
+        self._create("a")
+        self._write("a", 0, b"A" * (2 * BLOCK_SIZE + BLOCK_SIZE // 2))
+        self._flush()
+        self._create("b")
+        self._write("b", 0, b"B" * (BLOCK_SIZE + 100))
+        self._write("a", len(self.expected["a"]), b"a" * BLOCK_SIZE)
+        self._flush()
+        self._write("a", BLOCK_SIZE // 2, b"x" * 700)
+        self._write("b", 0, b"Y" * 256)
+        self._flush()
+        self.in_flux.add("b")
+        server.delete(self.names["b"])
+        self.durable["b"] = None
+        self.in_flux.discard("b")
+        self._flush()
+
+    def check_content(self) -> List[str]:
+        server = self.volume.file_server
+        violations: List[str] = []
+        for label, durable in self.durable.items():
+            if label in self.in_flux:
+                continue  # no promise: modified since its last flush
+            name = self.names[label]
+            if durable is None:
+                if server.exists(name):
+                    violations.append(
+                        f"file {label!r}: deleted before the crash but "
+                        f"resurrected by recovery"
+                    )
+                continue
+            if not server.exists(name):
+                violations.append(
+                    f"file {label!r}: flushed before the crash but lost"
+                )
+                continue
+            content = server.read(name, 0, len(durable) + 1)
+            if content != durable:
+                violations.append(
+                    f"file {label!r}: durable content changed by the crash "
+                    f"(expected {len(durable)} bytes, got {len(content)}, "
+                    f"first divergence at byte "
+                    f"{_first_divergence(durable, content)})"
+                )
+        return violations
+
+    # ------------------------------------------------------- internal
+
+    def _create(self, label: str) -> None:
+        self.in_flux.add(label)
+        self.names[label] = self.volume.file_server.create()
+        self.expected[label] = b""
+
+    def _write(self, label: str, offset: int, data: bytes) -> None:
+        self.in_flux.add(label)
+        old = self.expected[label]
+        if len(old) < offset:
+            old += bytes(offset - len(old))
+        self.expected[label] = old[:offset] + data + old[offset + len(data) :]
+        self.volume.file_server.write(self.names[label], offset, data)
+
+    def _flush(self) -> None:
+        self.volume.file_server.flush()
+        for label in list(self.in_flux):
+            self.durable[label] = self.expected[label]
+        self.in_flux.clear()
+
+
+class _TransactionalWorkload(ChaosWorkload):
+    """Shared machinery for the transaction-service workloads."""
+
+    #: (label, volume_id) pairs of the files the script commits to.
+    FILES: List[Tuple[str, int]] = []
+    BLOCKS = 2
+
+    def build(self) -> None:
+        for _, volume_id in self.FILES:
+            if not any(v.volume_id == volume_id for v in self.volumes):
+                self.add_volume(volume_id)
+        self.naming = NamingService(self.metrics)
+        self.coordinator = TransactionCoordinator(self.clock, self.metrics)
+        for volume in self.volumes:
+            self.coordinator.register_volume(volume.file_server)
+        self.host = TransactionAgentHost(
+            "chaos", self.naming, self.coordinator, self.clock, self.metrics
+        )
+        self.names: Dict[str, SystemName] = {}
+        #: Admissible complete contents per file at the current instant,
+        #: or None while the script is between promises (setup in flux).
+        #: Entries are tuples of per-FILES-order contents, so multi-
+        #:  volume atomicity is checked jointly, not per volume.
+        self.admissible: Optional[List[Tuple[bytes, ...]]] = None
+
+    def _old(self, label: str) -> bytes:
+        return label.upper().encode("ascii")[:1] * (self.BLOCKS * BLOCK_SIZE)
+
+    def _new(self, label: str) -> bytes:
+        return label.lower().encode("ascii")[:1] * (self.BLOCKS * BLOCK_SIZE)
+
+    def run(self) -> None:
+        # Seed transaction: create every file, write OLD, commit.
+        tid = self.host.tbegin()
+        descriptors = {}
+        for label, volume_id in self.FILES:
+            descriptor = self.host.tcreate(
+                tid,
+                AttributedName.file(f"/{label}"),
+                volume_id=volume_id,
+                locking_level=LockingLevel.PAGE,
+            )
+            self.names[label] = self.host.system_name_of(tid, descriptor)
+            self.host.twrite(tid, descriptor, self._old(label))
+            descriptors[label] = descriptor
+        old = tuple(self._old(label) for label, _ in self.FILES)
+        empty = tuple(b"" for _ in self.FILES)
+        # During the seed commit the files go from empty to OLD; any
+        # mix after recovery breaks all-or-nothing.
+        self.admissible = [empty, old]
+        self.host.tend(tid)
+        self.admissible = [old]
+
+        # The measured transaction: overwrite everything with NEW.
+        tid = self.host.tbegin()
+        for label, _ in self.FILES:
+            descriptor = self.host.topen(
+                tid, AttributedName.file(f"/{label}")
+            )
+            self.host.tpwrite(tid, descriptor, self._new(label), 0)
+        new = tuple(self._new(label) for label, _ in self.FILES)
+        self.admissible = [old, new]
+        self.host.tend(tid)
+        self.admissible = [new]
+        for volume in self.volumes:
+            volume.file_server.flush()
+
+    def recover(self) -> None:
+        self.coordinator.unsafe_skip_redo = self.break_recovery
+        for volume in self.volumes:
+            volume.repair()
+            volume.stable.rebuild_directory()
+        for volume in self.volumes:
+            self.coordinator.recover_volume(volume.volume_id)
+
+    def check_content(self) -> List[str]:
+        if self.admissible is None:
+            return []
+        observed = []
+        for label, volume_id in self.FILES:
+            server = self.coordinator.file_server(volume_id)
+            name = self.names[label]
+            content = (
+                server.read(name, 0, self.BLOCKS * BLOCK_SIZE + 1)
+                if server.exists(name)
+                else b""
+            )
+            observed.append(content)
+        state = tuple(observed)
+        if state in self.admissible:
+            return []
+        return [
+            "all-or-nothing broken: recovered contents "
+            + ", ".join(
+                f"{label}={_describe(content)}"
+                for (label, _), content in zip(self.FILES, observed)
+            )
+            + " match no admissible outcome "
+            + str([tuple(_describe(c) for c in option) for option in self.admissible])
+        ]
+
+
+class TransactionCommitWorkload(_TransactionalWorkload):
+    """Single-volume commit: intentions list + flag flip + redo."""
+
+    name = "txn-commit"
+    FILES = [("f", 0)]
+
+
+class TwoVolumeCommitWorkload(_TransactionalWorkload):
+    """One transaction spanning two volumes: the decision-record 2PC.
+
+    A crash between the per-volume flag flips must still yield a joint
+    all-old or all-new outcome — this is what the ``txndecision:``
+    record on the coordinator volume guarantees.
+    """
+
+    name = "two-volume"
+    FILES = [("p", 1), ("q", 2)]
+    BLOCKS = 1
+
+
+def _first_divergence(a: bytes, b: bytes) -> int:
+    for index, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return index
+    return min(len(a), len(b))
+
+
+def _describe(content: bytes) -> str:
+    """Compact human description of a file's content for messages."""
+    if not content:
+        return "empty"
+    runs: List[str] = []
+    last = content[0]
+    count = 0
+    for byte in content:
+        if byte == last:
+            count += 1
+        else:
+            runs.append(f"{chr(last)!r}*{count}")
+            last, count = byte, 1
+    runs.append(f"{chr(last)!r}*{count}")
+    if len(runs) > 6:
+        runs = runs[:6] + ["..."]
+    return "+".join(runs)
+
+
+WORKLOADS: Dict[str, Type[ChaosWorkload]] = {
+    workload.name: workload
+    for workload in (
+        AppendOverwriteWorkload,
+        TransactionCommitWorkload,
+        TwoVolumeCommitWorkload,
+    )
+}

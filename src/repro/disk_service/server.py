@@ -104,6 +104,13 @@ class DiskServer:
             else None
         )
         self._pending_stable: List[Tuple[str, bytes]] = []
+        # True when the in-memory bitmap has diverged from its stable-
+        # storage checkpoint.  Any stable-bound put checkpoints first:
+        # vital structures (FITs, indirect blocks) must never become
+        # durable while referencing fragments the durable bitmap still
+        # considers free, or recovery would hand those fragments out
+        # again (the crash sweep proves this ordering).
+        self._bitmap_dirty = False
         self._prefix = f"disk_server.{disk.disk_id}"
 
     # ------------------------------------------------------ allocate
@@ -165,6 +172,7 @@ class DiskServer:
             self.extent_table.insert_run(run.start, extent.start - run.start)
         if run.end > extent.end:
             self.extent_table.insert_run(extent.end, run.end - extent.end)
+        self._bitmap_dirty = True
         self.metrics.add(f"{self._prefix}.allocations")
         return extent
 
@@ -177,6 +185,7 @@ class DiskServer:
         allocated or freed simultaneously" (paper section 4).
         """
         self.bitmap.mark_free(extent)
+        self._bitmap_dirty = True
         self.metrics.add(f"{self._prefix}.frees")
         merged = self.bitmap.run_containing(extent.start)
         assert merged is not None  # we just freed it
@@ -233,6 +242,11 @@ class DiskServer:
                 f"{extent.byte_size}"
             )
         self.metrics.add(f"{self._prefix}.puts")
+        if stability is not Stability.ORIGINAL_ONLY and self._bitmap_dirty:
+            # Bitmap first, then the structure referencing the newly
+            # allocated fragments.  A crash in between leaks orphans
+            # (an fsck warning), never lost blocks (an fsck error).
+            self.checkpoint_free_space()
         if stability in (Stability.ORIGINAL_ONLY, Stability.BOTH):
             if self._cache is not None:
                 self._cache.write_through(extent.first_sector, data)
@@ -270,6 +284,7 @@ class DiskServer:
 
     def checkpoint_free_space(self) -> None:
         """Save the bitmap to stable storage (vital structural information)."""
+        self._bitmap_dirty = False
         self.stable.put("bitmap", self.bitmap.to_bytes())
 
     def recover(self) -> None:
@@ -288,6 +303,7 @@ class DiskServer:
         if self._cache is not None:
             self._cache.invalidate()
         self._pending_stable.clear()
+        self._bitmap_dirty = False
         self.metrics.add(f"{self._prefix}.recoveries")
 
     # ------------------------------------------------------- status
@@ -337,6 +353,7 @@ class DiskServer:
                 self.extent_table.insert_run(
                     extent.end, run.length - n_fragments
                 )
+        self._bitmap_dirty = True
         return extent
 
     def _allocate_gather(self, n_fragments: int) -> List[Extent]:
@@ -366,6 +383,7 @@ class DiskServer:
                 continue
             piece = run.take(min(run.length, remaining))
             self.bitmap.mark_allocated(piece)
+            self._bitmap_dirty = True
             if run.length > piece.length:
                 self.extent_table.insert_run(piece.end, run.length - piece.length)
             pieces.append(piece)

@@ -65,6 +65,9 @@ class MessageBus:
         self.clock = clock
         self.metrics = metrics
         self.profile = profile or FaultProfile.reliable()
+        #: Surfaced in timeout messages so a failing run names the exact
+        #: fault schedule that reproduces it.
+        self.seed = seed
         self._rng = random.Random(seed)
         self._endpoints: Dict[str, Handler] = {}
         self._down: set[str] = set()

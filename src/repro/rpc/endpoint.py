@@ -90,5 +90,7 @@ class RpcClient:
                 return value
             self.bus.clock.advance_us(self.timeout_us)
         raise RpcTimeoutError(
-            f"no reply from {dst!r} op {op!r} after {self.max_attempts} attempts"
+            f"no reply from {dst!r} op {op!r} after {self.max_attempts} "
+            f"attempts (bus fault seed {self.bus.seed}, profile "
+            f"{self.bus.profile})"
         )

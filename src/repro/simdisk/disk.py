@@ -96,7 +96,7 @@ class SimDisk:
             )
         n_sectors = len(data) // size
         self._check_range(start, n_sectors)
-        torn_at = self.faults.note_write(n_sectors)
+        torn_at = self.faults.note_write(n_sectors, disk_id=self.disk_id, start=start)
         written = n_sectors if torn_at is None else torn_at
         for index in range(written):
             offset = index * size
@@ -106,9 +106,11 @@ class SimDisk:
         self.metrics.add(f"{self._prefix}.references")
         self.metrics.add(f"{self._prefix}.sectors_written", written)
         if torn_at is not None:
+            note = self.faults.last_crash_note
             raise DiskCrashedError(
                 f"{self.disk_id}: crashed during write at sector {start} "
                 f"({written}/{n_sectors} sectors reached the platter)"
+                + (f" [{note}]" if note else "")
             )
 
     def read_in_passing(self, start: int, n_sectors: int) -> bytes:

@@ -9,25 +9,50 @@ keep under failures, so the disk model can inject them on demand:
   the failure careful replicated writes defend against;
 * **bad sectors**: persistent media failures on read;
 * **scheduled crash points**: "crash after the k-th write", used by the
-  recovery tests to prove atomicity at every step of a commit.
+  recovery tests to prove atomicity at every step of a commit;
+* **write monitors**: an external observer (the chaos subsystem's
+  :class:`~repro.chaos.trace.CrashPointMonitor`) may number every write
+  across a whole group of disks and decide, per write, whether to crash
+  the group — which is how the crash-schedule explorer enumerates every
+  instant a volume could die.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+from typing import Optional, Protocol, Set
+
+
+class WriteMonitor(Protocol):
+    """Observer of physical writes, able to veto them with a crash.
+
+    Returning ``None`` lets the write proceed; returning an integer
+    crashes the disk during this write with that many sectors surviving
+    (a torn write).
+    """
+
+    def on_write(
+        self, faults: "FaultInjector", disk_id: str, start: int, n_sectors: int
+    ) -> Optional[int]: ...
 
 
 class FaultInjector:
     """Per-disk fault state, consulted by :class:`~repro.simdisk.disk.SimDisk`."""
 
     def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
         self._rng = random.Random(seed)
         self.crashed = False
         self.bad_sectors: Set[int] = set()
         self._crash_after_writes: Optional[int] = None
         self._writes_seen = 0
         self.torn_write_fraction: float = 0.5
+        #: Shared observer numbering writes across a disk group (chaos).
+        self.monitor: Optional[WriteMonitor] = None
+        #: Reproduction hint for the most recent injected crash; the
+        #: disk appends it to the DiskCrashedError message so any red
+        #: test names the seed / crash point that triggers it again.
+        self.last_crash_note: Optional[str] = None
 
     # ------------------------------------------------------- control
 
@@ -62,15 +87,23 @@ class FaultInjector:
 
     # ------------------------------------------------------ queries
 
-    def note_write(self, n_sectors: int) -> Optional[int]:
+    def note_write(
+        self, n_sectors: int, *, disk_id: str = "?", start: int = -1
+    ) -> Optional[int]:
         """Called by the disk before each write of ``n_sectors``.
 
         Returns None for a normal write, or the number of sectors that
         actually reach the platter (possibly 0) if this write crashes
-        the disk.
+        the disk.  A shared :attr:`monitor` is consulted first, then the
+        per-disk crash-after-writes schedule.
         """
         if self.crashed:
             return 0
+        if self.monitor is not None:
+            survivors = self.monitor.on_write(self, disk_id, start, n_sectors)
+            if survivors is not None:
+                self.crashed = True
+                return min(survivors, n_sectors)
         if self._crash_after_writes is None:
             return None
         self._writes_seen += 1
@@ -78,8 +111,17 @@ class FaultInjector:
             return None
         self.crashed = True
         self._crash_after_writes = None
+        self.last_crash_note = (
+            f"faults seed={self.seed}, scheduled crash at write "
+            f"#{self._writes_seen} of this disk"
+        )
         survivors = int(n_sectors * self.torn_write_fraction * self._rng.random())
         return min(survivors, n_sectors)
+
+    @property
+    def writes_seen(self) -> int:
+        """Writes counted toward the scheduled crash point so far."""
+        return self._writes_seen
 
     def is_bad(self, sector: int) -> bool:
         return sector in self.bad_sectors

@@ -54,6 +54,10 @@ class StableStore:
         self._versions: Dict[str, int] = {}
         self._next_sector = 0
         self._free: Dict[int, list[int]] = {}  # n_sectors -> [start, ...]
+        #: Keys mid-relocation: the pre-move slot, kept allocated (and
+        #: durable) until the record completes both copies at its new
+        #: home — recovery falls back to it if the move never lands.
+        self._relocating: Dict[str, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------ api
 
@@ -70,6 +74,18 @@ class StableStore:
         self.mirror_a.write_sectors(slot[0], record)
         self.mirror_b.write_sectors(slot[0], record)
         self._versions[key] = version
+        # Only now that both copies landed is the pre-relocation slot
+        # safe to reuse; freeing it earlier would let a crash during
+        # the move destroy the sole durable copy of the record.
+        old_slot = self._relocating.pop(key, None)
+        if old_slot is not None:
+            self._free.setdefault(old_slot[1], []).append(old_slot[0])
+        # Tell a chaos monitor (if one is attached to the mirrors) that
+        # a careful write completed both copies: the trace marks these
+        # sync boundaries between the numbered physical crash points.
+        monitor = self.mirror_a.faults.monitor
+        if monitor is not None and hasattr(monitor, "note_stable_sync"):
+            monitor.note_stable_sync(key, slot[0], slot[1])
 
     def get(self, key: str) -> bytes:
         """Read the record for ``key``, falling back to mirror B.
@@ -95,7 +111,9 @@ class StableStore:
         slot = self._directory.pop(key, None)
         if slot is None:
             return
-        self._versions.pop(key, None)
+        # The version counter survives deletion: a later re-put must
+        # stay version-monotonic, or a stale copy left by a crashed
+        # tombstone write could tie (and win against) the new record.
         tomb = _TOMBSTONE + bytes(SECTOR_SIZE - len(_TOMBSTONE))
         for mirror in (self.mirror_a, self.mirror_b):
             try:
@@ -121,35 +139,85 @@ class StableStore:
         """
         repaired = 0
         for key, (start, n_sectors) in list(self._directory.items()):
-            copy_a = self._try_read(self.mirror_a, start, n_sectors)
-            copy_b = self._try_read(self.mirror_b, start, n_sectors)
-            ok_a = copy_a is not None and copy_a[0] == key
-            ok_b = copy_b is not None and copy_b[0] == key
-            if ok_a and ok_b:
-                if copy_a[1] == copy_b[1]:
-                    continue
-                source, target = (
-                    (self.mirror_a, self.mirror_b)
-                    if copy_a[1] > copy_b[1]
-                    else (self.mirror_b, self.mirror_a)
-                )
-                good = copy_a if copy_a[1] > copy_b[1] else copy_b
-            elif ok_a:
-                source, target, good = self.mirror_a, self.mirror_b, copy_a
-            elif ok_b:
-                source, target, good = self.mirror_b, self.mirror_a, copy_b
-            else:
-                # Both copies dead: the record was being created when the
-                # crash hit; it never existed durably.
-                del self._directory[key]
-                self._versions.pop(key, None)
-                repaired += 1
+            old_slot = self._relocating.pop(key, None)
+            healed = self._repair_slot(key, start, n_sectors)
+            if healed is not None:
+                if old_slot is not None:
+                    # The move reached at least one mirror durably;
+                    # the pre-move slot is finally safe to reuse.
+                    self._free.setdefault(old_slot[1], []).append(old_slot[0])
+                repaired += healed
                 continue
-            record = source.read_sectors(start, n_sectors)
-            target.write_sectors(start, record)
-            self._versions[key] = good[1]
+            if old_slot is not None:
+                fallback = self._repair_slot(key, old_slot[0], old_slot[1])
+                if fallback is not None:
+                    # The relocated copy never became durable: fall
+                    # back to the intact pre-move record.
+                    self._directory[key] = old_slot
+                    self._free.setdefault(n_sectors, []).append(start)
+                    repaired += 1
+                    continue
+            # Both copies dead and no pre-move slot to fall back to:
+            # the record was being created when the crash hit; it
+            # never existed durably.
+            del self._directory[key]
+            self._versions.pop(key, None)
             repaired += 1
         return repaired
+
+    def _repair_slot(self, key: str, start: int, n_sectors: int) -> Optional[int]:
+        """Repair one slot's mirror pair in place.
+
+        Returns None when both copies are dead, 0 when the copies
+        already agree, 1 when one copy was rewritten from the other.
+        Syncs the in-memory version counter to the surviving copy so
+        the next write stays version-monotonic.
+        """
+        copy_a = self._try_read(self.mirror_a, start, n_sectors)
+        copy_b = self._try_read(self.mirror_b, start, n_sectors)
+        ok_a = copy_a is not None and copy_a[0] == key
+        ok_b = copy_b is not None and copy_b[0] == key
+        if not ok_a and not ok_b:
+            return None
+        if ok_a and ok_b and copy_a[1] == copy_b[1]:
+            self._versions[key] = copy_a[1]
+            return 0
+        if ok_a and (not ok_b or copy_a[1] > copy_b[1]):
+            source, target, good = self.mirror_a, self.mirror_b, copy_a
+        else:
+            source, target, good = self.mirror_b, self.mirror_a, copy_b
+        record = source.read_sectors(start, n_sectors)
+        target.write_sectors(start, record)
+        self._versions[key] = good[1]
+        return 1
+
+    def verify_mirrors(self) -> list[str]:
+        """Check the careful-write invariant: both mirrors agree.
+
+        For every key the directory knows, both copies must decode,
+        carry the same version, and hold identical payloads.  Returns a
+        list of human-readable violations (empty = invariant holds);
+        the chaos harness runs this after every recovery.
+        """
+        violations: list[str] = []
+        for key, (start, n_sectors) in self._directory.items():
+            copy_a = self._try_read(self.mirror_a, start, n_sectors)
+            copy_b = self._try_read(self.mirror_b, start, n_sectors)
+            if copy_a is None or copy_a[0] != key:
+                violations.append(f"stable {key!r}: mirror A copy unreadable")
+                continue
+            if copy_b is None or copy_b[0] != key:
+                violations.append(f"stable {key!r}: mirror B copy unreadable")
+                continue
+            if copy_a[1] != copy_b[1]:
+                violations.append(
+                    f"stable {key!r}: version skew (A v{copy_a[1]}, B v{copy_b[1]})"
+                )
+            elif copy_a[2] != copy_b[2]:
+                violations.append(
+                    f"stable {key!r}: same version {copy_a[1]} but payloads differ"
+                )
+        return violations
 
     def rebuild_directory(self) -> int:
         """Rebuild the in-memory directory by scanning mirror headers.
@@ -160,6 +228,7 @@ class StableStore:
         self._directory.clear()
         self._versions.clear()
         self._free.clear()
+        self._relocating.clear()
         sector = 0
         found = 0
         while sector < self._next_sector:
@@ -187,7 +256,9 @@ class StableStore:
         if existing is not None and existing[1] >= needed:
             return existing
         if existing is not None:
-            self._free.setdefault(existing[1], []).append(existing[0])
+            # Relocation: keep the old slot allocated until the new
+            # record is durable on both mirrors (put/recover free it).
+            self._relocating[key] = existing
         free_list = self._free.get(needed)
         if free_list:
             start = free_list.pop()

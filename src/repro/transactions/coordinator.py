@@ -102,6 +102,12 @@ class TransactionCoordinator:
         self._volumes: Dict[int, _VolumeBinding] = {}
         self._next_tid = monotonic_id_factory()
         self._live: Dict[int, Transaction] = {}
+        #: CHAOS-TEST-ONLY.  When True, recovery deliberately skips
+        #: replaying committed intentions (and their cleanup ordering),
+        #: leaving whatever partial state the crash produced.  Exists so
+        #: the crash sweep can prove it *detects* a broken recovery
+        #: path; never set this outside tests.
+        self.unsafe_skip_redo = False
 
     # ------------------------------------------------------- wiring
 
@@ -198,6 +204,15 @@ class TransactionCoordinator:
             # tentative extents allocated above.
             for volume_id in involved:
                 self._binding(volume_id).file_server.disk.checkpoint_free_space()
+            if len(involved) > 1:
+                # Multi-volume commit point: one decision record on the
+                # coordinator volume (lowest id) *before* any per-volume
+                # flag flips.  A crash between the flips is then still
+                # atomic: recovery on a flag-less volume finds the
+                # decision and redoes instead of presuming abort.
+                self._binding(min(involved)).intents.set_decision(
+                    transaction.tid, sorted(involved)
+                )
             # The commit point: flags flip to 'commit' on stable storage.
             for volume_id in involved:
                 IntentionFlag(
@@ -211,6 +226,12 @@ class TransactionCoordinator:
         for _, name in transaction.deleted_files:
             self._binding(name.volume_id).file_server.delete(name)
         self._cleanup_committed(transaction.tid, records, involved)
+        if records and len(involved) > 1:
+            # Only after every volume's records and flags are gone: a
+            # stale decision is harmless (nothing left to redo), but
+            # removing it early would let a crash turn a redo into a
+            # presumed abort on a volume that still holds records.
+            self._binding(min(involved)).intents.remove_decision(transaction.tid)
         self._release_locks(transaction)
         self.forget(transaction)
         self.metrics.add("transactions.committed")
@@ -312,8 +333,12 @@ class TransactionCoordinator:
         and its tentative extents freed.
         """
         binding = self._binding(volume_id)
-        binding.file_server.recover()
+        # Stable storage first: its recovery drops records that never
+        # completed their first careful write (both copies dead), which
+        # the file/disk recovery below must not trip over when it reads
+        # the bitmap checkpoint.
         binding.file_server.disk.stable.recover()
+        binding.file_server.recover()
         redone = 0
         discarded = 0
         flagged = set(binding.intents.flagged_transactions())
@@ -322,7 +347,21 @@ class TransactionCoordinator:
             flag = IntentionFlag(binding.file_server.disk.stable, tid)
             status = flag.get()
             records = binding.intents.get_intentions(tid)
-            if status is TransactionStatus.COMMITTED:
+            committed = status is TransactionStatus.COMMITTED
+            if not committed and status is None:
+                # No flag on this volume — but a multi-volume commit may
+                # have crashed between its flag flips.  The decision
+                # record on the coordinator volume is authoritative.
+                decision = self._find_decision(tid)
+                committed = decision is not None and volume_id in decision
+            if committed and self.unsafe_skip_redo:
+                # Deliberately broken path (see __init__): drop the redo
+                # information without replaying it.  The crash sweep
+                # must flag the partial state this leaves behind.
+                binding.intents.remove_intentions(tid)
+                flag.clear()
+                redone += 1
+            elif committed:
                 for record in records:
                     self._apply(record)
                 self._cleanup_committed(tid, records, {volume_id})
@@ -333,9 +372,43 @@ class TransactionCoordinator:
                 binding.intents.remove_intentions(tid)
                 flag.clear()
                 discarded += 1
+        self._collect_stale_decisions()
         binding.file_server.disk.checkpoint_free_space()
         self.metrics.add("transactions.recoveries")
         return redone, discarded
+
+    def _find_decision(self, tid: int) -> Optional[List[int]]:
+        """The commit decision for ``tid``, wherever it was recorded."""
+        for other in self._volumes.values():
+            decision = other.intents.get_decision(tid)
+            if decision is not None:
+                return decision
+        return None
+
+    def _collect_stale_decisions(self) -> None:
+        """Drop decision records whose transactions are fully cleaned up.
+
+        A decision may only disappear once no registered volume holds
+        records or a flag for the transaction; until then it must stay,
+        because it is what turns a flag-less recovery into a redo.
+        """
+        for other in self._volumes.values():
+            for tid in other.intents.decided_transactions():
+                try:
+                    live = any(
+                        candidate.intents.get_intentions(tid)
+                        or IntentionFlag(
+                            candidate.file_server.disk.stable, tid
+                        ).get()
+                        is not None
+                        for candidate in self._volumes.values()
+                    )
+                except DiskError:
+                    # A peer volume is offline: keep the decision; its
+                    # recovery may still need it.
+                    continue
+                if not live:
+                    other.intents.remove_decision(tid)
 
     # ------------------------------------------------------ internal
 

@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.common.errors import DiskError
 from repro.common.ids import SystemName
 from repro.disk_service.addresses import Extent
 from repro.file_service.attributes import LockingLevel
@@ -171,3 +172,41 @@ class IntentionStore:
             if key.startswith("txnflag:"):
                 tids.add(int(key.split(":")[1]))
         return sorted(tids)
+
+    # ------------------------------------------- multi-volume commit
+
+    def set_decision(self, tid: int, volumes: List[int]) -> None:
+        """Record the commit decision of a multi-volume transaction.
+
+        Written on the coordinator volume (the lowest involved volume
+        id) *before* the per-volume intention flags flip.  A crash
+        between the flag flips then leaves the decision as the single
+        source of truth: a recovering volume that finds records but no
+        flag consults every registered volume for the decision before
+        presuming abort — which is what makes a two-volume commit
+        all-or-nothing across volumes, not just within one.
+        """
+        payload = json.dumps({"tid": tid, "volumes": sorted(volumes)})
+        self.stable.put(f"txndecision:{tid}", payload.encode("utf-8"))
+
+    def get_decision(self, tid: int) -> Optional[List[int]]:
+        """Volumes of a committed multi-volume transaction, or None.
+
+        A decision whose careful write never completed (both copies
+        unreadable) reads as None: the transaction is presumed aborted.
+        """
+        try:
+            blob = self.stable.get(f"txndecision:{tid}")
+        except (KeyError, DiskError):
+            return None
+        return json.loads(blob.decode("utf-8"))["volumes"]
+
+    def remove_decision(self, tid: int) -> None:
+        self.stable.delete(f"txndecision:{tid}")
+
+    def decided_transactions(self) -> List[int]:
+        return sorted(
+            int(key.split(":")[1])
+            for key in self.stable.keys()
+            if key.startswith("txndecision:")
+        )
