@@ -37,6 +37,15 @@ class DiskCrashedError(DiskError):
     """The disk (or its server) has crashed and is not serving requests."""
 
 
+class StableKeyError(DiskError, KeyError):
+    """No stable-storage record exists for the requested key.
+
+    Also a :class:`KeyError` so mapping-style callers (``except
+    KeyError``) keep working while the error stays classifiable inside
+    the facility taxonomy.
+    """
+
+
 # ---------------------------------------------------------------- file
 
 

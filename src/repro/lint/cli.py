@@ -1,0 +1,110 @@
+"""Command line front end: ``python -m repro.lint [--strict] [paths…]``.
+
+Exit status: 0 when the tree is clean (after suppressions and, unless
+``--strict``, the baseline), 1 when any actionable finding remains,
+2 on usage errors.  ``--json`` emits machine-readable findings for the
+tooling in CI; ``--write-baseline`` grandfathers the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.framework import (
+    DEFAULT_BASELINE_NAME,
+    all_rules,
+    lint_paths,
+    repo_root,
+    save_baseline,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter for the RHODOS reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/ and tests/)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="ignore the baseline: every finding fails the run (CI mode)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON array on stdout",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <repo>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather the current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    root = repo_root()
+    if args.list_rules:
+        for rule in all_rules():
+            doc = (rule.__doc__ or "").strip().splitlines()
+            print(f"{rule.rule_id:24s} {doc[0] if doc else ''}")
+        return 0
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                "error: no such path: " + ", ".join(map(str, missing)),
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        paths = [root / "src", root / "tests"]
+    baseline = args.baseline if args.baseline is not None else (
+        root / DEFAULT_BASELINE_NAME
+    )
+    result = lint_paths(
+        paths, root=root, baseline=baseline, strict=args.strict
+    )
+
+    if args.write_baseline:
+        save_baseline(baseline, result.findings + result.baselined)
+        print(
+            f"baseline: wrote {len(result.findings) + len(result.baselined)} "
+            f"finding(s) to {baseline}"
+        )
+        return 0
+
+    if args.as_json:
+        print(json.dumps([f.to_json() for f in result.findings], indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (
+            f"repro.lint: {len(result.findings)} finding(s) in "
+            f"{result.files} file(s)"
+        )
+        if result.baselined:
+            summary += f", {len(result.baselined)} baselined"
+        if result.stale_baseline:
+            summary += (
+                f", {len(result.stale_baseline)} stale baseline entr"
+                f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+                "(shrink the baseline)"
+            )
+        print(summary)
+    return 1 if result.findings else 0

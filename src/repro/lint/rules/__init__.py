@@ -1,0 +1,16 @@
+"""Domain rules.  Importing this package registers every rule.
+
+Each module holds one rule plus its policy constants (the layer DAG,
+the registered write sites, the allowed stdlib raises); the constants
+are module-level so tests — and reviewers — can read the policy without
+chasing code.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    crashpoint,
+    layering,
+    metrics_names,
+    randomness,
+    taxonomy,
+    wallclock,
+)

@@ -1,0 +1,183 @@
+"""Rule ``layering``: imports must respect the five-layer DAG.
+
+The paper's Figure 1 stacks the facility as disk → basic file →
+transaction/naming/replication, with client agents and assembly on top.
+:data:`LAYER_DEPS` declares that stack as an explicit package-level
+DAG: package X may import package Y only when ``Y in LAYER_DEPS[X]``.
+Edges are declared, not ranked, so deliberate same-level edges (e.g.
+``transactions → naming`` for the name types) stay legal while the
+reverse back-edge is rejected.  The declaration itself is validated to
+be acyclic at import time — a cycle cannot be legalised by editing it.
+
+The package facade ``repro/__init__.py`` is the one exemption: it is
+the public re-export surface and imports every layer by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.framework import Finding, ParsedModule, Rule, register
+
+#: package -> packages it may import.  Mirrors the paper's Figure 1;
+#: DESIGN.md §7 renders the same DAG as a diagram.  Grow this only for
+#: a reviewed architectural decision — never to silence a finding.
+LAYER_DEPS: Dict[str, Set[str]] = {
+    # substrates
+    "common": set(),
+    "simkernel": {"common"},
+    "simdisk": {"common"},
+    "rpc": {"common"},
+    # the disk service (paper section 4)
+    "disk_service": {"common", "simdisk"},
+    # the basic file service (paper section 5)
+    "file_service": {"common", "disk_service"},
+    # the service triple above it (paper sections 6-8)
+    "naming": {"common", "file_service"},
+    "transactions": {
+        "common", "simkernel", "simdisk", "disk_service", "file_service",
+        "naming",
+    },
+    "replication": {"common", "file_service", "naming"},
+    # client-visible agents, assembly, and tooling
+    "agents": {"common", "rpc", "file_service", "naming"},
+    "tools": {"common", "disk_service", "file_service"},
+    "workloads": {"common", "file_service", "naming", "transactions"},
+    "chaos": {
+        "common", "simdisk", "disk_service", "file_service", "naming",
+        "transactions", "tools",
+    },
+    "cluster": {
+        "common", "simkernel", "simdisk", "rpc", "disk_service",
+        "file_service", "naming", "transactions", "replication", "agents",
+    },
+    # the linter itself: stdlib-only by charter
+    "lint": set(),
+}
+
+
+def validate_dag() -> List[str]:
+    """Topologically order :data:`LAYER_DEPS`; raises on a cycle.
+
+    Returns one valid order (used by the self-test).  Also rejects
+    edges that point at undeclared packages.
+    """
+    for package, deps in LAYER_DEPS.items():
+        unknown = deps - LAYER_DEPS.keys()
+        if unknown:
+            raise ValueError(
+                f"layer DAG: {package} depends on undeclared {sorted(unknown)}"
+            )
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(package: str, stack: List[str]) -> None:
+        mark = state.get(package)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = stack[stack.index(package):] + [package]
+            raise ValueError("layer DAG has a cycle: " + " -> ".join(cycle))
+        state[package] = 0
+        for dep in sorted(LAYER_DEPS[package]):
+            visit(dep, stack + [package])
+        state[package] = 1
+        order.append(package)
+
+    for package in sorted(LAYER_DEPS):
+        visit(package, [])
+    return order
+
+
+validate_dag()  # a bad declaration fails at import, not mid-run
+
+
+@register
+class LayeringRule(Rule):
+    """Imports between repro packages must follow the declared layer DAG."""
+
+    rule_id = "layering"
+    hint = (
+        "the five-layer stack only imports downward; invert the dependency "
+        "(Protocol/callback) or move the code to the layer that needs it"
+    )
+
+    def applies(self, module: ParsedModule) -> bool:
+        # The facade re-exports everything; tests may import anything.
+        return super().applies(module) and module.module != "repro"
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        package = module.package
+        if package is None:
+            return
+        allowed = LAYER_DEPS.get(package)
+        for node, target in _imported_modules(module):
+            target_package = _repro_package(target, module)
+            if target_package is None or target_package == package:
+                continue
+            if allowed is None:
+                yield module.finding(
+                    node, self.rule_id,
+                    f"package {package!r} is not declared in the layer DAG",
+                    "declare it (and its allowed imports) in "
+                    "repro.lint.rules.layering.LAYER_DEPS",
+                )
+                return  # one finding per undeclared package is enough
+            if target_package not in LAYER_DEPS:
+                yield module.finding(
+                    node, self.rule_id,
+                    f"import of undeclared package repro.{target_package}",
+                    "declare it in repro.lint.rules.layering.LAYER_DEPS",
+                )
+            elif target_package not in allowed:
+                yield module.finding(
+                    node, self.rule_id,
+                    f"{package} may not import repro.{target_package} "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'nothing'})",
+                    self.hint,
+                )
+
+
+def _imported_modules(module: ParsedModule) -> Iterator[tuple]:
+    """Yield ``(node, dotted_module)`` for every import in the module."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(module, node.level)
+                if base is None:
+                    continue
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            yield node, target
+            # ``from repro import file_service`` imports a package via
+            # its alias list; attribute the edge to each named child
+            # package (re-exported classes are not package edges).
+            if target in ("repro",):
+                for alias in node.names:
+                    if alias.name in LAYER_DEPS:
+                        yield node, f"repro.{alias.name}"
+
+
+def _resolve_relative(module: ParsedModule, level: int) -> Optional[str]:
+    if module.module is None:
+        return None
+    parts = module.module.split(".")
+    # A module's package is its dotted name minus the leaf; __init__
+    # modules already name their package.
+    if not module.path.name == "__init__.py":
+        parts = parts[:-1]
+    if level - 1 >= len(parts):
+        return None
+    return ".".join(parts[: len(parts) - (level - 1)])
+
+
+def _repro_package(target: str, module: ParsedModule) -> Optional[str]:
+    parts = target.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]

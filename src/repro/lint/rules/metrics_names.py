@@ -1,0 +1,111 @@
+"""Rule ``metrics-naming``: counter names follow ``layer.noun_verb``.
+
+The benchmark tables (EXPERIMENTS.md) and the chaos coverage report
+select counters by dotted prefix — ``metrics.total("disk.")`` — so a
+misspelt or miscased counter name silently drops out of every report.
+Counter names are dotted paths of lowercase ``[a-z0-9_]`` segments with
+at least two segments: a leading layer/component, interior instance
+ids, and a trailing counted noun (``disk.0.sectors_written``,
+``file_agent.cache.hits``).
+
+Static checking covers what is statically known: plain string literals
+must match the full grammar; for f-strings (``f"{self._prefix}.reads"``)
+every constant fragment must stay inside the grammar's alphabet.
+Names built in variables are out of reach and out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.framework import Finding, ParsedModule, Rule, register
+
+#: Full grammar for a statically-known counter name.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Alphabet any f-string fragment of a name must stay inside.
+FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+#: Metrics methods whose first argument is a counter name or prefix.
+NAME_METHODS = frozenset({"add", "get"})
+PREFIX_METHODS = frozenset({"total"})
+
+PREFIX_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.?$")
+
+
+@register
+class MetricsNamingRule(Rule):
+    """Literal counter names must match the documented grammar."""
+
+    rule_id = "metrics-naming"
+    hint = (
+        "counter names are dotted lowercase segments, layer first, counted "
+        "noun last: e.g. disk.0.sectors_written (see Metrics docstring)"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.args
+                and _receiver_is_metrics(node.func.value)
+            ):
+                continue
+            method = node.func.attr
+            if method in NAME_METHODS:
+                pattern, kind = NAME_RE, "counter name"
+            elif method in PREFIX_METHODS:
+                pattern, kind = PREFIX_RE, "counter prefix"
+            else:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                if not pattern.match(first.value):
+                    yield module.finding(
+                        first, self.rule_id,
+                        f"{kind} {first.value!r} violates the "
+                        "layer.noun_verb grammar",
+                        self.hint,
+                    )
+            elif isinstance(first, ast.JoinedStr):
+                yield from self._check_joined(module, first, kind)
+
+    def _check_joined(
+        self, module: ParsedModule, joined: ast.JoinedStr, kind: str
+    ) -> Iterator[Finding]:
+        for index, value in enumerate(joined.values):
+            if not (
+                isinstance(value, ast.Constant) and isinstance(value.value, str)
+            ):
+                continue
+            fragment = value.value
+            ok = bool(FRAGMENT_RE.match(fragment))
+            if index == 0 and fragment and not fragment[0].islower():
+                ok = False
+            if not ok:
+                yield module.finding(
+                    joined, self.rule_id,
+                    f"{kind} fragment {fragment!r} leaves the "
+                    "layer.noun_verb alphabet [a-z0-9_.]",
+                    self.hint,
+                )
+
+
+def _receiver_is_metrics(expr: ast.expr) -> bool:
+    """True when the call receiver is plausibly a Metrics instance.
+
+    Matches ``metrics``, ``self.metrics``, ``self.bus.metrics``,
+    ``self._metrics`` — any dotted chain whose final name mentions
+    ``metrics``.  Heuristic by design: a linter with false negatives on
+    exotic receivers beats one with false positives on ``set.add``.
+    """
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    else:
+        return False
+    return "metrics" in name.lower()

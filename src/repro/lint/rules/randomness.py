@@ -1,0 +1,105 @@
+"""Rule ``no-ambient-randomness``: every RNG is seeded and explicit.
+
+The RPC bus replays message-fault schedules from a seed, the fault
+injector derives torn-write lengths from a seed, workload generators
+take a seed — the replay contract of the whole simulation is that all
+randomness is *threaded*, never ambient.  Module-level ``random.*``
+calls draw from interpreter-global state that any import can perturb,
+and ``random.Random()`` without a seed draws from the OS; both are
+findings.  ``random.Random(seed)`` is the blessed pattern.
+
+Unlike most rules this one also covers ``tests/``: a test that flakes
+with the dice is a test that cannot bisect a regression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.framework import Finding, ParsedModule, Rule, register
+
+#: Names importable from :mod:`random` without a finding.
+ALLOWED_FROM_RANDOM: Set[str] = {"Random"}
+
+#: Other ambient entropy sources, flagged as calls.
+BANNED_ENTROPY_CALLS: Set[Tuple[str, str]] = {
+    ("os", "urandom"),
+    ("uuid", "uuid4"),
+}
+
+
+@register
+class RandomnessRule(Rule):
+    """Ambient (module-level or unseeded) randomness is banned."""
+
+    rule_id = "no-ambient-randomness"
+    hint = (
+        "construct random.Random(seed) with an explicit seed and pass it "
+        "down; ambient RNG state breaks seeded replay"
+    )
+
+    def applies(self, module: ParsedModule) -> bool:
+        # Tests are in scope too (module is None for them): determinism
+        # of the suite is part of the replay contract.
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        random_aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    banned = [
+                        a.name for a in node.names
+                        if a.name not in ALLOWED_FROM_RANDOM
+                    ]
+                    if banned:
+                        yield module.finding(
+                            node, self.rule_id,
+                            "import of module-level random function(s) "
+                            + ", ".join(banned),
+                            self.hint,
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, random_aliases)
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, random_aliases: Set[str]
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)
+        ):
+            return
+        owner, attr = func.value.id, func.attr
+        if owner in random_aliases:
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        node, self.rule_id,
+                        "unseeded random.Random() — seeds itself from the OS",
+                        self.hint,
+                    )
+            elif attr != "SystemRandom":
+                yield module.finding(
+                    node, self.rule_id,
+                    f"module-level RNG call random.{attr}() uses ambient "
+                    "interpreter-global state",
+                    self.hint,
+                )
+            else:
+                yield module.finding(
+                    node, self.rule_id,
+                    "random.SystemRandom draws from the OS (not replayable)",
+                    self.hint,
+                )
+        elif (owner, attr) in BANNED_ENTROPY_CALLS:
+            yield module.finding(
+                node, self.rule_id,
+                f"ambient entropy source {owner}.{attr}()",
+                self.hint,
+            )

@@ -1,0 +1,139 @@
+"""Rule ``error-taxonomy``: raises construct :class:`RhodosError` kinds.
+
+Callers across layers distinguish facility failures from programming
+errors by catching branches of the hierarchy in
+:mod:`repro.common.errors`; a stray ``raise Exception(...)`` (or a
+stdlib type a retry loop cannot classify) punches a hole in that
+contract.  Every ``raise`` in ``repro.*`` must therefore construct a
+``RhodosError`` subclass or one of the assertion-flavoured stdlib types
+in :data:`ALLOWED_STDLIB` (precondition and invariant violations are
+programming errors, not facility failures — they stay stdlib on
+purpose).  Re-raising a caught object (``raise``, ``raise err``) is
+always fine.
+
+The set of ``RhodosError`` subclasses is read from the AST of
+``repro/common/errors.py`` itself, so extending the hierarchy never
+requires touching the linter; classes derived locally from a known
+error type are recognised too.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, Optional, Set
+
+from repro.lint.framework import Finding, ParsedModule, Rule, register
+
+#: Stdlib exception types a ``raise`` may construct: assertion-flavoured
+#: programming-error types, plus SystemExit for CLI entry points.
+#: Deliberately *not* here: Exception, OSError/IOError, KeyError,
+#: IndexError, StopIteration — facility failures must be classifiable.
+ALLOWED_STDLIB: FrozenSet[str] = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "AssertionError",
+        "NotImplementedError",
+        "RuntimeError",
+        "SystemExit",
+    }
+)
+
+
+@lru_cache(maxsize=1)
+def rhodos_error_names() -> FrozenSet[str]:
+    """Every class in repro/common/errors.py descending from RhodosError."""
+    errors_py = Path(__file__).resolve().parents[2] / "common" / "errors.py"
+    tree = ast.parse(errors_py.read_text(encoding="utf-8"))
+    bases: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            }
+    known: Set[str] = {"RhodosError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in known and parents & known:
+                known.add(name)
+                changed = True
+    return frozenset(known)
+
+
+@register
+class TaxonomyRule(Rule):
+    """Raised exceptions must belong to the Rhodos error taxonomy."""
+
+    rule_id = "error-taxonomy"
+    hint = (
+        "raise a RhodosError subclass from repro.common.errors (add one if "
+        "no branch fits), or an assertion-flavoured stdlib type: "
+        + ", ".join(sorted(ALLOWED_STDLIB))
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        local_ok = _locally_derived_ok(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_class_name(node.exc)
+            if name is None:
+                continue  # bare re-raise or a caught-object variable
+            if (
+                name in ALLOWED_STDLIB
+                or name in rhodos_error_names()
+                or name in local_ok
+            ):
+                continue
+            yield module.finding(
+                node, self.rule_id,
+                f"raise of {name} is outside the Rhodos error taxonomy",
+                self.hint,
+            )
+
+
+def _raised_class_name(exc: ast.expr) -> Optional[str]:
+    """Class name being raised, or None when it is not a class reference.
+
+    ``raise Foo(...)`` and ``raise Foo`` name a class; ``raise err``
+    (lowercase) re-raises a caught or stored object and is exempt —
+    whatever constructed it was checked at its own raise site.
+    ``raise errors.Foo(...)`` resolves through the attribute.
+    """
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        name = exc.attr
+    elif isinstance(exc, ast.Name):
+        name = exc.id
+    else:
+        return None
+    return name if name[:1].isupper() else None
+
+
+def _locally_derived_ok(tree: ast.Module) -> Set[str]:
+    """Classes defined in this module that derive from an accepted type."""
+    bases: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            names: Set[str] = set()
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    names.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    names.add(base.attr)
+            bases[node.name] = names
+    accepted = set(rhodos_error_names()) | set(ALLOWED_STDLIB)
+    ok: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in ok and parents & (accepted | ok):
+                ok.add(name)
+                changed = True
+    return ok

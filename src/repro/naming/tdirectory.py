@@ -18,7 +18,7 @@ same directory.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
 
 from repro.common.errors import (
     NameExistsError,
@@ -26,7 +26,7 @@ from repro.common.errors import (
     NamingError,
 )
 from repro.common.ids import SystemName
-from repro.file_service.attributes import LockingLevel
+from repro.file_service.attributes import FileAttributes, LockingLevel
 from repro.naming.directory import (
     DirectoryEntry,
     DirectoryService,
@@ -36,7 +36,50 @@ from repro.naming.directory import (
     _KIND_FILE,
     _MAX_DIRECTORY_BYTES,
 )
-from repro.transactions.agent import TransactionAgentHost
+
+
+class TransactionHost(Protocol):
+    """The slice of the transaction agent host this module drives.
+
+    Declared structurally so the naming layer does not import the
+    transaction service (which itself imports naming — the concrete
+    :class:`~repro.transactions.agent.TransactionAgentHost` satisfies
+    this protocol without either side naming the other).
+    """
+
+    def tbegin(
+        self, *, process_id: int = 0, parent: Optional[int] = None
+    ) -> int: ...
+
+    def tend(self, tid: int) -> None: ...
+
+    def tabort(self, tid: int) -> None: ...
+
+    def topen_system(
+        self, tid: int, system_name: SystemName, **kwargs: object
+    ) -> int: ...
+
+    def tcreate_system(self, tid: int, *, volume_id: int) -> int: ...
+
+    def tdelete_system(self, tid: int, system_name: SystemName) -> None: ...
+
+    def system_name_of(self, tid: int, descriptor: int) -> SystemName: ...
+
+    def tpread(
+        self,
+        tid: int,
+        descriptor: int,
+        n_bytes: int,
+        offset: int,
+        *,
+        for_update: bool = False,
+    ) -> bytes: ...
+
+    def tpwrite(
+        self, tid: int, descriptor: int, data: bytes, offset: int
+    ) -> int: ...
+
+    def tget_attribute(self, tid: int, descriptor: int) -> FileAttributes: ...
 
 
 class _TxnView:
@@ -241,7 +284,7 @@ class TransactionalDirectory:
     """
 
     def __init__(
-        self, directories: DirectoryService, host: TransactionAgentHost
+        self, directories: DirectoryService, host: TransactionHost
     ) -> None:
         self.directories = directories
         self.host = host

@@ -26,7 +26,12 @@ import struct
 import zlib
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.common.errors import BadAddressError, DiskCrashedError, DiskError
+from repro.common.errors import (
+    BadAddressError,
+    DiskCrashedError,
+    DiskError,
+    StableKeyError,
+)
 from repro.common.units import SECTOR_SIZE
 from repro.simdisk.disk import SimDisk
 
@@ -90,12 +95,12 @@ class StableStore:
     def get(self, key: str) -> bytes:
         """Read the record for ``key``, falling back to mirror B.
 
-        Raises KeyError if the key is unknown, :class:`DiskError` if
-        both copies are unreadable.
+        Raises :class:`StableKeyError` (a :class:`KeyError`) if the key
+        is unknown, :class:`DiskError` if both copies are unreadable.
         """
         slot = self._directory.get(key)
         if slot is None:
-            raise KeyError(key)
+            raise StableKeyError(key)
         for mirror in (self.mirror_a, self.mirror_b):
             try:
                 record = mirror.read_sectors(slot[0], slot[1])

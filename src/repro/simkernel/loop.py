@@ -21,6 +21,10 @@ class EventLoop:
         self.clock = clock
         self._heap: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
+        # _pending tracks handles still in the heap; _cancelled is always
+        # a subset of it, so neither set can outgrow the heap no matter
+        # how callers cancel (late, twice, or with made-up handles).
+        self._pending: set[int] = set()
         self._cancelled: set[int] = set()
 
     def call_at(self, when_us: int, callback: Callable[[], None]) -> int:
@@ -29,6 +33,7 @@ class EventLoop:
             when_us = self.clock.now_us
         self._seq += 1
         heapq.heappush(self._heap, (int(when_us), self._seq, callback))
+        self._pending.add(self._seq)
         return self._seq
 
     def call_later(self, delay_us: int, callback: Callable[[], None]) -> int:
@@ -37,7 +42,8 @@ class EventLoop:
 
     def cancel(self, handle: int) -> None:
         """Cancel a scheduled callback by its handle (no-op if already run)."""
-        self._cancelled.add(handle)
+        if handle in self._pending:
+            self._cancelled.add(handle)
 
     def next_event_time(self) -> int | None:
         """Time of the earliest pending (non-cancelled) event, or None."""
@@ -54,6 +60,7 @@ class EventLoop:
             if not self._heap or self._heap[0][0] > self.clock.now_us:
                 return ran
             _, seq, callback = heapq.heappop(self._heap)
+            self._pending.discard(seq)
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
@@ -74,4 +81,5 @@ class EventLoop:
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][1] in self._cancelled:
             _, seq, _ = heapq.heappop(self._heap)
+            self._pending.discard(seq)
             self._cancelled.discard(seq)

@@ -448,6 +448,10 @@ class TransactionAgent:
                 or not transaction.is_live
             )
 
+        # LockWaitPending is the runner's control-flow signal (caught by
+        # name, never an error); forcing it under RhodosError would let
+        # broad facility handlers swallow a pending wait.
+        # repro-lint: allow[error-taxonomy] control-flow signal, not an error
         raise LockWaitPending(str(item), ready)
 
     # ---- data plane

@@ -1,0 +1,18 @@
+# lint-fixture-module: repro.simdisk.fake_disk
+"""Fixture: physical writes the crash-point monitor would never see."""
+
+
+class FakeDisk:
+    def __init__(self) -> None:
+        self._sectors = {}
+        self.faults = None
+
+    def poke(self, sector: int, data: bytes) -> None:
+        self._sectors[sector] = data  # lint-expect: crash-point-discipline
+
+    def wipe(self) -> None:
+        self._sectors.clear()  # lint-expect: crash-point-discipline
+
+
+def bypass(disk, data: bytes) -> None:
+    disk.write_sectors(0, data)  # lint-expect: crash-point-discipline

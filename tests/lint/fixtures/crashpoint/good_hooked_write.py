@@ -1,0 +1,16 @@
+# lint-fixture-module: repro.simdisk.fake_hooked_disk
+"""Fixture: a raw mutation guarded by the crash-point hook."""
+
+
+class FakeDisk:
+    def __init__(self) -> None:
+        self._sectors = {}
+        self.faults = None
+
+    def write(self, sector: int, data: bytes) -> None:
+        torn = self.faults.note_write(1, disk_id="fake", start=sector)
+        if torn is None:
+            self._sectors[sector] = data
+
+    def read(self, sector: int) -> bytes:
+        return self._sectors.get(sector, b"")

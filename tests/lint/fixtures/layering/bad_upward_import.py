@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.disk_service.fake_upward
+"""Fixture: a disk-service module reaching up into higher layers."""
+
+from repro.file_service.server import FileServer  # lint-expect: layering
+
+import repro.agents.ports  # lint-expect: layering
+
+
+def peek(server: FileServer) -> object:
+    return repro.agents.ports and server

@@ -1,0 +1,9 @@
+# lint-fixture-module: repro.file_service.fake_downward
+"""Fixture: the same shape of code importing strictly downward."""
+
+from repro.common.metrics import Metrics
+from repro.disk_service.server import DiskServer
+
+
+def peek(server: DiskServer, metrics: Metrics) -> object:
+    return server and metrics

@@ -1,0 +1,9 @@
+# lint-fixture-module: repro.replication.fake_metrics
+"""Fixture: counter names outside the layer.noun_verb grammar."""
+
+
+def record(metrics, prefix: str) -> None:
+    metrics.add("Replication.Writes")  # lint-expect: metrics-naming
+    metrics.add("writes")  # lint-expect: metrics-naming
+    metrics.add(f"{prefix}.Bad-Name")  # lint-expect: metrics-naming
+    metrics.total("Replication.")  # lint-expect: metrics-naming

@@ -1,0 +1,9 @@
+# lint-fixture-module: repro.replication.fake_good_metrics
+"""Fixture: counter names inside the grammar, literal and interpolated."""
+
+
+def record(metrics, prefix: str, disk_id: str) -> None:
+    metrics.add("replication.replica_writes")
+    metrics.add(f"{prefix}.sectors_written", 4)
+    metrics.add(f"disk.{disk_id}.busy_us")
+    metrics.total("replication.")

@@ -1,0 +1,19 @@
+# lint-fixture-module: repro.workloads.fake_gen
+"""Fixture: every flavour of ambient randomness the rule bans."""
+
+import random
+
+from random import randint  # lint-expect: no-ambient-randomness
+
+
+def scramble(items: list) -> list:
+    random.shuffle(items)  # lint-expect: no-ambient-randomness
+    return items
+
+
+def fresh_rng() -> random.Random:
+    return random.Random()  # lint-expect: no-ambient-randomness
+
+
+def roll() -> int:
+    return randint(1, 6)

@@ -1,0 +1,14 @@
+# lint-fixture-module: repro.workloads.fake_seeded_gen
+"""Fixture: seeded, explicitly-threaded randomness (the blessed shape)."""
+
+import random
+
+
+def scramble(items: list, seed: int) -> list:
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    return items
+
+
+def roll(rng: random.Random) -> int:
+    return rng.randint(1, 6)

@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.file_service.fake_paths
+"""Fixture: raises that escape the Rhodos error taxonomy."""
+
+
+def open_path(path: str) -> None:
+    if not path:
+        raise Exception("empty path")  # lint-expect: error-taxonomy
+    if path.startswith("//"):
+        raise OSError("double slash")  # lint-expect: error-taxonomy
+    raise KeyError(path)  # lint-expect: error-taxonomy

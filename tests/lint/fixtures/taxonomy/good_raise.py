@@ -1,0 +1,23 @@
+# lint-fixture-module: repro.file_service.fake_good_paths
+"""Fixture: raises inside the taxonomy — facility, local, and assertion."""
+
+from repro.common.errors import FileServiceError, FileSizeError
+
+
+class FakePathError(FileServiceError):
+    """Locally-derived facility errors are recognised too."""
+
+
+def open_path(path: str) -> None:
+    if not path:
+        raise ValueError("empty path")  # precondition: stdlib is fine
+    if path.startswith("//"):
+        raise FakePathError("double slash")
+    raise FileSizeError(path)
+
+
+def reraise(error: FileSizeError) -> None:
+    try:
+        raise error  # caught-object re-raise is exempt
+    except FileSizeError:
+        raise

@@ -1,0 +1,15 @@
+# lint-fixture-module: repro.simkernel.fake_timer
+"""Fixture: simulated code reading host time three different ways."""
+
+import time  # lint-expect: no-wall-clock
+
+from datetime import datetime  # lint-expect: no-wall-clock
+
+
+def stamp() -> float:
+    started = time.perf_counter()  # lint-expect: no-wall-clock
+    return started
+
+
+def today() -> str:
+    return str(datetime)

@@ -1,0 +1,8 @@
+# lint-fixture-module: repro.simkernel.fake_sim_timer
+"""Fixture: the same component on simulated time."""
+
+from repro.common.clock import SimClock
+
+
+def stamp(clock: SimClock) -> int:
+    return clock.now_us

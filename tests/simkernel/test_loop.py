@@ -81,3 +81,52 @@ class TestEventLoop:
         loop.call_later(1, reschedule)
         with pytest.raises(RuntimeError):
             loop.run_until_idle(max_events=100)
+
+
+class TestCancelBookkeeping:
+    """The cancellation sets must not leak (regression: PR 2).
+
+    Cancelling a handle whose event already ran — or cancelling the same
+    handle twice — used to park the id in ``_cancelled`` forever.  Both
+    internal sets are now bounded by the heap: ids drop out when their
+    event pops, and cancels of dead handles are no-ops.
+    """
+
+    def test_cancel_after_run_does_not_leak(self, loop):
+        handle = loop.call_later(10, lambda: None)
+        loop.run_until_idle()
+        loop.cancel(handle)  # event already ran: must be a no-op
+        assert loop._cancelled == set()
+        assert loop._pending == set()
+
+    def test_double_cancel_does_not_leak(self, loop):
+        handle = loop.call_later(10, lambda: None)
+        loop.cancel(handle)
+        loop.cancel(handle)
+        loop.run_until_idle()
+        assert loop._cancelled == set()
+        assert loop._pending == set()
+
+    def test_cancel_of_unknown_handle_is_noop(self, loop):
+        loop.cancel(12345)
+        assert loop._cancelled == set()
+
+    def test_sets_bounded_by_heap(self, loop):
+        handles = [loop.call_later(i, lambda: None) for i in range(100)]
+        for handle in handles:
+            loop.cancel(handle)
+            loop.cancel(handle)  # double cancel on every handle
+        assert len(loop._cancelled) <= len(loop._heap)
+        loop.run_until_idle()
+        assert loop._cancelled == set()
+        assert loop._pending == set()
+
+    def test_cancelled_event_still_skipped(self, loop):
+        fired = []
+        keep = loop.call_later(20, lambda: fired.append("keep"))
+        drop = loop.call_later(10, lambda: fired.append("drop"))
+        loop.cancel(drop)
+        loop.run_until_idle()
+        assert fired == ["keep"]
+        assert keep  # the surviving handle stayed valid
+        assert loop._pending == set()
