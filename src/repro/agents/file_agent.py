@@ -25,6 +25,7 @@ from repro.common.clock import SimClock
 from repro.common.errors import BadDescriptorError, FileSizeError
 from repro.common.ids import DEVICE_DESCRIPTOR_LIMIT, SystemName
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 from repro.common.units import BLOCK_SIZE
 from repro.file_service.attributes import FileAttributes, LockingLevel, ServiceType
 from repro.agents.routing import FileServiceRouter
@@ -81,6 +82,8 @@ class FileAgent:
         cache_blocks: client block-cache capacity; 0 disables client
             caching (the Amoeba-Bullet-server configuration of
             experiment E5).
+        tracer: roots one trace per client operation; disabled by
+            default.
     """
 
     def __init__(
@@ -92,12 +95,14 @@ class FileAgent:
         metrics: Metrics,
         *,
         cache_blocks: int = 128,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.machine_id = machine_id
         self.naming = naming
         self.router = router
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.cache_blocks = cache_blocks
         self._prefix = f"file_agent.{machine_id}"
         self._open: Dict[int, _OpenFile] = {}
@@ -252,6 +257,12 @@ class FileAgent:
     # ---- read path
 
     def _read_at(self, state: _OpenFile, offset: int, n_bytes: int) -> bytes:
+        with self.tracer.span(
+            "file_agent", "read", machine=self.machine_id, offset=offset
+        ), self.metrics.timer(f"{self._prefix}.read_us", self.clock):
+            return self._do_read_at(state, offset, n_bytes)
+
+    def _do_read_at(self, state: _OpenFile, offset: int, n_bytes: int) -> bytes:
         if offset < 0 or n_bytes < 0:
             raise FileSizeError(f"bad read range ({offset}, {n_bytes})")
         self.metrics.add(f"{self._prefix}.reads")
@@ -288,8 +299,10 @@ class FileAgent:
             self._cache.move_to_end(key)
             if entry.valid or (entry.dirty_lo <= lo and hi <= entry.dirty_hi):
                 self.metrics.add(f"{self._prefix}.cache.hits")
+                self.tracer.annotate_add("agent_cache_hits")
                 return bytes(entry.data[lo:hi])
         self.metrics.add(f"{self._prefix}.cache.misses")
+        self.tracer.annotate_add("agent_cache_misses")
         block_lo = block_index * BLOCK_SIZE
         fetched = self.router.read(state.name, block_lo, BLOCK_SIZE)
         if fetched:
@@ -307,6 +320,12 @@ class FileAgent:
     # ---- write path
 
     def _write_at(self, state: _OpenFile, offset: int, data: bytes) -> int:
+        with self.tracer.span(
+            "file_agent", "write", machine=self.machine_id, offset=offset
+        ), self.metrics.timer(f"{self._prefix}.write_us", self.clock):
+            return self._do_write_at(state, offset, data)
+
+    def _do_write_at(self, state: _OpenFile, offset: int, data: bytes) -> int:
         if offset < 0:
             raise FileSizeError(f"bad write offset {offset}")
         self.metrics.add(f"{self._prefix}.writes")

@@ -43,6 +43,9 @@ class ClusterConfig:
         fault_profile: RPC fault injection; None = direct calls
             (no message bus between agents and servers).
         seed: RNG seed for every stochastic component.
+        tracing: record cross-layer request spans (zero-cost when off).
+        trace_capacity: completed spans retained in the tracer's ring
+            buffer.
     """
 
     n_machines: int = 1
@@ -63,6 +66,8 @@ class ClusterConfig:
     fault_profile: Optional[FaultProfile] = None
     replication_degree: int = 2
     seed: int = 0
+    tracing: bool = False
+    trace_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_machines < 1:

@@ -26,6 +26,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Machine
 from repro.common.clock import SimClock
 from repro.common.metrics import Metrics
+from repro.common.trace import Tracer
 from repro.disk_service.server import DiskServer
 from repro.file_service.server import FileServer
 from repro.naming.directory import DirectoryService
@@ -48,6 +49,11 @@ class RhodosCluster:
         self.config = config or ClusterConfig()
         self.clock = SimClock()
         self.metrics = Metrics()
+        self.tracer = Tracer(
+            self.clock,
+            capacity=self.config.trace_capacity,
+            enabled=self.config.tracing,
+        )
         self.loop = EventLoop(self.clock)
         self.naming = NamingService(self.metrics)
 
@@ -61,6 +67,7 @@ class RhodosCluster:
                 self.clock,
                 self.metrics,
                 timing=self.config.timing,
+                tracer=self.tracer,
             )
             stable = StableStore(
                 SimDisk(
@@ -87,6 +94,7 @@ class RhodosCluster:
                 readahead=self.config.disk_readahead,
                 extent_rows=self.config.extent_rows,
                 extent_columns=self.config.extent_columns,
+                tracer=self.tracer,
             )
             file_server = FileServer(
                 volume_id,
@@ -95,6 +103,7 @@ class RhodosCluster:
                 self.metrics,
                 data_cache_blocks=self.config.server_cache_blocks,
                 write_policy=self.config.write_policy,
+                tracer=self.tracer,
             )
             self.disks.append(disk)
             self.disk_servers[volume_id] = disk_server
@@ -107,6 +116,7 @@ class RhodosCluster:
                 self.metrics,
                 self.config.fault_profile,
                 seed=self.config.seed,
+                tracer=self.tracer,
             )
             addresses = {}
             for volume_id, file_server in self.file_servers.items():
@@ -128,6 +138,7 @@ class RhodosCluster:
             policy=self.config.timeout_policy,
             technique=self.config.commit_technique,
             cross_level=self.config.cross_level_locking,
+            tracer=self.tracer,
         )
         for file_server in self.file_servers.values():
             self.coordinator.register_volume(file_server)
@@ -155,6 +166,7 @@ class RhodosCluster:
                 self.clock,
                 self.metrics,
                 cache_blocks=self.config.client_cache_blocks,
+                tracer=self.tracer,
             )
             transaction_host = TransactionAgentHost(
                 machine_id,

@@ -33,6 +33,14 @@ class BadSectorError(DiskError):
     """A sector is unreadable (injected media failure)."""
 
 
+class SectorAlignmentError(DiskError):
+    """A write payload is not a whole number of sectors.
+
+    Raised *before* any byte reaches disk or cache: a silently
+    truncated tail would leave a stale cached suffix behind.
+    """
+
+
 class DiskCrashedError(DiskError):
     """The disk (or its server) has crashed and is not serving requests."""
 

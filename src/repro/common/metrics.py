@@ -5,24 +5,96 @@ The paper's performance argument is counted in *disk references*,
 therefore increments named counters on a shared :class:`Metrics`
 instance; benchmarks snapshot and diff them to produce the tables in
 EXPERIMENTS.md.
+
+Beyond plain counters the registry holds two further instrument kinds,
+both fed exclusively from *simulated* time and therefore fully
+deterministic:
+
+* **histograms** — distributions of observed values (typically
+  per-operation simulated-microsecond durations recorded through
+  :meth:`Metrics.observe` or the :meth:`Metrics.timer` context
+  manager); quantiles are computed by the deterministic nearest-rank
+  rule, so two identically seeded runs report byte-identical p50/p95;
+* **gauges** — last-value-wins level measurements
+  (:meth:`Metrics.gauge`), e.g. current cached-sector counts.
+
+All instrument names follow the same ``layer.noun_verb`` dotted
+grammar the ``metrics-naming`` lint rule enforces.
 """
 
 from __future__ import annotations
 
+import contextlib
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional
+
+if TYPE_CHECKING:
+    from repro.common.clock import SimClock
+
+#: Percentiles every histogram summary reports, in order.
+HISTOGRAM_PERCENTILES = (50, 95)
+
+
+def prefix_matches(name: str, prefix: str) -> bool:
+    """Dot-segment-aware prefix match.
+
+    ``"disk.1"`` matches ``disk.1`` and ``disk.1.*`` but **not**
+    ``disk.10.*`` (raw ``str.startswith`` would).  A prefix ending in
+    a dot matches any name under it, preserving the established
+    ``total("disk.")`` idiom.
+    """
+    if prefix.endswith("."):
+        return name.startswith(prefix)
+    return name == prefix or name.startswith(prefix + ".")
+
+
+def _nearest_rank(ordered: List[int], percentile: int) -> int:
+    """Nearest-rank percentile of a sorted, non-empty sample list.
+
+    Integer arithmetic only (``rank = ceil(p*n/100)``), so the result
+    never depends on floating-point rounding.
+    """
+    rank = max(1, -(-percentile * len(ordered) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class Metrics:
-    """A hierarchic bag of named integer counters.
+    """A hierarchic bag of named integer counters, histograms and gauges.
 
-    Counter names are dotted paths, e.g. ``disk.0.reads`` or
-    ``file_agent.cache.hits``.  Components only ever *add*; analysis
-    code reads, snapshots and diffs.
+    Instrument names are dotted paths, e.g. ``disk.0.reads`` or
+    ``file_agent.cache.hits``.  Components only ever *add*/*observe*;
+    analysis code reads, snapshots and diffs.
     """
+
+    #: When a :meth:`tracking` block is active, every Metrics instance
+    #: constructed registers itself here so harnesses (the bench
+    #: runner) can aggregate registries benchmarks build internally.
+    _live: Optional[List["Metrics"]] = None
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
+        self._histograms: Dict[str, List[int]] = defaultdict(list)
+        self._gauges: Dict[str, int] = {}
+        if Metrics._live is not None:
+            Metrics._live.append(self)
+
+    @classmethod
+    @contextlib.contextmanager
+    def tracking(cls) -> Iterator[List["Metrics"]]:
+        """Collect every Metrics instance constructed inside the block.
+
+        Used by ``repro.tools.bench`` to aggregate the registries that
+        benchmark helpers build internally.  Nesting restores the outer
+        collector on exit.
+        """
+        previous, collected = cls._live, []
+        cls._live = collected
+        try:
+            yield collected
+        finally:
+            cls._live = previous
+
+    # ------------------------------------------------------- counters
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (may be negative)."""
@@ -33,20 +105,29 @@ class Metrics:
         return self._counters.get(name, 0)
 
     def total(self, prefix: str) -> int:
-        """Sum of all counters whose name starts with ``prefix``."""
+        """Sum of all counters under dotted prefix ``prefix``.
+
+        Matching is dot-segment aware: ``total("disk.1")`` covers
+        ``disk.1`` and ``disk.1.*`` but never ``disk.10.*``.
+        """
         return sum(
-            value for name, value in self._counters.items() if name.startswith(prefix)
+            value
+            for name, value in self._counters.items()
+            if prefix_matches(name, prefix)
         )
 
     def snapshot(self, prefixes: Iterable[str] | None = None) -> Dict[str, int]:
-        """A copy of the counters, optionally restricted to ``prefixes``."""
+        """A copy of the counters, optionally restricted to ``prefixes``.
+
+        Prefixes are matched dot-segment aware, like :meth:`total`.
+        """
         if prefixes is None:
             return dict(self._counters)
         wanted = tuple(prefixes)
         return {
             name: value
             for name, value in self._counters.items()
-            if name.startswith(wanted)
+            if any(prefix_matches(name, prefix) for prefix in wanted)
         }
 
     def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
@@ -58,9 +139,85 @@ class Metrics:
                 changed[name] = delta
         return changed
 
+    # ----------------------------------------------------- histograms
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one sample into histogram ``name``.
+
+        Values are integers by convention (simulated microseconds,
+        sector counts); floats are truncated toward zero to keep
+        summaries platform-independent.
+        """
+        self._histograms[name].append(int(value))
+
+    @contextlib.contextmanager
+    def timer(self, name: str, clock: "SimClock") -> Iterator[None]:
+        """Observe the simulated time a ``with`` block spends.
+
+        The elapsed ``clock`` microseconds are recorded into histogram
+        ``name`` on exit — including exits by exception, so failed
+        operations still account for the time they consumed.
+        """
+        started = clock.now_us
+        try:
+            yield
+        finally:
+            self._histograms[name].append(clock.now_us - started)
+
+    def histogram(self, name: str) -> Dict[str, int]:
+        """Deterministic summary of histogram ``name``.
+
+        Returns ``{count, min, max, sum, p50, p95}`` (all zero for an
+        empty or unknown histogram).  Quantiles use the nearest-rank
+        rule over the sorted samples, so identical runs produce
+        identical summaries.
+        """
+        samples = self._histograms.get(name)
+        if not samples:
+            return {"count": 0, "min": 0, "max": 0, "sum": 0, "p50": 0, "p95": 0}
+        ordered = sorted(samples)
+        summary = {
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "sum": sum(ordered),
+        }
+        for percentile in HISTOGRAM_PERCENTILES:
+            summary[f"p{percentile}"] = _nearest_rank(ordered, percentile)
+        return summary
+
+    def histogram_names(self) -> List[str]:
+        """Names of every histogram with at least one sample, sorted."""
+        return sorted(name for name, samples in self._histograms.items() if samples)
+
+    def histogram_samples(self, name: str) -> List[int]:
+        """A copy of the raw samples of histogram ``name`` (merge-friendly)."""
+        return list(self._histograms.get(name, ()))
+
+    # --------------------------------------------------------- gauges
+
+    def gauge(self, name: str, value: int) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = int(value)
+
+    def get_gauge(self, name: str) -> int:
+        """Current value of gauge ``name`` (0 if never set)."""
+        return self._gauges.get(name, 0)
+
+    def gauges(self) -> Dict[str, int]:
+        """A copy of every gauge."""
+        return dict(self._gauges)
+
+    # ------------------------------------------------------ lifecycle
+
     def reset(self) -> None:
-        """Zero every counter.  Benchmarks call this between runs."""
+        """Zero every counter, histogram and gauge (between bench runs)."""
         self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
 
     def __repr__(self) -> str:
-        return f"Metrics({len(self._counters)} counters)"
+        return (
+            f"Metrics({len(self._counters)} counters, "
+            f"{len(self._histograms)} histograms, {len(self._gauges)} gauges)"
+        )

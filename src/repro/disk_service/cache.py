@@ -15,9 +15,11 @@ is never stale.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.common.errors import SectorAlignmentError
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 from repro.simdisk.disk import SimDisk
 
 
@@ -32,6 +34,8 @@ class TrackCache:
             read (the paper's strategy); disable to measure its value
             (experiment E14).
         name: metric prefix, e.g. ``disk_cache.0``.
+        tracer: annotates the enclosing disk-service span with this
+            cache's hit/miss verdict; disabled by default.
     """
 
     def __init__(
@@ -42,9 +46,11 @@ class TrackCache:
         capacity_tracks: int = 128,
         readahead: bool = True,
         name: str = "disk_cache",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.disk = disk
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.capacity_tracks = max(1, capacity_tracks)
         self.readahead = readahead
         self.name = name
@@ -63,9 +69,11 @@ class TrackCache:
         """
         if self._all_cached(start, n_sectors):
             self.metrics.add(f"{self.name}.hits")
+            self.tracer.annotate("track_cache", "hit")
             self._touch(start, n_sectors)
             return self._assemble(start, n_sectors)
         self.metrics.add(f"{self.name}.misses")
+        self.tracer.annotate("track_cache", "miss")
         data = self.disk.read_sectors(start, n_sectors)
         self._store(start, data)
         if self.readahead:
@@ -73,9 +81,22 @@ class TrackCache:
         return data
 
     def write_through(self, start: int, data: bytes) -> None:
-        """Write to disk and refresh any cached copies of these sectors."""
-        self.disk.write_sectors(start, data)
+        """Write to disk and refresh any cached copies of these sectors.
+
+        The payload must be a whole number of sectors: the refresh loop
+        is sector-granular, so a partial tail could never update its
+        cached sector and would leave a stale suffix to be served by
+        later reads.  Misaligned payloads raise
+        :class:`~repro.common.errors.SectorAlignmentError` before any
+        byte reaches disk or cache.
+        """
         size = self.disk.geometry.sector_size
+        if len(data) == 0 or len(data) % size != 0:
+            raise SectorAlignmentError(
+                f"{self.name}: write of {len(data)} bytes at sector {start} "
+                f"is not a positive multiple of the {size}-byte sector size"
+            )
+        self.disk.write_sectors(start, data)
         for index in range(len(data) // size):
             sector = start + index
             track = self.disk.track_of(sector)

@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 from repro.common.clock import SimClock
 from repro.common.errors import BadAddressError, DiskFullError
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 from repro.common.units import FRAGMENTS_PER_BLOCK
 from repro.disk_service.addresses import Extent
 from repro.disk_service.bitmap import FragmentBitmap
@@ -70,6 +71,7 @@ class DiskServer:
         readahead: enable rest-of-track readahead (paper's strategy).
         extent_rows / extent_columns: free-extent array dimensions
             (64x64 in the paper; configurable for ablation A1).
+        tracer: records one span per get/put; disabled by default.
     """
 
     def __init__(
@@ -83,11 +85,13 @@ class DiskServer:
         readahead: bool = True,
         extent_rows: int = 64,
         extent_columns: int = 64,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.disk = disk
         self.stable = stable
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.n_fragments = disk.geometry.capacity_bytes // Extent(0, 1).byte_size
         self.bitmap = FragmentBitmap(self.n_fragments)
         self.extent_table = FreeExtentTable(extent_rows, extent_columns)
@@ -99,6 +103,7 @@ class DiskServer:
                 capacity_tracks=cache_tracks,
                 readahead=readahead,
                 name=f"disk_cache.{disk.disk_id}",
+                tracer=self.tracer,
             )
             if cache_tracks > 0
             else None
@@ -211,14 +216,23 @@ class DiskServer:
         ``source=Source.STABLE`` retrieves the stable-storage copy that
         a prior ``put(..., stability=STABLE_ONLY or BOTH)`` saved.
         """
-        self._check_extent(extent)
-        self.metrics.add(f"{self._prefix}.gets")
-        if source is Source.STABLE:
-            self._drain_pending()
-            return self.stable.get(_stable_key(extent))
-        if self._cache is not None and use_cache:
-            return self._cache.read(extent.first_sector, extent.n_sectors)
-        return self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+        with self.tracer.span(
+            "disk_service",
+            "get",
+            disk=self.disk.disk_id,
+            fragment=extent.start,
+            n_fragments=extent.length,
+            source=source.value,
+        ), self.metrics.timer(f"{self._prefix}.get_us", self.clock):
+            self._check_extent(extent)
+            self.metrics.add(f"{self._prefix}.gets")
+            if source is Source.STABLE:
+                self._drain_pending()
+                return self.stable.get(_stable_key(extent))
+            if self._cache is not None and use_cache:
+                return self._cache.read(extent.first_sector, extent.n_sectors)
+            self.tracer.annotate("track_cache", "bypassed")
+            return self.disk.read_sectors(extent.first_sector, extent.n_sectors)
 
     def put(
         self,
@@ -235,30 +249,38 @@ class DiskServer:
         the next ``flush`` or stable read — a crash first loses it,
         which is the semantics the caller signed up for).
         """
-        self._check_extent(extent)
-        if len(data) != extent.byte_size:
-            raise BadAddressError(
-                f"payload is {len(data)} bytes but extent {extent} holds "
-                f"{extent.byte_size}"
-            )
-        self.metrics.add(f"{self._prefix}.puts")
-        if stability is not Stability.ORIGINAL_ONLY and self._bitmap_dirty:
-            # Bitmap first, then the structure referencing the newly
-            # allocated fragments.  A crash in between leaks orphans
-            # (an fsck warning), never lost blocks (an fsck error).
-            self.checkpoint_free_space()
-        if stability in (Stability.ORIGINAL_ONLY, Stability.BOTH):
-            if self._cache is not None:
-                self._cache.write_through(extent.first_sector, data)
-            else:
-                self.disk.write_sectors(extent.first_sector, data)
-        if stability in (Stability.STABLE_ONLY, Stability.BOTH):
-            key = _stable_key(extent)
-            if sync is SyncMode.AFTER_STABLE:
-                self.stable.put(key, data)
-            else:
-                self._pending_stable.append((key, data))
-                self.metrics.add(f"{self._prefix}.deferred_stable_puts")
+        with self.tracer.span(
+            "disk_service",
+            "put",
+            disk=self.disk.disk_id,
+            fragment=extent.start,
+            n_fragments=extent.length,
+            stability=stability.value,
+        ), self.metrics.timer(f"{self._prefix}.put_us", self.clock):
+            self._check_extent(extent)
+            if len(data) != extent.byte_size:
+                raise BadAddressError(
+                    f"payload is {len(data)} bytes but extent {extent} holds "
+                    f"{extent.byte_size}"
+                )
+            self.metrics.add(f"{self._prefix}.puts")
+            if stability is not Stability.ORIGINAL_ONLY and self._bitmap_dirty:
+                # Bitmap first, then the structure referencing the newly
+                # allocated fragments.  A crash in between leaks orphans
+                # (an fsck warning), never lost blocks (an fsck error).
+                self.checkpoint_free_space()
+            if stability in (Stability.ORIGINAL_ONLY, Stability.BOTH):
+                if self._cache is not None:
+                    self._cache.write_through(extent.first_sector, data)
+                else:
+                    self.disk.write_sectors(extent.first_sector, data)
+            if stability in (Stability.STABLE_ONLY, Stability.BOTH):
+                key = _stable_key(extent)
+                if sync is SyncMode.AFTER_STABLE:
+                    self.stable.put(key, data)
+                else:
+                    self._pending_stable.append((key, data))
+                    self.metrics.add(f"{self._prefix}.deferred_stable_puts")
 
     def release_stable(self, extent: Extent) -> None:
         """Drop the stable-storage copy of an extent (e.g. committed shadow)."""
@@ -285,6 +307,7 @@ class DiskServer:
     def checkpoint_free_space(self) -> None:
         """Save the bitmap to stable storage (vital structural information)."""
         self._bitmap_dirty = False
+        self.metrics.gauge(f"{self._prefix}.free_fragments", self.bitmap.free_count)
         self.stable.put("bitmap", self.bitmap.to_bytes())
 
     def recover(self) -> None:

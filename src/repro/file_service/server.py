@@ -38,6 +38,7 @@ from repro.common.errors import (
 )
 from repro.common.ids import SystemName, monotonic_id_factory
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK
 from repro.disk_service.addresses import Extent
 from repro.disk_service.server import DiskServer, Stability
@@ -99,6 +100,8 @@ class FileServer:
             disables server-side data caching (for experiment E5).
         write_policy: DELAYED (basic-file default) or WRITE_THROUGH.
         name: metric prefix; defaults to ``file_server.<volume_id>``.
+        tracer: records one span per read/write/create; disabled by
+            default.
     """
 
     def __init__(
@@ -113,14 +116,19 @@ class FileServer:
         write_policy: WritePolicy = WritePolicy.DELAYED,
         growth_batch_blocks: int = DEFAULT_GROWTH_BATCH_BLOCKS,
         name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.volume_id = volume_id
         self.growth_batch_blocks = max(1, growth_batch_blocks)
         self.disk = disk_server
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.write_policy = write_policy
         self.name = name or f"file_server.{volume_id}"
+        #: The data disk's reference counter, re-read around traced
+        #: operations so a span can report its disk-reference cost.
+        self._refs_counter = f"disk.{disk_server.disk.disk_id}.references"
         self._next_generation = monotonic_id_factory()
         self._files: Dict[int, _OpenState] = {}  # fit_address -> state
         self._fit_lru: List[int] = []
@@ -153,6 +161,19 @@ class FileServer:
         retrieve the first data block").  The FIT is written to both
         its original location and stable storage.
         """
+        with self.tracer.span(
+            "file_service", "create", volume=self.volume_id
+        ), self.metrics.timer(f"{self.name}.create_us", self.clock):
+            return self._do_create(
+                service_type=service_type, locking_level=locking_level
+            )
+
+    def _do_create(
+        self,
+        *,
+        service_type: ServiceType,
+        locking_level: LockingLevel,
+    ) -> SystemName:
         first_block: Optional[Extent] = None
         try:
             joint = self.disk.allocate(1 + FRAGMENTS_PER_BLOCK)
@@ -234,6 +255,18 @@ class FileServer:
         Short reads happen at end of file; reads inside holes return
         zero bytes ('\\x00'), matching sparse-file convention.
         """
+        with self.tracer.span(
+            "file_service", "read", volume=self.volume_id, offset=offset
+        ) as span, self.metrics.timer(f"{self.name}.read_us", self.clock):
+            refs_before = self.metrics.get(self._refs_counter)
+            data = self._do_read(name, offset, n_bytes)
+            span.annotate(
+                "disk_references",
+                self.metrics.get(self._refs_counter) - refs_before,
+            )
+            return data
+
+    def _do_read(self, name: SystemName, offset: int, n_bytes: int) -> bytes:
         if offset < 0 or n_bytes < 0:
             raise FileSizeError(f"bad read range ({offset}, {n_bytes})")
         state = self._load_state(name)
@@ -271,6 +304,18 @@ class FileServer:
         (cached dirty) for basic files, write-through for transaction
         files.  Returns the number of bytes written.
         """
+        with self.tracer.span(
+            "file_service", "write", volume=self.volume_id, offset=offset
+        ) as span, self.metrics.timer(f"{self.name}.write_us", self.clock):
+            refs_before = self.metrics.get(self._refs_counter)
+            written = self._do_write(name, offset, data)
+            span.annotate(
+                "disk_references",
+                self.metrics.get(self._refs_counter) - refs_before,
+            )
+            return written
+
+    def _do_write(self, name: SystemName, offset: int, data: bytes) -> int:
         if offset < 0:
             raise FileSizeError(f"bad write offset {offset}")
         if not data:
@@ -431,6 +476,7 @@ class FileServer:
                 self._store_fit(fit_address, state)
         self.disk.flush()
         self.metrics.add(f"{self.name}.flushes")
+        self.metrics.gauge(f"{self.name}.fits_cached", len(self._files))
 
     def crash(self) -> None:
         """Simulate the machine hosting this server crashing.
@@ -879,9 +925,11 @@ class FileServer:
             block_addr = address + index * FRAGMENTS_PER_BLOCK
             cached = self._data_cache.get(block_addr)
             if cached is not None:
+                self.tracer.annotate_add("block_pool_hits")
                 pieces.append(cached)
                 index += 1
                 continue
+            self.tracer.annotate_add("block_pool_misses")
             # Find the extent of the uncached sub-run.
             miss_len = 1
             while index + miss_len < n_blocks and not self._data_cache.contains(

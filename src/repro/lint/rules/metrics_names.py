@@ -28,8 +28,11 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 #: Alphabet any f-string fragment of a name must stay inside.
 FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
 
-#: Metrics methods whose first argument is a counter name or prefix.
-NAME_METHODS = frozenset({"add", "get"})
+#: Metrics methods whose first argument is an instrument name (counters,
+#: histograms via observe/timer/histogram, gauges) or a prefix.
+NAME_METHODS = frozenset(
+    {"add", "get", "observe", "timer", "histogram", "gauge", "get_gauge"}
+)
 PREFIX_METHODS = frozenset({"total"})
 
 PREFIX_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.?$")

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.common.clock import SimClock
 from repro.common.errors import RpcError
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 
 #: A handler takes (op, payload) and returns the reply payload.
 Handler = Callable[[str, Any], Any]
@@ -61,9 +62,11 @@ class MessageBus:
         profile: FaultProfile | None = None,
         *,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.profile = profile or FaultProfile.reliable()
         #: Surfaced in timeout messages so a failing run names the exact
         #: fault schedule that reproduces it.
@@ -107,22 +110,28 @@ class MessageBus:
         handler = self._endpoints.get(dst)
         if handler is None:
             raise RpcError(f"no endpoint at {dst!r}")
-        self.clock.advance_us(self.profile.latency_us)
-        self.metrics.add("rpc.messages")
-        if dst in self._down or self._chance(self.profile.request_loss):
-            self.metrics.add("rpc.requests_lost")
-            return False, None
-        reply = handler(op, payload)
-        self.metrics.add("rpc.executions")
-        if self._chance(self.profile.duplication):
+        with self.tracer.span(
+            "rpc", "transmit", dst=dst, rpc_op=op
+        ) as span, self.metrics.timer("rpc.transmit_us", self.clock):
+            self.clock.advance_us(self.profile.latency_us)
+            self.metrics.add("rpc.messages")
+            if dst in self._down or self._chance(self.profile.request_loss):
+                self.metrics.add("rpc.requests_lost")
+                span.annotate("outcome", "request_lost")
+                return False, None
             reply = handler(op, payload)
             self.metrics.add("rpc.executions")
-            self.metrics.add("rpc.duplicated_executions")
-        self.clock.advance_us(self.profile.latency_us)
-        if dst in self._down or self._chance(self.profile.reply_loss):
-            self.metrics.add("rpc.replies_lost")
-            return False, None
-        return True, reply
+            if self._chance(self.profile.duplication):
+                reply = handler(op, payload)
+                self.metrics.add("rpc.executions")
+                self.metrics.add("rpc.duplicated_executions")
+            self.clock.advance_us(self.profile.latency_us)
+            if dst in self._down or self._chance(self.profile.reply_loss):
+                self.metrics.add("rpc.replies_lost")
+                span.annotate("outcome", "reply_lost")
+                return False, None
+            span.annotate("outcome", "ok")
+            return True, reply
 
     # ------------------------------------------------------ internal
 

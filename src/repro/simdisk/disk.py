@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from repro.common.clock import SimClock
 from repro.common.errors import BadAddressError, BadSectorError, DiskCrashedError
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 from repro.simdisk.faults import FaultInjector
 from repro.simdisk.geometry import DiskGeometry
 from repro.simdisk.timing import DiskTimingModel
@@ -40,6 +41,7 @@ class SimDisk:
         metrics: shared counter registry.
         timing: service-time model (defaults are a 1990s 5400 rpm drive).
         faults: fault injector; a fresh, quiescent one by default.
+        tracer: records one span per disk reference; disabled by default.
     """
 
     def __init__(
@@ -50,11 +52,13 @@ class SimDisk:
         metrics: Metrics,
         timing: Optional[DiskTimingModel] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.disk_id = disk_id
         self.geometry = geometry
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.timing = timing or DiskTimingModel()
         self.faults = faults or FaultInjector()
         self._sectors: Dict[int, bytes] = {}
@@ -66,20 +70,25 @@ class SimDisk:
 
     def read_sectors(self, start: int, n_sectors: int) -> bytes:
         """Read ``n_sectors`` contiguous sectors in one disk reference."""
-        self._check_alive()
-        self._check_range(start, n_sectors)
-        for sector in range(start, start + n_sectors):
-            if self.faults.is_bad(sector):
-                raise BadSectorError(f"{self.disk_id}: sector {sector} unreadable")
-        self._charge(start, n_sectors)
-        self.metrics.add(f"{self._prefix}.reads")
-        self.metrics.add(f"{self._prefix}.references")
-        self.metrics.add(f"{self._prefix}.sectors_read", n_sectors)
-        size = self.geometry.sector_size
-        return b"".join(
-            self._sectors.get(sector, _zero_sector(size))
-            for sector in range(start, start + n_sectors)
-        )
+        with self.tracer.span(
+            "simdisk", "read", disk=self.disk_id, sector=start, n_sectors=n_sectors
+        ):
+            self._check_alive()
+            self._check_range(start, n_sectors)
+            for sector in range(start, start + n_sectors):
+                if self.faults.is_bad(sector):
+                    raise BadSectorError(
+                        f"{self.disk_id}: sector {sector} unreadable"
+                    )
+            self._charge(start, n_sectors)
+            self.metrics.add(f"{self._prefix}.reads")
+            self.metrics.add(f"{self._prefix}.references")
+            self.metrics.add(f"{self._prefix}.sectors_read", n_sectors)
+            size = self.geometry.sector_size
+            return b"".join(
+                self._sectors.get(sector, _zero_sector(size))
+                for sector in range(start, start + n_sectors)
+            )
 
     def write_sectors(self, start: int, data: bytes) -> None:
         """Write ``data`` (a whole number of sectors) in one disk reference.
@@ -88,30 +97,35 @@ class SimDisk:
         prefix of the sectors reaches the platter (a *torn write*) and
         :class:`DiskCrashedError` is raised.
         """
-        self._check_alive()
-        size = self.geometry.sector_size
-        if len(data) == 0 or len(data) % size != 0:
-            raise BadAddressError(
-                f"write length {len(data)} is not a positive multiple of {size}"
+        with self.tracer.span(
+            "simdisk", "write", disk=self.disk_id, sector=start
+        ):
+            self._check_alive()
+            size = self.geometry.sector_size
+            if len(data) == 0 or len(data) % size != 0:
+                raise BadAddressError(
+                    f"write length {len(data)} is not a positive multiple of {size}"
+                )
+            n_sectors = len(data) // size
+            self._check_range(start, n_sectors)
+            torn_at = self.faults.note_write(
+                n_sectors, disk_id=self.disk_id, start=start
             )
-        n_sectors = len(data) // size
-        self._check_range(start, n_sectors)
-        torn_at = self.faults.note_write(n_sectors, disk_id=self.disk_id, start=start)
-        written = n_sectors if torn_at is None else torn_at
-        for index in range(written):
-            offset = index * size
-            self._sectors[start + index] = bytes(data[offset : offset + size])
-        self._charge(start, n_sectors)
-        self.metrics.add(f"{self._prefix}.writes")
-        self.metrics.add(f"{self._prefix}.references")
-        self.metrics.add(f"{self._prefix}.sectors_written", written)
-        if torn_at is not None:
-            note = self.faults.last_crash_note
-            raise DiskCrashedError(
-                f"{self.disk_id}: crashed during write at sector {start} "
-                f"({written}/{n_sectors} sectors reached the platter)"
-                + (f" [{note}]" if note else "")
-            )
+            written = n_sectors if torn_at is None else torn_at
+            for index in range(written):
+                offset = index * size
+                self._sectors[start + index] = bytes(data[offset : offset + size])
+            self._charge(start, n_sectors)
+            self.metrics.add(f"{self._prefix}.writes")
+            self.metrics.add(f"{self._prefix}.references")
+            self.metrics.add(f"{self._prefix}.sectors_written", written)
+            if torn_at is not None:
+                note = self.faults.last_crash_note
+                raise DiskCrashedError(
+                    f"{self.disk_id}: crashed during write at sector {start} "
+                    f"({written}/{n_sectors} sectors reached the platter)"
+                    + (f" [{note}]" if note else "")
+                )
 
     def read_in_passing(self, start: int, n_sectors: int) -> bytes:
         """Read sectors the head will pass over anyway (track readahead).
@@ -183,6 +197,7 @@ class SimDisk:
         self._head_angular = angular
         self.clock.advance_us(elapsed)
         self.metrics.add(f"{self._prefix}.busy_us", int(elapsed))
+        self.metrics.observe(f"{self._prefix}.service_us", int(elapsed))
 
     def __repr__(self) -> str:
         return (

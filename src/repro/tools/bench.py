@@ -1,0 +1,277 @@
+"""Machine-readable benchmark runner: ``python -m repro.tools.bench``.
+
+The benchmark suite under ``benchmarks/`` regenerates the paper's
+artifacts as human-readable tables and shape assertions.  This runner
+executes the same ``bench_*.py`` files headlessly — no pytest, no
+pytest-benchmark — and emits one JSON document so the repo finally has
+a *machine-readable* perf trajectory: each PR can diff its
+``BENCH_*.json`` against the previous one, counter by counter and
+quantile by quantile, the way the paper's own tables compare designs.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "repro-bench",
+      "experiments": {
+        "<experiment id>": {
+          "status": "pass" | "fail" | "error",
+          "failure": null | "<first line of the assertion/exception>",
+          "counters": {"disk.0.references": 42, ...},
+          "layers": {"disk": 42, "file_server": 7, ...},
+          "histograms": {"disk.0.service_us": {"count": ..., "p50": ...}},
+          "gauges": {"disk_server.0.free_fragments": ...}
+        }, ...
+      }
+    }
+
+Counters, histogram samples and gauges are aggregated across every
+:class:`~repro.common.metrics.Metrics` registry an experiment builds
+internally (collected through :meth:`Metrics.tracking`), then
+summarised deterministically — identical runs emit byte-identical
+JSON.  Experiment *assertions* still run: a failed paper claim shows
+up as ``status: "fail"`` instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib.util
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.common.metrics import HISTOGRAM_PERCENTILES, Metrics, _nearest_rank
+
+#: Experiments the ``--smoke`` subset runs: one per subsystem, all fast.
+SMOKE_EXPERIMENTS = (
+    "e1_two_disk_references",
+    "e14_track_cache",
+    "t1_lock_compatibility",
+)
+
+
+def repo_root() -> Path:
+    """The repository root, located from this file (src/repro/tools/…)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def benchmarks_dir() -> Path:
+    return repo_root() / "benchmarks"
+
+
+class _HeadlessBenchmark:
+    """Stand-in for the pytest-benchmark fixture.
+
+    The suite only uses ``benchmark.pedantic(fn, rounds=1,
+    iterations=1)`` and direct calls; both simply invoke the function
+    once and hand back its result — the simulated clock, not the host
+    machine, is the time base, so repetition adds nothing.
+    """
+
+    def pedantic(
+        self,
+        target: Callable,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        **_ignored: object,
+    ):
+        return target(*args, **(kwargs or {}))
+
+    def __call__(self, target: Callable, *args: object, **kwargs: object):
+        return target(*args, **kwargs)
+
+
+def discover(directory: Optional[Path] = None) -> Dict[str, Path]:
+    """Map experiment id (``e1_two_disk_references``) to bench file."""
+    directory = directory or benchmarks_dir()
+    return {
+        path.stem[len("bench_"):]: path
+        for path in sorted(directory.glob("bench_*.py"))
+    }
+
+
+def _load_module(path: Path):
+    """Import one bench file with the benchmarks dir importable.
+
+    Bench files import ``_helpers`` as a top-level module, so the
+    benchmarks directory temporarily joins ``sys.path`` (mirroring what
+    ``benchmarks/conftest.py`` does for pytest runs).
+    """
+    directory = str(path.parent)
+    spec = importlib.util.spec_from_file_location(f"repro_bench_{path.stem}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.path.insert(0, directory)
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        with contextlib.suppress(ValueError):
+            sys.path.remove(directory)
+    return module
+
+
+def _aggregate(registries: List[Metrics]) -> Dict[str, object]:
+    """Merge every registry an experiment built into one summary."""
+    counters: Dict[str, int] = {}
+    samples: Dict[str, List[int]] = {}
+    gauges: Dict[str, int] = {}
+    for registry in registries:
+        for name, value in registry.snapshot().items():
+            counters[name] = counters.get(name, 0) + value
+        for name in registry.histogram_names():
+            samples.setdefault(name, []).extend(registry.histogram_samples(name))
+        # Last write wins across registries too; registries are visited
+        # in creation order, so the newest system's levels prevail.
+        gauges.update(registry.gauges())
+    layers: Dict[str, int] = {}
+    for name, value in counters.items():
+        layers[name.split(".", 1)[0]] = layers.get(name.split(".", 1)[0], 0) + value
+    histograms: Dict[str, Dict[str, int]] = {}
+    for name, values in samples.items():
+        ordered = sorted(values)
+        summary = {
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "sum": sum(ordered),
+        }
+        for percentile in HISTOGRAM_PERCENTILES:
+            summary[f"p{percentile}"] = _nearest_rank(ordered, percentile)
+        histograms[name] = summary
+    return {
+        "counters": dict(sorted(counters.items())),
+        "layers": dict(sorted(layers.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "gauges": dict(sorted(gauges.items())),
+    }
+
+
+def run_experiment(path: Path, *, quiet: bool = True) -> Dict[str, object]:
+    """Run every ``test_*`` function of one bench file; summarise."""
+    status, failure = "pass", None
+    with Metrics.tracking() as registries:
+        sink = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(sink if quiet else sys.stdout):
+                module = _load_module(path)
+                tests = [
+                    getattr(module, name)
+                    for name in sorted(dir(module))
+                    if name.startswith("test_") and callable(getattr(module, name))
+                ]
+                for test in tests:
+                    test(_HeadlessBenchmark())
+        except AssertionError as exc:
+            status = "fail"
+            failure = str(exc).splitlines()[0] if str(exc) else "assertion failed"
+        except Exception as exc:  # noqa: BLE001 - one bad bench must not kill the sweep
+            status = "error"
+            failure = f"{type(exc).__name__}: {exc}".splitlines()[0]
+    result: Dict[str, object] = {"status": status, "failure": failure}
+    result.update(_aggregate(registries))
+    return result
+
+
+def run_suite(
+    experiment_ids: List[str],
+    *,
+    quiet: bool = True,
+    progress: Optional[Callable[[str, str], None]] = None,
+) -> Dict[str, object]:
+    """Run the named experiments; returns the full JSON document."""
+    available = discover()
+    unknown = sorted(set(experiment_ids) - set(available))
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(available))})"
+        )
+    experiments: Dict[str, object] = {}
+    for experiment_id in experiment_ids:
+        outcome = run_experiment(available[experiment_id], quiet=quiet)
+        experiments[experiment_id] = outcome
+        if progress is not None:
+            progress(experiment_id, str(outcome["status"]))
+    return {
+        "schema_version": 1,
+        "suite": "repro-bench",
+        "experiments": experiments,
+    }
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.bench",
+        description="Run the bench suite headlessly; emit machine-readable JSON.",
+    )
+    scope = parser.add_mutually_exclusive_group()
+    scope.add_argument(
+        "--all", action="store_true", help="run every experiment (default)"
+    )
+    scope.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"run the fast subset only: {', '.join(SMOKE_EXPERIMENTS)}",
+    )
+    scope.add_argument(
+        "--only",
+        nargs="+",
+        metavar="ID",
+        help="run the named experiment ids only (e.g. e1_two_disk_references)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_pr3.json",
+        help="output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="let the benchmarks print their tables while running",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    available = discover()
+    if args.list:
+        for experiment_id in sorted(available):
+            print(experiment_id)
+        return 0
+    if args.only:
+        ids = list(args.only)
+    elif args.smoke:
+        ids = [i for i in SMOKE_EXPERIMENTS if i in available]
+    else:
+        ids = sorted(available)
+    document = run_suite(
+        ids,
+        quiet=not args.verbose,
+        progress=lambda experiment_id, status: print(
+            f"{experiment_id:32s} {status}", file=sys.stderr
+        ),
+    )
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    statuses = [
+        str(outcome["status"]) for outcome in document["experiments"].values()  # type: ignore[union-attr]
+    ]
+    print(
+        f"{len(statuses)} experiment(s): {statuses.count('pass')} pass, "
+        f"{statuses.count('fail')} fail, {statuses.count('error')} error "
+        f"-> {out_path}",
+        file=sys.stderr,
+    )
+    return 0 if all(status == "pass" for status in statuses) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

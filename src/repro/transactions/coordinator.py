@@ -40,6 +40,7 @@ from repro.common.errors import (
 )
 from repro.common.ids import SystemName, monotonic_id_factory
 from repro.common.metrics import Metrics
+from repro.common.trace import NULL_TRACER, Tracer
 from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK, fragments_for_bytes
 from repro.disk_service.addresses import Extent
 from repro.file_service.attributes import LockingLevel
@@ -93,9 +94,11 @@ class TransactionCoordinator:
         policy: Optional[TimeoutPolicy] = None,
         technique: TechniqueChoice = "auto",
         cross_level: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
         self.policy = policy or TimeoutPolicy()
         self.technique: TechniqueChoice = technique
         self.cross_level = cross_level
@@ -176,6 +179,12 @@ class TransactionCoordinator:
         and locks merge into the parent, whose own (eventual) top-level
         commit makes everything durable at once.
         """
+        with self.tracer.span(
+            "transactions", "commit", tid=transaction.tid
+        ), self.metrics.timer("transactions.commit_us", self.clock):
+            self._do_commit(transaction)
+
+    def _do_commit(self, transaction: Transaction) -> None:
         if transaction.status is not TransactionStatus.TENTATIVE:
             raise InvalidTransactionStateError(
                 f"transaction {transaction.tid} is {transaction.status.value}, "
@@ -271,6 +280,12 @@ class TransactionCoordinator:
         Aborting a parent cascades to its live nested children; aborting
         a child discards only the child's own work.
         """
+        with self.tracer.span(
+            "transactions", "abort", tid=transaction.tid, reason=reason
+        ), self.metrics.timer("transactions.abort_us", self.clock):
+            self._do_abort(transaction, reason=reason)
+
+    def _do_abort(self, transaction: Transaction, *, reason: str) -> None:
         if transaction.status is TransactionStatus.COMMITTED:
             raise InvalidTransactionStateError(
                 f"transaction {transaction.tid} already committed"

@@ -1,6 +1,7 @@
 """The counter registry."""
 
-from repro.common.metrics import Metrics
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics, prefix_matches
 
 
 class TestMetrics:
@@ -52,3 +53,184 @@ class TestMetrics:
         metrics.add("a", 3)
         metrics.reset()
         assert metrics.get("a") == 0
+
+    def test_diff_reports_negative_delta(self):
+        metrics = Metrics()
+        metrics.add("pool.free", 10)
+        before = metrics.snapshot()
+        metrics.add("pool.free", -4)
+        assert metrics.diff(before) == {"pool.free": -4}
+
+    def test_diff_ignores_unchanged(self):
+        metrics = Metrics()
+        metrics.add("a", 1)
+        before = metrics.snapshot()
+        metrics.add("a", 3)
+        metrics.add("a", -3)
+        assert metrics.diff(before) == {}
+
+
+class TestPrefixMatching:
+    """Regression: prefix selection must be dot-segment aware.
+
+    The original raw ``startswith`` made ``total("disk.1")`` silently
+    absorb ``disk.10.*`` — an off-by-an-order bug in any multi-disk
+    experiment with ten or more disks."""
+
+    def test_total_does_not_cross_segment_boundary(self):
+        metrics = Metrics()
+        metrics.add("disk.1.references", 3)
+        metrics.add("disk.10.references", 100)
+        metrics.add("disk.11.references", 200)
+        assert metrics.total("disk.1") == 3
+
+    def test_total_includes_exact_name(self):
+        metrics = Metrics()
+        metrics.add("rpc.messages", 5)
+        assert metrics.total("rpc.messages") == 5
+
+    def test_total_trailing_dot_matches_subtree_only(self):
+        metrics = Metrics()
+        metrics.add("disk.1.references", 3)
+        metrics.add("disk.1", 7)  # exact name: not under "disk.1."
+        assert metrics.total("disk.1.") == 3
+
+    def test_snapshot_prefix_is_segment_aware(self):
+        metrics = Metrics()
+        metrics.add("disk.1.reads", 1)
+        metrics.add("disk.10.reads", 1)
+        assert metrics.snapshot(prefixes=["disk.1"]) == {"disk.1.reads": 1}
+
+    def test_prefix_matches_helper(self):
+        assert prefix_matches("disk.1.reads", "disk.1")
+        assert prefix_matches("disk.1", "disk.1")
+        assert not prefix_matches("disk.10.reads", "disk.1")
+        assert prefix_matches("disk.10.reads", "disk.")
+
+
+class TestHistograms:
+    def test_empty_histogram_is_all_zero(self):
+        summary = Metrics().histogram("disk.0.service_us")
+        assert summary == {"count": 0, "min": 0, "max": 0, "sum": 0,
+                           "p50": 0, "p95": 0}
+
+    def test_observe_summary(self):
+        metrics = Metrics()
+        for value in (5, 1, 3, 2, 4):
+            metrics.observe("disk.0.service_us", value)
+        summary = metrics.histogram("disk.0.service_us")
+        assert summary["count"] == 5
+        assert summary["min"] == 1
+        assert summary["max"] == 5
+        assert summary["sum"] == 15
+        assert summary["p50"] == 3
+
+    def test_nearest_rank_p95_of_twenty(self):
+        """ceil(0.95 * 20) = 19 exactly — a float implementation rounds
+        this to 20 on some platforms; the integer rule must not."""
+        metrics = Metrics()
+        for value in range(1, 21):
+            metrics.observe("x.us", value)
+        assert metrics.histogram("x.us")["p95"] == 19
+
+    def test_single_sample_quantiles(self):
+        metrics = Metrics()
+        metrics.observe("x.us", 42)
+        summary = metrics.histogram("x.us")
+        assert summary["p50"] == 42
+        assert summary["p95"] == 42
+
+    def test_observe_truncates_floats(self):
+        metrics = Metrics()
+        metrics.observe("x.us", 3.9)
+        assert metrics.histogram("x.us")["max"] == 3
+
+    def test_timer_records_simulated_elapsed(self):
+        metrics = Metrics()
+        clock = SimClock()
+        with metrics.timer("disk.0.get_us", clock):
+            clock.advance_us(125)
+        assert metrics.histogram_samples("disk.0.get_us") == [125]
+
+    def test_timer_records_on_exception(self):
+        metrics = Metrics()
+        clock = SimClock()
+        try:
+            with metrics.timer("disk.0.get_us", clock):
+                clock.advance_us(9)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert metrics.histogram_samples("disk.0.get_us") == [9]
+
+    def test_histogram_names_sorted_nonempty_only(self):
+        metrics = Metrics()
+        metrics.observe("b.us", 1)
+        metrics.observe("a.us", 1)
+        assert metrics.histogram_names() == ["a.us", "b.us"]
+
+    def test_quantiles_deterministic_across_identical_runs(self):
+        def run():
+            import random
+            rng = random.Random(1234)
+            metrics = Metrics()
+            for _ in range(500):
+                metrics.observe("disk.0.service_us", rng.randrange(1, 100_000))
+            return metrics.histogram("disk.0.service_us")
+
+        assert run() == run()
+
+    def test_reset_clears_histograms(self):
+        metrics = Metrics()
+        metrics.observe("x.us", 1)
+        metrics.reset()
+        assert metrics.histogram("x.us")["count"] == 0
+
+
+class TestGauges:
+    def test_missing_gauge_is_zero(self):
+        assert Metrics().get_gauge("pool.free_blocks") == 0
+
+    def test_last_write_wins(self):
+        metrics = Metrics()
+        metrics.gauge("pool.free_blocks", 10)
+        metrics.gauge("pool.free_blocks", 7)
+        assert metrics.get_gauge("pool.free_blocks") == 7
+
+    def test_gauges_returns_copy(self):
+        metrics = Metrics()
+        metrics.gauge("pool.free_blocks", 1)
+        copy = metrics.gauges()
+        metrics.gauge("pool.free_blocks", 2)
+        assert copy == {"pool.free_blocks": 1}
+
+    def test_reset_clears_gauges(self):
+        metrics = Metrics()
+        metrics.gauge("pool.free_blocks", 3)
+        metrics.reset()
+        assert metrics.get_gauge("pool.free_blocks") == 0
+
+
+class TestTracking:
+    def test_collects_instances_built_inside_block(self):
+        with Metrics.tracking() as collected:
+            inner = Metrics()
+        outer = Metrics()
+        assert collected == [inner]
+        assert outer not in collected
+
+    def test_nested_blocks_restore_outer_collector(self):
+        with Metrics.tracking() as outer_collected:
+            with Metrics.tracking() as inner_collected:
+                inner = Metrics()
+            after = Metrics()
+        assert inner_collected == [inner]
+        assert outer_collected == [after]
+
+    def test_restored_after_exception(self):
+        try:
+            with Metrics.tracking():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert Metrics._live is None

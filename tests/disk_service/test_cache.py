@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.clock import SimClock
+from repro.common.errors import SectorAlignmentError
 from repro.common.metrics import Metrics
 from repro.disk_service.cache import TrackCache
 from repro.simdisk.disk import SimDisk
@@ -77,6 +78,33 @@ class TestWritePath:
         refs = metrics.get("disk.t.references")
         assert cache.read(0, 1) == b"\x09" * 512  # cached copy refreshed
         assert metrics.get("disk.t.references") == refs
+
+    def test_misaligned_write_is_rejected(self):
+        """Regression: a non-sector-multiple payload used to have its
+        tail silently dropped by the disk while the cache kept the full
+        buffer — later reads returned bytes that were never on disk."""
+        cache, disk, metrics = build()
+        with pytest.raises(SectorAlignmentError):
+            cache.write_through(0, b"\x07" * 700)
+
+    def test_misaligned_write_leaves_disk_and_cache_untouched(self):
+        cache, disk, metrics = build()
+        disk.write_sectors(0, b"\x01" * 512)
+        cache.read(0, 1)
+        with pytest.raises(SectorAlignmentError):
+            cache.write_through(0, b"\x07" * (512 + 9))
+        assert disk.read_sectors(0, 1) == b"\x01" * 512
+        assert cache.read(0, 1) == b"\x01" * 512  # no stale suffix cached
+
+    def test_empty_write_is_rejected(self):
+        cache, disk, metrics = build()
+        with pytest.raises(SectorAlignmentError):
+            cache.write_through(0, b"")
+
+    def test_aligned_write_still_accepted(self):
+        cache, disk, metrics = build()
+        cache.write_through(2, b"\x08" * 1024)
+        assert disk.read_sectors(2, 2) == b"\x08" * 1024
 
 
 class TestEviction:

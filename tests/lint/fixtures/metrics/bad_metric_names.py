@@ -1,5 +1,5 @@
 # lint-fixture-module: repro.replication.fake_metrics
-"""Fixture: counter names outside the layer.noun_verb grammar."""
+"""Fixture: instrument names outside the layer.noun_verb grammar."""
 
 
 def record(metrics, prefix: str) -> None:
@@ -7,3 +7,10 @@ def record(metrics, prefix: str) -> None:
     metrics.add("writes")  # lint-expect: metrics-naming
     metrics.add(f"{prefix}.Bad-Name")  # lint-expect: metrics-naming
     metrics.total("Replication.")  # lint-expect: metrics-naming
+    metrics.observe("CopyMicros", 12)  # lint-expect: metrics-naming
+    metrics.gauge("replication.Replica-Count", 1)  # lint-expect: metrics-naming
+
+
+def timed(metrics, clock) -> None:
+    with metrics.timer("Replicate.Us", clock):  # lint-expect: metrics-naming
+        pass

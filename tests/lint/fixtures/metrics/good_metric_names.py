@@ -1,5 +1,5 @@
 # lint-fixture-module: repro.replication.fake_good_metrics
-"""Fixture: counter names inside the grammar, literal and interpolated."""
+"""Fixture: instrument names inside the grammar, literal and interpolated."""
 
 
 def record(metrics, prefix: str, disk_id: str) -> None:
@@ -7,3 +7,15 @@ def record(metrics, prefix: str, disk_id: str) -> None:
     metrics.add(f"{prefix}.sectors_written", 4)
     metrics.add(f"disk.{disk_id}.busy_us")
     metrics.total("replication.")
+    metrics.observe("replication.copy_us", 12)
+    metrics.observe(f"disk.{disk_id}.service_us", 7)
+    metrics.gauge("replication.replica_count", 2)
+    metrics.get_gauge(f"disk.{disk_id}.free_fragments")
+    metrics.histogram("replication.copy_us")
+
+
+def timed(metrics, clock, prefix: str) -> None:
+    with metrics.timer(f"{prefix}.replicate_us", clock):
+        pass
+    with metrics.timer("replication.repair_us", clock):
+        pass

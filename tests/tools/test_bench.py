@@ -1,0 +1,86 @@
+"""The machine-readable bench runner (``python -m repro.tools.bench``)."""
+
+import json
+
+import pytest
+
+from repro.tools import bench
+
+
+class TestDiscovery:
+    def test_discovers_the_bench_suite(self):
+        experiments = bench.discover()
+        assert "e1_two_disk_references" in experiments
+        assert all(path.name.startswith("bench_") for path in experiments.values())
+
+    def test_smoke_subset_is_a_subset_of_the_suite(self):
+        assert set(bench.SMOKE_EXPERIMENTS) <= set(bench.discover())
+
+
+class TestRunExperiment:
+    def test_pass_with_aggregated_instruments(self):
+        result = bench.run_experiment(bench.discover()["e14_track_cache"])
+        assert result["status"] == "pass"
+        assert result["failure"] is None
+        assert any(name.startswith("disk.") for name in result["counters"])
+        assert "disk" in result["layers"]
+        assert result["layers"]["disk"] == sum(
+            value for name, value in result["counters"].items()
+            if name.split(".", 1)[0] == "disk"
+        )
+        histogram = next(iter(result["histograms"].values()))
+        assert set(histogram) == {"count", "min", "max", "sum", "p50", "p95"}
+        assert histogram["min"] <= histogram["p50"] <= histogram["p95"]
+        assert histogram["p95"] <= histogram["max"]
+
+    def test_assertion_failure_is_captured_not_raised(self, tmp_path):
+        bad = tmp_path / "bench_x1_always_fails.py"
+        bad.write_text(
+            "def test_claim(benchmark):\n"
+            "    assert benchmark.pedantic(lambda: 1, rounds=1) == 2, "
+            "'claim does not hold'\n"
+        )
+        result = bench.run_experiment(bad)
+        assert result["status"] == "fail"
+        assert result["failure"] == "claim does not hold"
+
+    def test_crash_is_captured_as_error(self, tmp_path):
+        bad = tmp_path / "bench_x2_crashes.py"
+        bad.write_text(
+            "def test_boom(benchmark):\n"
+            "    raise RuntimeError('kaboom')\n"
+        )
+        result = bench.run_experiment(bad)
+        assert result["status"] == "error"
+        assert result["failure"] == "RuntimeError: kaboom"
+
+
+class TestRunSuite:
+    def test_unknown_id_is_rejected(self):
+        with pytest.raises(SystemExit):
+            bench.run_suite(["nope_not_real"])
+
+    def test_document_schema(self):
+        document = bench.run_suite(["t1_lock_compatibility"])
+        assert document["schema_version"] == 1
+        assert document["suite"] == "repro-bench"
+        outcome = document["experiments"]["t1_lock_compatibility"]
+        assert set(outcome) == {
+            "status", "failure", "counters", "layers", "histograms", "gauges",
+        }
+
+
+class TestCli:
+    def test_smoke_writes_deterministic_json(self, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert bench.main(["--only", "e14_track_cache", "--out", str(first)]) == 0
+        assert bench.main(["--only", "e14_track_cache", "--out", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        document = json.loads(first.read_text())
+        assert document["experiments"]["e14_track_cache"]["status"] == "pass"
+
+    def test_list_exits_clean(self, capsys):
+        assert bench.main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert "e1_two_disk_references" in listed
