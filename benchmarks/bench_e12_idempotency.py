@@ -8,9 +8,13 @@ agent tracks per-request state, leaving the file service "nearly"
 stateless.
 
 The same write/read workload runs over fault-free and increasingly
-lossy/duplicating message buses.  Expected shape: byte-identical final
-file state at every fault rate, with overhead (retransmissions,
-duplicate executions) growing with the rate.
+lossy/duplicating/**reordering** message buses.  Reordered requests are
+parked in a delayed-delivery queue and execute only after later
+operations' handlers — true out-of-order execution, the strongest case
+the positional-idempotency argument must absorb.  Expected shape:
+byte-identical final file state at every fault rate, with overhead
+(retransmissions, duplicate and reordered executions) growing with the
+rate.
 """
 
 from _helpers import print_table
@@ -29,7 +33,8 @@ def run_rate(rate: float, seed: int = 1):
         ClusterConfig(
             geometry=DiskGeometry.small(),
             fault_profile=FaultProfile(
-                request_loss=rate, reply_loss=rate, duplication=rate
+                request_loss=rate, reply_loss=rate, duplication=rate,
+                reorder=rate / 2,
             ),
             seed=seed,
             client_cache_blocks=0,  # every operation really crosses the bus
@@ -40,6 +45,7 @@ def run_rate(rate: float, seed: int = 1):
     for index in range(N_WRITES):
         agent.pwrite(descriptor, bytes([index + 1]) * 211, index * 307)
     agent.close(descriptor)
+    cluster.bus.drain_delayed()  # no write may stay parked forever
     descriptor = agent.open(AttributedName.file("/target"))
     state = agent.read(descriptor, N_WRITES * 307 + 211)
     agent.close(descriptor)
@@ -48,6 +54,7 @@ def run_rate(rate: float, seed: int = 1):
         "messages": cluster.metrics.get("rpc.messages"),
         "retransmissions": cluster.metrics.get("rpc.retransmissions"),
         "duplicates": cluster.metrics.get("rpc.duplicated_executions"),
+        "reordered": cluster.metrics.get("rpc.reordered_executions"),
         "sim_ms": cluster.clock.now_ms,
     }
 
@@ -60,12 +67,13 @@ def test_e12_idempotency(benchmark):
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     reference_state = results[0][1]["state"]
     print_table(
-        f"E12  {N_WRITES}-write workload under message loss + duplication",
+        f"E12  {N_WRITES}-write workload under loss + duplication + reordering",
         [
             "fault rate",
             "messages",
             "retransmissions",
             "duplicate executions",
+            "reordered executions",
             "sim time (ms)",
             "final state",
         ],
@@ -75,6 +83,7 @@ def test_e12_idempotency(benchmark):
                 row["messages"],
                 row["retransmissions"],
                 row["duplicates"],
+                row["reordered"],
                 f"{row['sim_ms']:.0f}",
                 "identical" if row["state"] == reference_state else "DIVERGED",
             )
@@ -90,3 +99,7 @@ def test_e12_idempotency(benchmark):
     assert retransmissions[0] == 0
     assert retransmissions[-1] > retransmissions[1] > 0
     assert results[-1][1]["duplicates"] > 0
+    # Reordered (delayed, then re-executed out of program order)
+    # requests really happened — and still left the state identical.
+    assert results[0][1]["reordered"] == 0
+    assert results[-1][1]["reordered"] > 0

@@ -19,7 +19,10 @@ simulated substrate:
 * :mod:`repro.transactions` — 2PL (RO/IR/IW, Table 1) at record/page/
   file granularity, LT/N timeout deadlock resolution, intentions list,
   WAL + shadow-page commit, crash recovery;
-* :mod:`repro.replication` — primary-copy read-one/write-all;
+* :mod:`repro.replication` — primary-copy read-one/write-all with
+  health-routed failover and verified resync;
+* :mod:`repro.recovery` — the failure detector (health registry) and
+  scripted crash/restart schedules;
 * :mod:`repro.cluster` — whole-system assembly and cross-disk file
   striping;
 * :mod:`repro.workloads` — the experiment drivers.
@@ -49,7 +52,10 @@ from repro.naming.directory import DirectoryService
 from repro.naming.tdirectory import TransactionalDirectory
 from repro.file_service.attributes import LockingLevel, ServiceType
 from repro.file_service.cache import WritePolicy
+from repro.recovery.health import HealthRegistry, HealthState
+from repro.recovery.schedule import FailureEvent, FailureSchedule
 from repro.rpc.bus import FaultProfile
+from repro.rpc.retry import BackoffPolicy, BreakerPolicy
 from repro.simkernel.runner import InterleavedRunner, LockWaitPending
 from repro.transactions.lock_manager import TimeoutPolicy
 
@@ -71,6 +77,12 @@ __all__ = [
     "ServiceType",
     "WritePolicy",
     "FaultProfile",
+    "BackoffPolicy",
+    "BreakerPolicy",
+    "HealthRegistry",
+    "HealthState",
+    "FailureEvent",
+    "FailureSchedule",
     "InterleavedRunner",
     "LockWaitPending",
     "TimeoutPolicy",

@@ -227,6 +227,25 @@ class FileAgent:
             self._writeback(key)
         self.metrics.add(f"{self._prefix}.flushes")
 
+    def invalidate_volume(self, volume_id: int) -> int:
+        """Drop every cached block of files on one volume, dirty or not.
+
+        Called when the volume's file server crashes: its server-side
+        cache died unflushed, so client copies of its blocks may
+        describe state the server never made durable — serving them
+        (or writing them back later) would fabricate data the
+        recovered volume does not hold.  Returns how many blocks were
+        dropped.
+        """
+        dropped = 0
+        for key in list(self._cache):
+            if key[0].volume_id == volume_id:
+                del self._cache[key]
+                dropped += 1
+        if dropped:
+            self.metrics.add(f"{self._prefix}.cache.invalidations", dropped)
+        return dropped
+
     def system_name(self, descriptor: int) -> SystemName:
         """The system name behind a descriptor (diagnostics, transactions)."""
         return self._state(descriptor).name

@@ -7,7 +7,10 @@ scheduler crashes a fresh system at each one, runs recovery, and
 checks the invariants (:mod:`repro.chaos.invariants`) plus the
 workload's own content promises (:mod:`repro.chaos.workloads`).
 
-Entry point: ``python -m repro.chaos.sweep --workload append-overwrite``.
+Entry points: ``python -m repro.chaos.sweep --workload append-overwrite``
+(crash-point sweep) and ``python -m repro.chaos.availability`` (the
+crash/restart availability campaign: mixed workload over a replicated
+cluster while volumes fail and recover, SLO invariants asserted).
 """
 
 from repro.chaos.invariants import check_volume

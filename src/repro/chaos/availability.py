@@ -1,0 +1,580 @@
+"""The availability campaign: ``python -m repro.chaos.availability``.
+
+The crash-point sweep (:mod:`repro.chaos.sweep`) proves a single
+volume recovers from a crash at *any* physical write.  This campaign
+proves the complementary claim: the assembled facility stays **usable
+while volumes crash and recover mid-workload** — the paper's
+"operational in the face of various failures" promise, measured.
+
+Each scenario builds a full :class:`~repro.cluster.system.RhodosCluster`
+(three volumes, replication degree two, RPC bus with fault injection,
+exponential backoff, circuit breaker feeding the health registry) and
+runs a seeded mixed read/write workload while a
+:class:`~repro.recovery.schedule.FailureSchedule` takes volumes down
+and brings them back.  Three SLO invariants are asserted:
+
+* **durability** — no acknowledged write is ever lost: after the last
+  restart, every replica and the unreplicated bus-served file hold
+  exactly the acknowledged content.  (Crashes land *between*
+  operations — the single-threaded scheduler cannot crash inside a
+  physical write — so this is op-granularity atomicity; sub-write
+  torn-crash coverage belongs to the crash-point sweep.)
+* **freshness** — reads are monotone and never stale: a replicated
+  read always observes at least the last acknowledged version, and
+  observed versions never go backwards (no stale-then-fresh-then-stale
+  oscillation during failover or resync).
+* **bounded unavailability** — every failed operation falls inside a
+  scheduled downtime window extended by a *parametric* recovery
+  allowance computed from the breaker cooldown, the worst-case failing
+  call (breaker threshold x (timeout + max backoff)), and bus latency.
+  Unavailability is bounded by configuration, not by luck.
+
+Reports are byte-deterministic: the same seed emits the identical JSON
+document, which CI diffs across a double run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import RhodosCluster
+from repro.common.errors import ReplicationError, RhodosError, RpcError
+from repro.file_service.cache import WritePolicy
+from repro.naming.attributed import AttributedName
+from repro.recovery.schedule import FailureEvent, FailureSchedule
+from repro.rpc.bus import FaultProfile
+from repro.rpc.retry import BackoffPolicy, BreakerPolicy
+
+#: Fixed payload sizes keep every write the same shape, so version
+#: content is a pure function of the version number (idempotent
+#: retries) and replica comparison is byte-exact.
+REPLICATED_LEN = 96
+AGENT_LEN = 64
+
+
+def version_content(version: int, length: int) -> bytes:
+    """Deterministic content encoding one version (never the zero byte,
+    so unwritten regions are distinguishable from any version)."""
+    return bytes([version % 251 + 1]) * length
+
+
+def decode_version(data: bytes, reference: int) -> Optional[int]:
+    """Invert :func:`version_content` near a known reference version."""
+    if not data:
+        return None
+    byte = data[0]
+    if any(b != byte for b in data):
+        return None  # torn content: not any whole version
+    for version in range(max(0, reference - 250), reference + 251):
+        if version % 251 + 1 == byte:
+            candidate = version
+            # The highest candidate <= reference + 250 closest to the
+            # reference is the plausible one; versions only move in
+            # small steps between reads, so the first match in range
+            # suffices and stays deterministic.
+            return candidate
+    return None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the campaign grid: a fault profile x a crash script."""
+
+    name: str
+    profile: FaultProfile
+    events: Tuple[FailureEvent, ...]
+    steps: int
+    think_us: int = 5_000
+    seed: int = 0
+    description: str = ""
+
+
+BACKOFF = BackoffPolicy(base_us=5_000, multiplier=2.0, max_us=40_000, jitter=0.5)
+BREAKER = BreakerPolicy(threshold=4, cooldown_us=150_000)
+
+#: Crash volume 0 once, then volume 1, windows disjoint so one replica
+#: of every replicated file is live at all times.
+ALTERNATING = (
+    FailureEvent(at_us=300_000, volume_id=0, down_us=400_000),
+    FailureEvent(at_us=1_400_000, volume_id=1, down_us=400_000),
+)
+
+#: Volume 0 crashes twice with a short recovered gap in between: the
+#: second crash hits while the breaker's memory of the first is fresh.
+BACK_TO_BACK = (
+    FailureEvent(at_us=300_000, volume_id=0, down_us=300_000),
+    FailureEvent(at_us=1_000_000, volume_id=0, down_us=300_000),
+)
+
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="clean_restarts",
+        profile=FaultProfile.reliable(),
+        events=ALTERNATING,
+        steps=420,
+        description="reliable bus; alternating single-volume crashes",
+    ),
+    Scenario(
+        name="lossy_bus",
+        profile=FaultProfile(
+            request_loss=0.05, reply_loss=0.05, duplication=0.02, reorder=0.02
+        ),
+        events=ALTERNATING,
+        steps=420,
+        description="message loss/duplication/reordering during the crashes",
+    ),
+    Scenario(
+        name="reorder_heavy",
+        profile=FaultProfile(duplication=0.05, reorder=0.10),
+        events=(FailureEvent(at_us=500_000, volume_id=0, down_us=400_000),),
+        steps=360,
+        description="heavy reordering; one crash window",
+    ),
+    Scenario(
+        name="back_to_back",
+        profile=FaultProfile(request_loss=0.03, reply_loss=0.03),
+        events=BACK_TO_BACK,
+        steps=420,
+        description="volume 0 crashes twice in quick succession",
+    ),
+)
+
+SMOKE_SCENARIOS = ("clean_restarts", "lossy_bus")
+
+
+def recovery_allowance_us(
+    scenario: Scenario, *, timeout_us: int = 20_000
+) -> int:
+    """The post-restart grace period failures may legally extend into.
+
+    After a restart the breaker may stay open for up to its full
+    cooldown (the last re-open can land just before the restart), one
+    more call may then fail the slow way (threshold failed attempts,
+    each a timeout plus the backoff cap), and bus latency plus a few
+    think-steps of slack pad the edges.  Everything here is a
+    configured constant — the bound is parametric, not empirical.
+    """
+    worst_call_us = BREAKER.threshold * (timeout_us + BACKOFF.max_us)
+    return (
+        BREAKER.cooldown_us
+        + worst_call_us
+        + 4 * scenario.profile.latency_us
+        + 10 * scenario.think_us
+    )
+
+
+class _Run:
+    """One scenario execution: workload, bookkeeping, verdicts."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.cluster = RhodosCluster(
+            ClusterConfig(
+                n_machines=1,
+                n_disks=3,
+                replication_degree=2,
+                fault_profile=scenario.profile,
+                rpc_backoff=BACKOFF,
+                rpc_breaker=BREAKER,
+                write_policy=WritePolicy.WRITE_THROUGH,
+                client_cache_blocks=0,
+                seed=scenario.seed,
+            )
+        )
+        self.schedule = FailureSchedule(
+            scenario.events,
+            self.cluster.clock,
+            metrics=self.cluster.metrics,
+        )
+        self.rng = random.Random(scenario.seed)
+        self.action_log: List[str] = []
+        # Replicated files: name -> (acked_version, last_observed_version)
+        self.acked: Dict[str, int] = {}
+        self.observed: Dict[str, int] = {}
+        # The unreplicated agent file rides the RPC bus on volume 0 (the
+        # crashed volume) so its traffic exercises breaker + backoff.
+        self.agent_acked: Dict[int, bytes] = {}  # offset -> content
+        self.agent_version = 0
+        # Failure samples: (start_us, end_us, kind)
+        self.failures: List[Tuple[int, int, str]] = []
+        self.stats = {
+            "replicated_reads": 0,
+            "replicated_writes": 0,
+            "agent_reads": 0,
+            "agent_writes": 0,
+            "failed_ops": 0,
+        }
+        self.violations: List[str] = []
+
+    # ------------------------------------------------------- workload
+
+    def run(self) -> Dict[str, object]:
+        cluster, schedule = self.cluster, self.schedule
+        rfiles = ["/availability/r0", "/availability/r1"]
+        for path in rfiles:
+            cluster.replication.create(AttributedName.file(path))
+            self.acked[path] = 0
+            self.observed[path] = 0
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(
+            AttributedName.file("/availability/agent"), volume_id=0
+        )
+
+        for step in range(self.scenario.steps):
+            self.action_log.extend(schedule.poll(cluster))
+            cluster.clock.advance_us(self.scenario.think_us)
+            choice = self.rng.random()
+            path = rfiles[step % len(rfiles)]
+            if choice < 0.30:
+                self._replicated_write(path)
+            elif choice < 0.60:
+                self._replicated_read(path)
+            elif choice < 0.80:
+                self._agent_write(agent, descriptor)
+            else:
+                self._agent_read(agent, descriptor)
+
+        # Converge: fire any remaining restarts, deliver parked
+        # messages, and let the recovery hooks finish their repairs.
+        self.action_log.extend(schedule.run_out(cluster))
+        if cluster.bus is not None:
+            cluster.bus.drain_delayed()
+        cluster.replication.resync_all_stale()
+        cluster.replication.sweep_orphans()
+        self._verify_convergence(rfiles, agent, descriptor)
+        return self._report(rfiles)
+
+    def _replicated_write(self, path: str) -> None:
+        cluster = self.cluster
+        version = self.acked[path] + 1
+        start = cluster.clock.now_us
+        self.stats["replicated_writes"] += 1
+        try:
+            cluster.replication.write(
+                AttributedName.file(path), 0, version_content(version, REPLICATED_LEN)
+            )
+        except (ReplicationError, RpcError) as exc:
+            self._record_failure(start, f"replicated_write:{type(exc).__name__}")
+            return
+        # Ack-then-fsync: the write counts as acknowledged only once
+        # the live replica servers flushed their FIT metadata (data
+        # blocks are write-through already; file *size* is not).
+        # Crashes land between steps, so these flushes cannot race a
+        # new failure within the same step.
+        replica_set = cluster.replication.lookup(AttributedName.file(path))
+        for system_name in replica_set.replicas:
+            volume_id = system_name.volume_id
+            if cluster.health.is_down(f"volume.{volume_id}"):
+                continue
+            try:
+                cluster.file_servers[volume_id].flush()
+            except RhodosError:
+                pass
+        self.acked[path] = version
+
+    def _replicated_read(self, path: str) -> None:
+        cluster = self.cluster
+        start = cluster.clock.now_us
+        self.stats["replicated_reads"] += 1
+        try:
+            data = cluster.replication.read(
+                AttributedName.file(path), 0, REPLICATED_LEN
+            )
+        except (ReplicationError, RpcError) as exc:
+            self._record_failure(start, f"replicated_read:{type(exc).__name__}")
+            return
+        if data == b"" and self.acked[path] == 0:
+            return  # nothing acknowledged yet: an empty file is correct
+        version = decode_version(data, self.acked[path])
+        if version is None:
+            self.violations.append(
+                f"t={start}us {path}: torn read {data[:8]!r}..."
+            )
+            return
+        if version < self.acked[path]:
+            self.violations.append(
+                f"t={start}us {path}: stale read v{version} < acked "
+                f"v{self.acked[path]}"
+            )
+        if version < self.observed[path]:
+            self.violations.append(
+                f"t={start}us {path}: non-monotonic read v{version} after "
+                f"v{self.observed[path]}"
+            )
+        self.observed[path] = max(self.observed[path], version)
+
+    def _agent_write(self, agent, descriptor: int) -> None:
+        cluster = self.cluster
+        version = self.agent_version
+        offset = version * AGENT_LEN
+        content = version_content(version, AGENT_LEN)
+        start = cluster.clock.now_us
+        self.stats["agent_writes"] += 1
+        try:
+            agent.pwrite(descriptor, content, offset)
+            # Ack-then-fsync: the server's FIT (file size) is write-back,
+            # so a crash could forget the write's extent without this.
+            cluster.machine.file_agent.router.flush_volume(0)
+        except (RpcError, RhodosError) as exc:
+            # The write may have executed server-side (reply lost before
+            # the breaker opened); distinct per-version offsets make the
+            # eventual retry of the same content idempotent either way.
+            self._record_failure(start, f"agent_write:{type(exc).__name__}")
+            return
+        self.agent_acked[offset] = content
+        self.agent_version = version + 1
+
+    def _agent_read(self, agent, descriptor: int) -> None:
+        cluster = self.cluster
+        if not self.agent_acked:
+            return
+        offsets = sorted(self.agent_acked)
+        offset = offsets[self.rng.randrange(len(offsets))]
+        start = cluster.clock.now_us
+        self.stats["agent_reads"] += 1
+        try:
+            data = agent.pread(descriptor, AGENT_LEN, offset)
+        except (RpcError, RhodosError) as exc:
+            self._record_failure(start, f"agent_read:{type(exc).__name__}")
+            return
+        if data != self.agent_acked[offset]:
+            self.violations.append(
+                f"t={start}us agent file: acked content lost at offset "
+                f"{offset} ({data[:8]!r}...)"
+            )
+
+    def _record_failure(self, start_us: int, kind: str) -> None:
+        self.stats["failed_ops"] += 1
+        self.failures.append((start_us, self.cluster.clock.now_us, kind))
+
+    # ----------------------------------------------------- invariants
+
+    def _verify_convergence(self, rfiles: List[str], agent, descriptor: int) -> None:
+        cluster = self.cluster
+        for path in rfiles:
+            expected = (
+                version_content(self.acked[path], REPLICATED_LEN)
+                if self.acked[path]
+                else None
+            )
+            replica_set = cluster.replication.lookup(AttributedName.file(path))
+            if replica_set.stale:
+                self.violations.append(
+                    f"{path}: replicas still stale after run-out: "
+                    f"{sorted(replica_set.stale)}"
+                )
+            for system_name in replica_set.replicas:
+                server = cluster.file_servers[system_name.volume_id]
+                size = server.get_attribute(system_name).file_size
+                data = server.read(system_name, 0, size)
+                if expected is None:
+                    continue
+                if data != expected:
+                    self.violations.append(
+                        f"{path}: replica on volume {system_name.volume_id} "
+                        f"diverged from acked v{self.acked[path]}"
+                    )
+        # Verify the agent file against the *server's durable state*
+        # directly — the invariant is about what survived the crashes,
+        # not about bus luck during the check itself.
+        agent_name = agent.system_name(descriptor)
+        server = cluster.file_servers[agent_name.volume_id]
+        for offset in sorted(self.agent_acked):
+            data = server.read(agent_name, offset, AGENT_LEN)
+            if data != self.agent_acked[offset]:
+                self.violations.append(
+                    f"agent file: acked write at offset {offset} lost"
+                )
+        remaining = cluster.replication.orphans()
+        if remaining:
+            self.violations.append(
+                f"{len(remaining)} delete orphan(s) survived the final sweep"
+            )
+
+    def _unavailability(self) -> Dict[str, object]:
+        """Merge failure samples into windows; check each against the
+        schedule extended by the parametric recovery allowance."""
+        allowance = recovery_allowance_us(self.scenario)
+        merge_gap = 4 * self.scenario.think_us + 2 * 20_000
+        windows: List[List[int]] = []
+        for start, end, _kind in sorted(self.failures):
+            if windows and start - windows[-1][1] <= merge_gap:
+                windows[-1][1] = max(windows[-1][1], end)
+            else:
+                windows.append([start, end])
+        scheduled = [
+            (event.at_us, event.restart_at_us) for event in self.scenario.events
+        ]
+        out_of_bound = []
+        for start, end in windows:
+            covered = any(
+                s_start <= start and end <= s_end + allowance
+                for s_start, s_end in scheduled
+            )
+            if not covered:
+                out_of_bound.append([start, end])
+        if out_of_bound:
+            self.violations.append(
+                f"unavailability outside scheduled-downtime bound: "
+                f"{out_of_bound}"
+            )
+        return {
+            "allowance_us": allowance,
+            "merge_gap_us": merge_gap,
+            "out_of_bound": out_of_bound,
+            "total_us": sum(end - start for start, end in windows),
+            "windows": [[start, end] for start, end in windows],
+        }
+
+    def _report(self, rfiles: List[str]) -> Dict[str, object]:
+        metrics = self.cluster.metrics
+        unavailability = self._unavailability()
+        counters = {
+            name: metrics.get(name)
+            for name in (
+                "cluster.volume_failures",
+                "cluster.volume_restarts",
+                "health.marked_down",
+                "health.recoveries",
+                "health.transient_errors",
+                "recovery.crashes_injected",
+                "recovery.restarts_injected",
+                "replication.failovers",
+                "replication.orphans_recorded",
+                "replication.orphans_swept",
+                "replication.reads_degraded",
+                "replication.reads_skipped_down",
+                "replication.resyncs",
+                "replication.resyncs_verified",
+                "replication.writes_skipped_down",
+                "rpc.breaker_closes",
+                "rpc.breaker_opens",
+                "rpc.breaker_probes",
+                "rpc.breaker_rejections",
+                "rpc.reordered_executions",
+                "rpc.requests_delayed",
+                "rpc.retransmissions",
+                "transactions.recoveries",
+            )
+        }
+        return {
+            "counters": counters,
+            "description": self.scenario.description,
+            "events": [
+                [event.at_us, event.volume_id, event.down_us]
+                for event in self.scenario.events
+            ],
+            "failures": [
+                [start, end, kind] for start, end, kind in self.failures
+            ],
+            "final_versions": {
+                "acked": {path: self.acked[path] for path in rfiles},
+                "agent_writes_acked": len(self.agent_acked),
+            },
+            "lifecycle_log": self.action_log,
+            "ops": dict(sorted(self.stats.items())),
+            "profile": {
+                "duplication": self.scenario.profile.duplication,
+                "latency_us": self.scenario.profile.latency_us,
+                "reorder": self.scenario.profile.reorder,
+                "reply_loss": self.scenario.profile.reply_loss,
+                "request_loss": self.scenario.profile.request_loss,
+            },
+            "seed": self.scenario.seed,
+            "status": "pass" if not self.violations else "fail",
+            "unavailability": unavailability,
+            "violations": list(self.violations),
+        }
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, object]:
+    """Execute one scenario; returns its deterministic report dict."""
+    return _Run(scenario).run()
+
+
+def run_campaign(names: List[str]) -> Dict[str, object]:
+    """Run the named scenarios; returns the full JSON document."""
+    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    unknown = sorted(set(names) - set(by_name))
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(by_name))})"
+        )
+    return {
+        "schema_version": 1,
+        "suite": "repro-availability",
+        "scenarios": {name: run_scenario(by_name[name]) for name in names},
+    }
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.availability",
+        description=(
+            "Crash/restart availability campaign: mixed workload under "
+            "fault injection, SLO invariants, machine-readable report."
+        ),
+    )
+    scope = parser.add_mutually_exclusive_group()
+    scope.add_argument(
+        "--all", action="store_true", help="run every scenario (default)"
+    )
+    scope.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"run the fast subset only: {', '.join(SMOKE_SCENARIOS)}",
+    )
+    scope.add_argument(
+        "--only", nargs="+", metavar="NAME", help="run the named scenarios only"
+    )
+    parser.add_argument(
+        "--out",
+        default="AVAILABILITY_pr4.json",
+        help="output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenario names and exit"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.list:
+        for scenario in SCENARIOS:
+            print(f"{scenario.name:20s} {scenario.description}")
+        return 0
+    if args.only:
+        names = list(args.only)
+    elif args.smoke:
+        names = list(SMOKE_SCENARIOS)
+    else:
+        names = [scenario.name for scenario in SCENARIOS]
+    document = run_campaign(names)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    statuses = {
+        name: str(report["status"])
+        for name, report in document["scenarios"].items()  # type: ignore[union-attr]
+    }
+    for name, status in statuses.items():
+        print(f"{name:20s} {status}", file=sys.stderr)
+    passed = sum(1 for status in statuses.values() if status == "pass")
+    print(
+        f"{len(statuses)} scenario(s): {passed} pass, "
+        f"{len(statuses) - passed} fail -> {out_path}",
+        file=sys.stderr,
+    )
+    return 0 if passed == len(statuses) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

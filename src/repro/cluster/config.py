@@ -13,6 +13,7 @@ from typing import Literal, Optional
 
 from repro.file_service.cache import WritePolicy
 from repro.rpc.bus import FaultProfile
+from repro.rpc.retry import BackoffPolicy, BreakerPolicy
 from repro.simdisk.geometry import DiskGeometry
 from repro.simdisk.timing import DiskTimingModel
 from repro.transactions.lock_manager import TimeoutPolicy
@@ -42,6 +43,15 @@ class ClusterConfig:
             constraint (the paper's deferred extension, section 6.1).
         fault_profile: RPC fault injection; None = direct calls
             (no message bus between agents and servers).
+        rpc_backoff: seeded exponential backoff between RPC
+            retransmissions; None = the fixed-interval retry the
+            idempotency benches established.
+        rpc_breaker: per-destination circuit-breaker policy; None = no
+            breaker (every call spends its full attempt budget).
+            Breaker transitions feed the cluster's health registry.
+        health_transient_tolerance: consecutive transient replica
+            errors one volume may accumulate before the failure
+            detector treats it as down.
         seed: RNG seed for every stochastic component.
         tracing: record cross-layer request spans (zero-cost when off).
         trace_capacity: completed spans retained in the tracer's ring
@@ -64,6 +74,9 @@ class ClusterConfig:
     commit_technique: Literal["auto", "wal", "shadow"] = "auto"
     cross_level_locking: bool = False
     fault_profile: Optional[FaultProfile] = None
+    rpc_backoff: Optional[BackoffPolicy] = None
+    rpc_breaker: Optional[BreakerPolicy] = None
+    health_transient_tolerance: int = 3
     replication_degree: int = 2
     seed: int = 0
     tracing: bool = False

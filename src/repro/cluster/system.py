@@ -32,14 +32,48 @@ from repro.file_service.server import FileServer
 from repro.naming.directory import DirectoryService
 from repro.naming.tdirectory import TransactionalDirectory
 from repro.naming.service import NamingService
-from repro.replication.service import ReplicationService
+from repro.recovery.health import HealthRegistry
+from repro.replication.service import ReplicationService, volume_component
 from repro.rpc.bus import MessageBus
 from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.rpc.retry import CircuitBreaker
 from repro.simdisk.disk import SimDisk
 from repro.simdisk.stable import StableStore
 from repro.simkernel.loop import EventLoop
 from repro.transactions.agent import TransactionAgentHost
 from repro.transactions.coordinator import TransactionCoordinator
+
+
+class _VolumeHealthFeed:
+    """Relay circuit-breaker transitions into the health registry.
+
+    The breaker speaks bus addresses (``file_server.N``); the registry
+    speaks components (``volume.N``).  Breaker-open means the detector
+    should stop routing work at the volume; breaker-close means a
+    half-open probe reached a live server, which *is* a recovery signal
+    — it fires the registry's repair hooks (replica resync, orphan
+    sweep) without waiting for an administrative restart.
+    """
+
+    def __init__(self, health: HealthRegistry) -> None:
+        self.health = health
+
+    @staticmethod
+    def _component(address: str) -> Optional[str]:
+        prefix = "file_server."
+        if address.startswith(prefix) and address[len(prefix):].isdigit():
+            return volume_component(int(address[len(prefix):]))
+        return None
+
+    def on_breaker_open(self, address: str) -> None:
+        component = self._component(address)
+        if component is not None:
+            self.health.mark_down(component)
+
+    def on_breaker_close(self, address: str) -> None:
+        component = self._component(address)
+        if component is not None:
+            self.health.note_recovered(component)
 
 
 class RhodosCluster:
@@ -109,7 +143,13 @@ class RhodosCluster:
             self.disk_servers[volume_id] = disk_server
             self.file_servers[volume_id] = file_server
 
+        self.health = HealthRegistry(
+            self.metrics,
+            transient_tolerance=self.config.health_transient_tolerance,
+        )
+
         self.bus: Optional[MessageBus] = None
+        self.breaker: Optional[CircuitBreaker] = None
         if self.config.fault_profile is not None:
             self.bus = MessageBus(
                 self.clock,
@@ -123,11 +163,26 @@ class RhodosCluster:
                 address = f"file_server.{volume_id}"
                 expose_file_server(file_server, RpcServer(self.bus, address))
                 addresses[volume_id] = address
+            if self.config.rpc_breaker is not None:
+                self.breaker = CircuitBreaker(
+                    self.config.rpc_breaker,
+                    self.clock,
+                    self.metrics,
+                    listener=_VolumeHealthFeed(self.health),
+                    tracer=self.tracer,
+                )
             # A generous retransmission budget: at 30% triple-fault rates
             # a call still succeeds with overwhelming probability, which
             # is the regime experiment E12 sweeps.
             self.router: FileServiceRouter = RpcRouter(
-                RpcClient(self.bus, max_attempts=30), addresses
+                RpcClient(
+                    self.bus,
+                    max_attempts=30,
+                    backoff=self.config.rpc_backoff,
+                    breaker=self.breaker,
+                    seed=self.config.seed,
+                ),
+                addresses,
             )
         else:
             self.router = DirectRouter(self.file_servers)
@@ -153,6 +208,7 @@ class RhodosCluster:
             self.clock,
             self.metrics,
             default_degree=min(self.config.replication_degree, self.config.n_disks),
+            health=self.health,
         )
 
         self.machines: List[Machine] = []
@@ -208,6 +264,48 @@ class RhodosCluster:
         """Repair and recover one volume (disk, caches, transactions)."""
         self.disks[volume_id].repair()
         self.coordinator.recover_volume(volume_id)
+
+    # ------------------------------------------- crash/restart lifecycle
+
+    def fail_volume(self, volume_id: int) -> None:
+        """Take one volume's disk *and* file server down mid-workload.
+
+        The bus endpoint stops answering (clients time out, the breaker
+        eventually opens), the file server's caches are dropped with the
+        crash, and every client machine invalidates its cached blocks
+        from the volume — a cache must not serve reads the server could
+        not.  Detection is deliberately left to the failure path: the
+        health registry learns of the crash from replica errors or
+        breaker transitions, exactly as a real deployment would.
+        """
+        self.file_servers[volume_id].crash()
+        # The disk server rode the same machine: its volatile track
+        # cache dies too (it must not serve reads the disk cannot).
+        cache = self.disk_servers[volume_id].cache
+        if cache is not None:
+            cache.invalidate()
+        if self.bus is not None:
+            self.bus.set_down(f"file_server.{volume_id}")
+        for machine in self.machines:
+            machine.file_agent.invalidate_volume(volume_id)
+        self.metrics.add("cluster.volume_failures")
+
+    def restart_volume(self, volume_id: int) -> None:
+        """Bring a failed volume back: repair, recover, announce.
+
+        Runs the full transaction-service recovery (redo committed
+        work, discard the rest), reopens the bus endpoint, and fires
+        the health registry's recovery event — which triggers replica
+        resync and orphan sweeps synchronously.  An open circuit
+        breaker is *not* reset: its cooldown is part of the modelled
+        detection lag and is charged to the unavailability window.
+        """
+        self.disks[volume_id].repair()
+        self.coordinator.recover_volume(volume_id)
+        if self.bus is not None:
+            self.bus.set_down(f"file_server.{volume_id}", False)
+        self.metrics.add("cluster.volume_restarts")
+        self.health.note_recovered(volume_component(volume_id))
 
     def total_disk_references(self) -> int:
         """Data-disk references only (stable mirrors excluded)."""

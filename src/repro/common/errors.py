@@ -143,6 +143,15 @@ class RpcTimeoutError(RpcError):
     """A request exhausted its retransmission budget without a reply."""
 
 
+class CircuitOpenError(RpcTimeoutError):
+    """The destination's circuit breaker is open: the call failed fast.
+
+    A :class:`RpcTimeoutError` subclass so callers that treat timeouts
+    as "server unreachable" need no new handling — the breaker merely
+    delivers the same verdict without spending the attempt budget.
+    """
+
+
 # ------------------------------------------------------------- process
 
 

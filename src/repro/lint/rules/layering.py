@@ -29,6 +29,9 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "simkernel": {"common"},
     "simdisk": {"common"},
     "rpc": {"common"},
+    # failure detection and crash/restart scheduling (PR 4): pure
+    # policy over common types, consulted by replication and cluster
+    "recovery": {"common"},
     # the disk service (paper section 4)
     "disk_service": {"common", "simdisk"},
     # the basic file service (paper section 5)
@@ -39,18 +42,21 @@ LAYER_DEPS: Dict[str, Set[str]] = {
         "common", "simkernel", "simdisk", "disk_service", "file_service",
         "naming",
     },
-    "replication": {"common", "file_service", "naming"},
+    "replication": {"common", "file_service", "naming", "recovery"},
     # client-visible agents, assembly, and tooling
     "agents": {"common", "rpc", "file_service", "naming"},
-    "tools": {"common", "disk_service", "file_service"},
+    "tools": {"common", "disk_service", "file_service", "naming",
+              "replication"},
     "workloads": {"common", "file_service", "naming", "transactions"},
     "chaos": {
-        "common", "simdisk", "disk_service", "file_service", "naming",
-        "transactions", "tools",
+        "common", "simdisk", "rpc", "disk_service", "file_service",
+        "naming", "transactions", "replication", "recovery", "cluster",
+        "tools",
     },
     "cluster": {
         "common", "simkernel", "simdisk", "rpc", "disk_service",
-        "file_service", "naming", "transactions", "replication", "agents",
+        "file_service", "naming", "transactions", "replication",
+        "recovery", "agents",
     },
     # the linter itself: stdlib-only by charter
     "lint": set(),

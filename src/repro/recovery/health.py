@@ -1,0 +1,139 @@
+"""The failure detector: per-component health with recovery events.
+
+A component (conventionally ``volume.<id>`` for a volume's servers) is
+``UP`` until evidence says otherwise.  Evidence arrives two ways:
+
+* **I/O errors** reported by callers through :meth:`HealthRegistry.note_error`.
+  The caller classifies the exception (a ``DiskCrashedError`` is
+  permanent; a torn-sector read is not) and the registry applies the
+  *tolerance* rule: isolated transient errors leave the component
+  ``SUSPECT`` and are absorbed, but ``transient_tolerance`` consecutive
+  ones escalate to ``DOWN`` — a "transient" fault that never clears is
+  a failure, whatever the exception type says.
+* **circuit-breaker transitions** from the RPC layer, relayed by the
+  assembly (the cluster maps bus addresses to component names):
+  breaker-open marks the component ``DOWN``, breaker-close means a
+  probe reached a live server again and fires a recovery event.
+
+Recovery events (:meth:`note_recovered`) are the repair trigger: every
+registered listener runs synchronously, in registration order, so
+repair work (replica resync, orphan sweeps) is deterministic and
+happens inside the recovery instant of simulated time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List
+
+from repro.common.metrics import Metrics
+
+
+class HealthState(enum.Enum):
+    """What the detector currently believes about one component."""
+
+    UP = "up"
+    SUSPECT = "suspect"  # absorbed transient errors, still serving
+    DOWN = "down"
+
+    def __repr__(self) -> str:  # stable across PYTHONHASHSEED
+        return f"HealthState.{self.name}"
+
+
+class HealthRegistry:
+    """Shared health truth for every failure-aware layer.
+
+    Args:
+        metrics: counter registry (``health.*`` counters).
+        transient_tolerance: consecutive transient errors one component
+            may accumulate before it is treated as down anyway.
+    """
+
+    def __init__(self, metrics: Metrics, *, transient_tolerance: int = 3) -> None:
+        if transient_tolerance < 1:
+            raise ValueError("transient tolerance must be >= 1")
+        self.metrics = metrics
+        self.transient_tolerance = transient_tolerance
+        self._states: Dict[str, HealthState] = {}
+        self._consecutive: Dict[str, int] = {}
+        self._listeners: List[Callable[[str], None]] = []
+
+    # ------------------------------------------------------- queries
+
+    def state(self, component: str) -> HealthState:
+        return self._states.get(component, HealthState.UP)
+
+    def is_down(self, component: str) -> bool:
+        return self.state(component) is HealthState.DOWN
+
+    def components(self) -> List[str]:
+        """Every component ever reported on, sorted (deterministic)."""
+        return sorted(self._states)
+
+    # ------------------------------------------------------ evidence
+
+    def note_ok(self, component: str) -> None:
+        """A successful operation: clears suspicion, closes nothing loud.
+
+        Unlike :meth:`note_recovered` this fires no recovery event — it
+        is the steady-state "still fine" signal, also used when repair
+        work itself verifies a component (a resync write succeeding).
+        """
+        self._consecutive[component] = 0
+        if self._states.get(component, HealthState.UP) is not HealthState.UP:
+            self._states[component] = HealthState.UP
+
+    def note_error(self, component: str, *, permanent: bool) -> bool:
+        """Record one failed operation; returns the verdict.
+
+        ``True`` means treat the failure as permanent (fail over, mark
+        replicas stale); ``False`` means absorb it as transient.  A
+        component already ``DOWN`` gets no benefit of the doubt.
+        """
+        if permanent or self.is_down(component):
+            self.mark_down(component)
+            self.metrics.add("health.permanent_errors")
+            return True
+        count = self._consecutive.get(component, 0) + 1
+        self._consecutive[component] = count
+        if count >= self.transient_tolerance:
+            self.mark_down(component)
+            self.metrics.add("health.transient_escalations")
+            return True
+        self._states[component] = HealthState.SUSPECT
+        self.metrics.add("health.transient_errors")
+        return False
+
+    def mark_down(self, component: str) -> None:
+        """Declare a component down (breaker-open, or escalation)."""
+        if self._states.get(component) is not HealthState.DOWN:
+            self.metrics.add("health.marked_down")
+        self._states[component] = HealthState.DOWN
+        self._consecutive[component] = 0
+
+    # ------------------------------------------------------ recovery
+
+    def note_recovered(self, component: str) -> None:
+        """A component is back: mark it up and run every repair hook.
+
+        Fired on administrative restart (the lifecycle path) and on a
+        circuit breaker's successful half-open probe (the discovery
+        path).  Listeners run synchronously in registration order;
+        firing twice is harmless because repair work is idempotent.
+        """
+        self._states[component] = HealthState.UP
+        self._consecutive[component] = 0
+        self.metrics.add("health.recoveries")
+        for listener in self._listeners:
+            listener(component)
+
+    def on_recovery(self, listener: Callable[[str], None]) -> None:
+        """Register a repair hook called with the recovered component."""
+        self._listeners.append(listener)
+
+    def __repr__(self) -> str:
+        down = sum(1 for s in self._states.values() if s is HealthState.DOWN)
+        return (
+            f"HealthRegistry({len(self._states)} components, {down} down, "
+            f"tolerance={self.transient_tolerance})"
+        )

@@ -1,0 +1,153 @@
+"""Deterministic crash/restart scripts in simulated time.
+
+A :class:`FailureSchedule` is a list of :class:`FailureEvent` — "at
+simulated time *t*, take volume *v* down for *d* microseconds" — polled
+from a workload loop.  Because the simulation is single-threaded,
+crashes land *between* operations, never inside a physical write; the
+sub-write crash atomicity story belongs to the crash-point sweep
+(:mod:`repro.chaos.scheduler`).  What the schedule adds is the other
+half of the reliability claim: recovery running **concurrently with
+traffic** — the workload keeps issuing operations while a volume is
+down and while its restart/resync is in progress.
+
+The schedule is pure bookkeeping: the actual crash and restart are
+performed by a :class:`VolumeLifecycleHost` (in practice
+:class:`~repro.cluster.system.RhodosCluster`), so this module depends
+only on :mod:`repro.common`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One crash/restart pair: down at ``at_us``, back ``down_us`` later."""
+
+    at_us: int
+    volume_id: int
+    down_us: int
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("crash time cannot be negative")
+        if self.down_us <= 0:
+            raise ValueError("downtime must be positive")
+        if self.volume_id < 0:
+            raise ValueError("volume id cannot be negative")
+
+    @property
+    def restart_at_us(self) -> int:
+        return self.at_us + self.down_us
+
+
+class VolumeLifecycleHost(Protocol):
+    """What a schedule drives: something that can crash and restart volumes."""
+
+    def fail_volume(self, volume_id: int) -> None: ...
+
+    def restart_volume(self, volume_id: int) -> None: ...
+
+
+class FailureSchedule:
+    """Polls the clock and fires due crash/restart events, in order.
+
+    Args:
+        events: the script; windows of the same volume must not overlap
+            (a volume cannot crash while already down).
+        clock: the shared simulated clock the script reads.
+        metrics: optional registry (``recovery.*`` counters).
+    """
+
+    def __init__(
+        self,
+        events: Sequence[FailureEvent],
+        clock: SimClock,
+        *,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.clock = clock
+        self.metrics = metrics or Metrics()
+        ordered = sorted(events, key=lambda e: (e.at_us, e.volume_id))
+        last_restart: dict[int, int] = {}
+        for event in ordered:
+            previous = last_restart.get(event.volume_id)
+            if previous is not None and event.at_us < previous:
+                raise ValueError(
+                    f"volume {event.volume_id}: crash at {event.at_us}us "
+                    f"overlaps the window ending at {previous}us"
+                )
+            last_restart[event.volume_id] = event.restart_at_us
+        #: (time, kind, volume) actions not yet fired; kind orders a
+        #: restart before a crash scheduled at the same instant.
+        self._pending: List[Tuple[int, int, int]] = sorted(
+            [(e.at_us, 1, e.volume_id) for e in ordered]
+            + [(e.restart_at_us, 0, e.volume_id) for e in ordered]
+        )
+        self._events = tuple(ordered)
+        self._down_since: dict[int, int] = {}
+        self._windows: List[Tuple[int, int, int]] = []  # (volume, start, end)
+
+    # ----------------------------------------------------------- api
+
+    @property
+    def events(self) -> Tuple[FailureEvent, ...]:
+        return self._events
+
+    def done(self) -> bool:
+        return not self._pending
+
+    def next_event_us(self) -> Optional[int]:
+        """Simulated time of the next unfired action (None when done)."""
+        return self._pending[0][0] if self._pending else None
+
+    def poll(self, host: VolumeLifecycleHost) -> List[str]:
+        """Fire every action due at the current clock; returns a log.
+
+        Call between workload operations.  Actions fire in scripted
+        time order even when the clock jumped past several of them, so
+        a restart always precedes a later crash of the same volume.
+        """
+        actions: List[str] = []
+        now = self.clock.now_us
+        while self._pending and self._pending[0][0] <= now:
+            at_us, kind, volume_id = self._pending.pop(0)
+            if kind == 1:
+                self._down_since[volume_id] = at_us
+                host.fail_volume(volume_id)
+                self.metrics.add("recovery.crashes_injected")
+                actions.append(f"t={at_us}us crash volume {volume_id}")
+            else:
+                started = self._down_since.pop(volume_id, at_us)
+                self._windows.append((volume_id, started, at_us))
+                host.restart_volume(volume_id)
+                self.metrics.add("recovery.restarts_injected")
+                actions.append(f"t={at_us}us restart volume {volume_id}")
+        return actions
+
+    def run_out(self, host: VolumeLifecycleHost) -> List[str]:
+        """Advance the clock through every remaining action and fire it.
+
+        Used at end-of-workload so a run always converges to a fully
+        restarted system before the final invariant checks.
+        """
+        actions: List[str] = []
+        while self._pending:
+            self.clock.advance_to(self._pending[0][0])
+            actions.extend(self.poll(host))
+        return actions
+
+    def downtime_windows(self) -> List[Tuple[int, int, int]]:
+        """Completed (volume_id, down_at_us, restarted_at_us) windows."""
+        return list(self._windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureSchedule({len(self._events)} events, "
+            f"{len(self._pending)} actions pending)"
+        )

@@ -10,12 +10,29 @@ recovers.
 The replica set is recorded in the naming service as attributes of the
 file's name, so replication survives naming-database persistence and
 needs no extra metadata store.
+
+Failure handling routes through a
+:class:`~repro.recovery.health.HealthRegistry`:
+
+* **transient vs permanent** — a ``DiskCrashedError`` is permanent; any
+  other disk/file-service error is retried in place
+  (``transient_retries``) and only escalates through the registry's
+  tolerance rule.  A single torn-sector hiccup therefore no longer
+  triggers a permanent failover.
+* **staleness means missed writes** — only a replica that missed (or
+  may have missed) a write is marked stale; a failed *read* fails over
+  without staleness, because the replica's content is still current.
+* **auto-repair** — the service subscribes to recovery events: when a
+  volume comes back, every replica set with stale members is
+  resynchronised and orphaned replicas from failed deletes are swept.
+  Resynced content is read back and verified byte-identical
+  (``replication.resyncs_verified``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.clock import SimClock
 from repro.common.errors import (
@@ -30,6 +47,10 @@ from repro.file_service.attributes import FileAttributes
 from repro.file_service.server import FileServer
 from repro.naming.attributed import AttributedName
 from repro.naming.service import NamingService
+from repro.recovery.health import HealthRegistry
+
+#: Exceptions a single replica operation may fail with.
+_REPLICA_ERRORS = (DiskError, DiskCrashedError, FileServiceError)
 
 
 def _encode_replicas(names: List[SystemName]) -> str:
@@ -46,6 +67,19 @@ def _decode_replicas(encoded: str) -> List[SystemName]:
     return replicas
 
 
+def volume_component(volume_id: int) -> str:
+    """The health-registry component name of one volume's servers."""
+    return f"volume.{volume_id}"
+
+
+def component_volume(component: str) -> Optional[int]:
+    """Inverse of :func:`volume_component` (None for other components)."""
+    prefix = "volume."
+    if component.startswith(prefix) and component[len(prefix):].isdigit():
+        return int(component[len(prefix):])
+    return None
+
+
 @dataclass
 class ReplicaSet:
     """The live view of one replicated file."""
@@ -60,7 +94,16 @@ class ReplicaSet:
 
 
 class ReplicationService:
-    """Replicated create/read/write/delete with failover and resync."""
+    """Replicated create/read/write/delete with failover and resync.
+
+    Args:
+        health: the shared failure detector; a private one is built
+            when the service runs stand-alone.  The service registers
+            itself for recovery events either way, so restarting a
+            volume automatically resynchronises its replicas.
+        transient_retries: in-place retries of a replica operation that
+            failed with a non-crash error before giving up on it.
+    """
 
     def __init__(
         self,
@@ -70,15 +113,26 @@ class ReplicationService:
         metrics: Metrics,
         *,
         default_degree: int = 2,
+        health: Optional[HealthRegistry] = None,
+        transient_retries: int = 1,
     ) -> None:
         if default_degree < 1:
             raise ReplicationError("replication degree must be >= 1")
+        if transient_retries < 0:
+            raise ReplicationError("transient retries cannot be negative")
         self.naming = naming
         self.servers = dict(servers)
         self.clock = clock
         self.metrics = metrics
         self.default_degree = default_degree
+        self.health = health or HealthRegistry(metrics)
+        self.transient_retries = transient_retries
         self._sets: Dict[AttributedName, ReplicaSet] = {}
+        #: Replicas whose delete failed (e.g. their volume was down):
+        #: tracked so the space is reclaimed by a later sweep instead of
+        #: leaking forever once the name is unbound.
+        self._orphans: List[SystemName] = []
+        self.health.on_recovery(self._on_component_recovered)
 
     # -------------------------------------------------------- create
 
@@ -119,21 +173,40 @@ class ReplicationService:
     # ------------------------------------------------------------ io
 
     def read(self, name: AttributedName, offset: int, n_bytes: int) -> bytes:
-        """Read-one: the first live replica serves the read."""
+        """Read-one: the first live replica serves the read.
+
+        A failed read fails over without marking the replica stale (its
+        content is still current); the health registry decides whether
+        the failure counts against the volume.
+        """
         replica_set = self.lookup(name)
         last_error: Optional[Exception] = None
+        degraded = False
         for system_name in replica_set.replicas:
-            if system_name.volume_id in replica_set.stale:
+            volume_id = system_name.volume_id
+            if volume_id in replica_set.stale:
+                degraded = True
                 continue
-            server = self.servers[system_name.volume_id]
+            if self.health.is_down(volume_component(volume_id)):
+                self.metrics.add("replication.reads_skipped_down")
+                degraded = True
+                continue
+            server = self.servers[volume_id]
             try:
-                data = server.read(system_name, offset, n_bytes)
-                self.metrics.add("replication.reads")
-                return data
-            except (DiskError, DiskCrashedError, FileServiceError) as exc:
+                data = self._attempt(
+                    lambda: server.read(system_name, offset, n_bytes)
+                )
+            except _REPLICA_ERRORS as exc:
                 last_error = exc
-                replica_set.stale.add(system_name.volume_id)
+                self._note_replica_error(volume_id, exc)
                 self.metrics.add("replication.failovers")
+                degraded = True
+                continue
+            self.health.note_ok(volume_component(volume_id))
+            self.metrics.add("replication.reads")
+            if degraded:
+                self.metrics.add("replication.reads_degraded")
+            return data
         raise ReplicationError(
             f"no live replica of {name} could serve the read"
         ) from last_error
@@ -141,22 +214,32 @@ class ReplicationService:
     def write(self, name: AttributedName, offset: int, data: bytes) -> int:
         """Write-all: every live replica applies the write.
 
-        Replicas that fail mid-write are marked stale (they will be
-        resynchronised); the write succeeds as long as one replica
-        applies it.
+        A replica that fails (or is skipped because its volume is down)
+        missed the write and is marked stale — staleness tracks content
+        divergence, so here it is unavoidable; resync repairs it.  The
+        write succeeds as long as one replica applies it.
         """
         replica_set = self.lookup(name)
         applied = 0
         for system_name in replica_set.replicas:
-            if system_name.volume_id in replica_set.stale:
+            volume_id = system_name.volume_id
+            if volume_id in replica_set.stale:
                 continue
-            server = self.servers[system_name.volume_id]
-            try:
-                server.write(system_name, offset, data)
-                applied += 1
-            except (DiskError, DiskCrashedError, FileServiceError):
-                replica_set.stale.add(system_name.volume_id)
+            if self.health.is_down(volume_component(volume_id)):
+                replica_set.stale.add(volume_id)
+                self.metrics.add("replication.writes_skipped_down")
                 self.metrics.add("replication.failovers")
+                continue
+            server = self.servers[volume_id]
+            try:
+                self._attempt(lambda: server.write(system_name, offset, data))
+            except _REPLICA_ERRORS as exc:
+                self._note_replica_error(volume_id, exc)
+                replica_set.stale.add(volume_id)
+                self.metrics.add("replication.failovers")
+                continue
+            self.health.note_ok(volume_component(volume_id))
+            applied += 1
         if applied == 0:
             raise ReplicationError(f"no live replica of {name} accepted the write")
         self.metrics.add("replication.writes")
@@ -166,21 +249,38 @@ class ReplicationService:
     def get_attribute(self, name: AttributedName) -> FileAttributes:
         replica_set = self.lookup(name)
         for system_name in replica_set.replicas:
-            if system_name.volume_id in replica_set.stale:
+            volume_id = system_name.volume_id
+            if volume_id in replica_set.stale:
+                continue
+            if self.health.is_down(volume_component(volume_id)):
                 continue
             try:
-                return self.servers[system_name.volume_id].get_attribute(system_name)
-            except (DiskError, DiskCrashedError, FileServiceError):
-                replica_set.stale.add(system_name.volume_id)
+                attributes = self._attempt(
+                    lambda: self.servers[volume_id].get_attribute(system_name)
+                )
+            except _REPLICA_ERRORS as exc:
+                self._note_replica_error(volume_id, exc)
+                continue
+            self.health.note_ok(volume_component(volume_id))
+            return attributes
         raise ReplicationError(f"no live replica of {name}")
 
     def delete(self, name: AttributedName) -> None:
+        """Delete every replica; unreachable replicas become orphans.
+
+        The name is unbound regardless, so a replica whose volume was
+        down at delete time would otherwise leak forever — it is
+        recorded instead and reclaimed by :meth:`sweep_orphans` when
+        its volume recovers (or by an fsck run).
+        """
         replica_set = self.lookup(name)
         for system_name in replica_set.replicas:
             try:
                 self.servers[system_name.volume_id].delete(system_name)
-            except (DiskError, DiskCrashedError, FileServiceError):
-                pass
+            except _REPLICA_ERRORS as exc:
+                self._note_replica_error(system_name.volume_id, exc)
+                self._orphans.append(system_name)
+                self.metrics.add("replication.orphans_recorded")
         self.naming.unbind(replica_set.name)
         self._sets.pop(name, None)
         self._sets.pop(replica_set.name, None)
@@ -189,14 +289,51 @@ class ReplicationService:
     # -------------------------------------------------------- repair
 
     def live_replicas(self, name: AttributedName) -> int:
+        """Replicas that are neither stale nor on a down volume."""
         replica_set = self.lookup(name)
-        return replica_set.degree - len(replica_set.stale)
+        return sum(
+            1
+            for system_name in replica_set.replicas
+            if system_name.volume_id not in replica_set.stale
+            and not self.health.is_down(volume_component(system_name.volume_id))
+        )
+
+    def orphans(self) -> List[SystemName]:
+        """Replicas leaked by failed deletes, still awaiting a sweep."""
+        return list(self._orphans)
+
+    def sweep_orphans(self, volume_id: Optional[int] = None) -> int:
+        """Retry deleting orphaned replicas; returns how many went away.
+
+        An orphan whose file no longer exists counts as swept (an fsck
+        or a reformat got there first).  Orphans whose volume is still
+        failing stay recorded for the next sweep.
+        """
+        swept = 0
+        remaining: List[SystemName] = []
+        for system_name in self._orphans:
+            if volume_id is not None and system_name.volume_id != volume_id:
+                remaining.append(system_name)
+                continue
+            server = self.servers.get(system_name.volume_id)
+            try:
+                if server is not None and server.exists(system_name):
+                    server.delete(system_name)
+            except _REPLICA_ERRORS:
+                remaining.append(system_name)
+                continue
+            swept += 1
+            self.metrics.add("replication.orphans_swept")
+        self._orphans = remaining
+        return swept
 
     def resync(self, name: AttributedName) -> int:
         """Copy the primary's content onto every stale replica.
 
-        Call after the crashed volume's file server has recovered.
-        Returns the number of replicas repaired.
+        Call after the crashed volume's file server has recovered (the
+        recovery-event path does this automatically).  Each repaired
+        replica is read back and verified byte-identical before its
+        staleness clears.  Returns the number of replicas repaired.
         """
         replica_set = self.lookup(name)
         if not replica_set.stale:
@@ -225,10 +362,16 @@ class ReplicationService:
                     system_name = fresh
                 if content:
                     server.write(system_name, 0, content)
+                if server.read(system_name, 0, size) != content:
+                    self.metrics.add("replication.resync_mismatches")
+                    continue  # stays stale; a later resync retries
+                self.metrics.add("replication.resyncs_verified")
                 replica_set.stale.discard(system_name.volume_id)
+                self.health.note_ok(volume_component(system_name.volume_id))
                 repaired += 1
                 self.metrics.add("replication.resyncs")
-            except (DiskError, DiskCrashedError, FileServiceError):
+            except _REPLICA_ERRORS as exc:
+                self._note_replica_error(system_name.volume_id, exc)
                 continue
         # Refresh the replica list recorded in the naming service.
         refreshed = replica_set.name.with_attributes(
@@ -240,3 +383,66 @@ class ReplicationService:
         replica_set.name = refreshed
         self._sets[refreshed] = replica_set
         return repaired
+
+    def resync_all_stale(self) -> int:
+        """Resync every known replica set with stale members.
+
+        Sets whose primary is still unreachable are deferred (counted
+        in ``replication.resync_deferrals``) and retried on the next
+        recovery event, so repeated partial failures still converge.
+        Returns the total number of replicas repaired.
+        """
+        repaired = 0
+        visited: set[int] = set()
+        for replica_set in list(self._sets.values()):
+            if id(replica_set) in visited:
+                continue
+            visited.add(id(replica_set))
+            if not replica_set.stale:
+                continue
+            try:
+                repaired += self.resync(replica_set.name)
+            except (ReplicationError, *_REPLICA_ERRORS):
+                self.metrics.add("replication.resync_deferrals")
+        return repaired
+
+    # ------------------------------------------------------ internal
+
+    def _attempt(self, operation: Callable[[], object]):
+        """Run one replica operation, absorbing transient hiccups.
+
+        A crashed volume fails immediately (retrying cannot help); any
+        other facility error is retried ``transient_retries`` times in
+        place before the failure escapes to the failover logic.
+        """
+        retries = self.transient_retries
+        while True:
+            try:
+                return operation()
+            except DiskCrashedError:
+                raise
+            except (DiskError, FileServiceError):
+                if retries <= 0:
+                    raise
+                retries -= 1
+                self.metrics.add("replication.transient_retries")
+
+    def _note_replica_error(self, volume_id: int, exc: Exception) -> bool:
+        """Feed one replica failure to the detector; True = permanent."""
+        return self.health.note_error(
+            volume_component(volume_id),
+            permanent=isinstance(exc, DiskCrashedError),
+        )
+
+    def _on_component_recovered(self, component: str) -> None:
+        """Recovery event: sweep the volume's orphans, repair staleness.
+
+        Every stale set is attempted — not only those stale on the
+        recovered volume — because the blocker may have been the
+        *primary* being down while other replicas went stale.
+        """
+        volume_id = component_volume(component)
+        if volume_id is None or volume_id not in self.servers:
+            return
+        self.sweep_orphans(volume_id)
+        self.resync_all_stale()

@@ -10,14 +10,38 @@ naming service constitute idempotent operations."
 
 This package provides an in-process :class:`MessageBus` with simulated
 latency and seeded fault injection — message **loss** (client times out
-and retransmits) and **duplication** (the server executes the request
-twice) — plus request/reply endpoints.  Servers deliberately keep *no*
-reply cache: duplicated requests really are re-executed, and the
-experiments show the final state is unaffected because every file
+and retransmits), **duplication** (the server executes the request
+twice), and **reordering** (a request is delivered late, after
+operations issued after it; see :meth:`MessageBus.drain_delayed`) —
+plus request/reply endpoints.  Servers deliberately keep *no* reply
+cache: duplicated and reordered requests really are re-executed, and
+the experiments show the final state is unaffected because every file
 operation is positional, hence idempotent.
+
+On the caller side, :mod:`repro.rpc.retry` adds the retry discipline a
+failure-aware deployment needs: seeded exponential backoff between
+retransmissions and a per-destination :class:`CircuitBreaker` that
+fails fast (:class:`~repro.common.errors.CircuitOpenError`) instead of
+hammering a dead server, feeding its open/close transitions to the
+failure detector.
 """
 
 from repro.rpc.bus import MessageBus, FaultProfile
 from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.rpc.retry import (
+    BackoffPolicy,
+    BreakerPolicy,
+    BreakerListener,
+    CircuitBreaker,
+)
 
-__all__ = ["MessageBus", "FaultProfile", "RpcClient", "RpcServer"]
+__all__ = [
+    "MessageBus",
+    "FaultProfile",
+    "RpcClient",
+    "RpcServer",
+    "BackoffPolicy",
+    "BreakerPolicy",
+    "BreakerListener",
+    "CircuitBreaker",
+]

@@ -4,15 +4,25 @@ Delivery is synchronous in simulated time: sending charges the latency
 model, faults are drawn from a seeded RNG, and the destination handler
 runs inline.  That keeps the whole system single-threaded and
 deterministic while preserving exactly the semantics the paper's
-idempotency argument depends on: a request may be lost (never executed),
-executed once, or executed more than once.
+idempotency argument depends on: a request may be lost (never
+executed), executed once, executed more than once, or — under
+**reorder** injection — executed *late*, after operations that were
+issued after it.
+
+Reordering is modelled with a delayed-delivery queue: a request chosen
+for reordering is parked instead of delivered (its sender times out and
+retransmits), and parked requests are drained — executed, their replies
+discarded — immediately *after* the handler of a later transmit runs.
+The late execution therefore really does land out of program order,
+which is the case positional idempotent operations must absorb
+(experiment E12 sweeps it alongside loss and duplication).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.clock import SimClock
 from repro.common.errors import RpcError
@@ -33,15 +43,21 @@ class FaultProfile:
         reply_loss: probability a reply vanishes (the server *did*
             execute — the dangerous case for non-idempotent designs).
         duplication: probability a delivered request is executed twice.
+        reorder: probability a request is parked in the delayed-
+            delivery queue and executed only after a later transmit's
+            handler (the sender sees a timeout and retransmits).
     """
 
     latency_us: int = 500
     request_loss: float = 0.0
     reply_loss: float = 0.0
     duplication: float = 0.0
+    reorder: float = 0.0
 
     def __post_init__(self) -> None:
-        for rate in (self.request_loss, self.reply_loss, self.duplication):
+        for rate in (
+            self.request_loss, self.reply_loss, self.duplication, self.reorder
+        ):
             if not 0.0 <= rate < 1.0:
                 raise ValueError(f"fault rate {rate} outside [0, 1)")
         if self.latency_us < 0:
@@ -74,6 +90,7 @@ class MessageBus:
         self._rng = random.Random(seed)
         self._endpoints: Dict[str, Handler] = {}
         self._down: set[str] = set()
+        self._delayed: List[Tuple[str, str, Any]] = []
 
     # ------------------------------------------------------ registry
 
@@ -105,7 +122,8 @@ class MessageBus:
         delivered, the handler runs (possibly twice under duplication)
         and the reply charges latency back — unless the reply itself is
         lost, in which case the caller sees a timeout *after the server
-        already executed*.
+        already executed*.  Requests parked for reordering execute
+        after a later transmit's handler (see :meth:`drain_delayed`).
         """
         handler = self._endpoints.get(dst)
         if handler is None:
@@ -119,12 +137,18 @@ class MessageBus:
                 self.metrics.add("rpc.requests_lost")
                 span.annotate("outcome", "request_lost")
                 return False, None
+            if self._chance(self.profile.reorder):
+                self._delayed.append((dst, op, payload))
+                self.metrics.add("rpc.requests_delayed")
+                span.annotate("outcome", "delayed")
+                return False, None
             reply = handler(op, payload)
             self.metrics.add("rpc.executions")
             if self._chance(self.profile.duplication):
                 reply = handler(op, payload)
                 self.metrics.add("rpc.executions")
                 self.metrics.add("rpc.duplicated_executions")
+            self.drain_delayed()
             self.clock.advance_us(self.profile.latency_us)
             if dst in self._down or self._chance(self.profile.reply_loss):
                 self.metrics.add("rpc.replies_lost")
@@ -132,6 +156,32 @@ class MessageBus:
                 return False, None
             span.annotate("outcome", "ok")
             return True, reply
+
+    def drain_delayed(self) -> int:
+        """Execute every parked request late; returns how many ran.
+
+        Replies are discarded (their senders gave up long ago).  A
+        parked request whose endpoint is down or unregistered by drain
+        time is dropped as lost.  Runs automatically after each
+        delivered transmit; callers (campaign teardown, tests) may also
+        invoke it directly so no delivery stays parked forever.
+        """
+        drained = 0
+        while self._delayed:
+            dst, op, payload = self._delayed.pop(0)
+            handler = self._endpoints.get(dst)
+            if handler is None or dst in self._down:
+                self.metrics.add("rpc.requests_lost")
+                continue
+            handler(op, payload)
+            drained += 1
+            self.metrics.add("rpc.executions")
+            self.metrics.add("rpc.reordered_executions")
+        return drained
+
+    def pending_delayed(self) -> int:
+        """Requests currently parked in the delayed-delivery queue."""
+        return len(self._delayed)
 
     # ------------------------------------------------------ internal
 

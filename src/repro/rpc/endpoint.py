@@ -5,15 +5,25 @@ functions.  :class:`RpcClient` retransmits on timeout up to a budget —
 safe precisely because the operations are idempotent; the bench for
 experiment E12 runs this machinery under loss and duplication and
 checks the final file state is byte-identical to a fault-free run.
+
+Retransmission can be disciplined further with the policies of
+:mod:`repro.rpc.retry`: seeded exponential backoff between attempts
+(``rpc.backoff_us`` records every extra wait) and a per-destination
+circuit breaker that fails calls fast while a server is known dead
+(:class:`~repro.common.errors.CircuitOpenError`).  Both are off by
+default, preserving the fixed-interval behaviour the idempotency
+benches established.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+import random
+from typing import Any, Callable, Dict, Optional
 
-from repro.common.errors import RpcError, RpcTimeoutError
+from repro.common.errors import CircuitOpenError, RpcError, RpcTimeoutError
 from repro.common.ids import monotonic_id_factory
 from repro.rpc.bus import MessageBus
+from repro.rpc.retry import BackoffPolicy, CircuitBreaker
 
 
 class RpcServer:
@@ -56,6 +66,17 @@ class RpcClient:
 
     The timeout charged on a lost message models the client waiting out
     its retransmission timer in simulated time.
+
+    Args:
+        backoff: optional exponential-backoff policy; its jitter draws
+            from a :class:`random.Random` seeded with ``seed``, so two
+            identically seeded clients wait identical schedules.
+        breaker: optional per-destination circuit breaker.  While a
+            destination's circuit is open, :meth:`call` raises
+            :class:`~repro.common.errors.CircuitOpenError` immediately
+            — no messages, no simulated time spent.  Note that a
+            fast-failed call advances *no* clock; a caller polling in a
+            loop must advance time itself (real callers do other work).
     """
 
     def __init__(
@@ -64,31 +85,62 @@ class RpcClient:
         *,
         timeout_us: int = 20_000,
         max_attempts: int = 8,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        seed: int = 0,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("need at least one attempt")
         self.bus = bus
         self.timeout_us = timeout_us
         self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.breaker = breaker
+        self._rng = random.Random(seed)
         self._next_request_id = monotonic_id_factory()
 
     def call(self, dst: str, op: str, payload: Any) -> Any:
         """Invoke ``op`` at ``dst``; retransmits until a reply arrives.
 
-        Raises :class:`RpcTimeoutError` after the attempt budget, and
+        Raises :class:`RpcTimeoutError` after the attempt budget (or
+        :class:`CircuitOpenError` as soon as the breaker trips), and
         re-raises any error the remote handler produced.
         """
         self._next_request_id()  # request ids exist for tracing/metrics
+        if self.breaker is not None and not self.breaker.allow(dst):
+            raise CircuitOpenError(
+                f"circuit open for {dst!r} op {op!r}: failing fast until "
+                f"{self.breaker.policy.cooldown_us}us cooldown elapses"
+            )
+        failures = 0
         for attempt in range(self.max_attempts):
             if attempt:
                 self.bus.metrics.add("rpc.retransmissions")
             arrived, reply = self.bus.transmit(dst, op, payload)
             if arrived:
+                if self.breaker is not None:
+                    self.breaker.record_success(dst)
                 status, value = reply
                 if status == "error":
                     raise value
                 return value
-            self.bus.clock.advance_us(self.timeout_us)
+            failures += 1
+            if self.breaker is not None:
+                self.breaker.record_failure(dst)
+                if self.breaker.is_open(dst):
+                    # The breaker tripped mid-call: stop hammering now;
+                    # the remaining attempt budget is the whole saving.
+                    raise CircuitOpenError(
+                        f"circuit for {dst!r} opened after {failures} "
+                        f"consecutive timeouts (op {op!r}, bus fault seed "
+                        f"{self.bus.seed})"
+                    )
+            wait_us = self.timeout_us
+            if self.backoff is not None:
+                extra_us = self.backoff.delay_us(failures, self._rng)
+                self.bus.metrics.observe("rpc.backoff_us", extra_us)
+                wait_us += extra_us
+            self.bus.clock.advance_us(wait_us)
         raise RpcTimeoutError(
             f"no reply from {dst!r} op {op!r} after {self.max_attempts} "
             f"attempts (bus fault seed {self.bus.seed}, profile "

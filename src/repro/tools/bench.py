@@ -225,7 +225,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pr3.json",
+        default="BENCH_pr4.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(

@@ -21,7 +21,7 @@ The report distinguishes *errors* (integrity broken) from *warnings*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK
 from repro.disk_service.addresses import Extent
@@ -33,6 +33,7 @@ from repro.file_service.fit import (
     recompute_counts,
 )
 from repro.file_service.server import FileServer
+from repro.replication.service import ReplicationService
 
 
 @dataclass
@@ -212,3 +213,20 @@ def fsck_volume(server: FileServer) -> FsckReport:
             f"extents of in-flight transactions)"
         )
     return report
+
+
+def sweep_replication_orphans(
+    replication: ReplicationService, *, volume_id: Optional[int] = None
+) -> Tuple[int, int]:
+    """Reclaim replicas leaked by failed replicated deletes.
+
+    A replicated delete unbinds the name even when a replica's volume
+    is unreachable; the unreachable replica is recorded by the
+    replication service instead of being silently leaked.  The service
+    sweeps these automatically when the volume's recovery event fires;
+    this is the administrative entry point for the same sweep (an fsck
+    run over volumes that never emitted a recovery event).  Returns
+    ``(swept, still_orphaned)``.
+    """
+    swept = replication.sweep_orphans(volume_id)
+    return swept, len(replication.orphans())

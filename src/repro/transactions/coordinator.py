@@ -345,8 +345,20 @@ class TransactionCoordinator:
         Transactions whose intention flag says ``commit`` are redone
         (their after-images are on disk, the operations idempotent);
         anything else — tentative flags, orphan records — is discarded
-        and its tentative extents freed.
+        and its tentative extents freed.  The whole pass is one traced
+        span and one ``transactions.recovery_us`` timing observation:
+        recovery time is the half of the availability story that crash
+        injection alone does not measure.
         """
+        with self.tracer.span(
+            "transactions", "recover_volume", volume=volume_id
+        ) as span, self.metrics.timer("transactions.recovery_us", self.clock):
+            redone, discarded = self._recover_volume(volume_id)
+            span.annotate("redone", redone)
+            span.annotate("discarded", discarded)
+        return redone, discarded
+
+    def _recover_volume(self, volume_id: int) -> Tuple[int, int]:
         binding = self._binding(volume_id)
         # Stable storage first: its recovery drops records that never
         # completed their first careful write (both copies dead), which

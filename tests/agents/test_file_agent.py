@@ -161,6 +161,24 @@ class TestClientCache:
         # At least the first two blocks were evicted and written back.
         assert server.read(name, 0, 10) == b"Z" * 10
 
+    def test_invalidate_volume_drops_cached_blocks(self):
+        """A crashed volume's blocks must not be served from the client
+        cache — the server-side state they describe may be gone."""
+        agent, _, metrics = build_agent()
+        descriptor = agent.create(AttributedName.file("/a"))
+        agent.write(descriptor, b"x" * BLOCK_SIZE)
+        agent.flush()
+        agent.pread(descriptor, 100, 0)  # cached, clean
+        dropped = agent.invalidate_volume(0)
+        assert dropped >= 1
+        assert metrics.get("file_agent.m0.cache.invalidations") == dropped
+        # Other volumes are untouched (and there is nothing left here).
+        assert agent.invalidate_volume(7) == 0
+        # The next read refetches from the server, not the dead cache.
+        hits_before = metrics.get("file_agent.m0.cache.hits")
+        assert agent.pread(descriptor, 100, 0) == b"x" * 100
+        assert metrics.get("file_agent.m0.cache.hits") == hits_before
+
     def test_no_cache_mode_goes_straight_through(self):
         agent, server, metrics = build_agent(cache_blocks=0)
         descriptor = agent.create(AttributedName.file("/a"))

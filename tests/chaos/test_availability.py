@@ -1,0 +1,90 @@
+"""The availability campaign: determinism, SLO verdicts, CLI surface."""
+
+import json
+
+import pytest
+
+from repro.chaos.availability import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    recovery_allowance_us,
+    run_campaign,
+    run_scenario,
+)
+
+
+def by_name(name):
+    return next(s for s in SCENARIOS if s.name == name)
+
+
+class TestScenarioCatalogue:
+    def test_smoke_is_a_subset(self):
+        names = {scenario.name for scenario in SCENARIOS}
+        assert set(SMOKE_SCENARIOS) <= names
+
+    def test_names_unique(self):
+        names = [scenario.name for scenario in SCENARIOS]
+        assert len(names) == len(set(names))
+
+    def test_allowance_is_parametric(self):
+        scenario = by_name("clean_restarts")
+        allowance = recovery_allowance_us(scenario)
+        # The bound is built from configured constants: breaker
+        # cooldown plus one worst-case slow call plus slack — so it
+        # moves when the policies move, never by empirical tuning.
+        assert allowance > 150_000  # at least the breaker cooldown
+        assert allowance < 2_000_000  # and far below a whole run
+
+
+class TestCleanRestarts:
+    """One full scenario execution, shared across the assertions."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scenario(by_name("clean_restarts"))
+
+    def test_passes_its_slo(self, report):
+        assert report["status"] == "pass"
+        assert report["violations"] == []
+
+    def test_crashes_really_happened(self, report):
+        counters = report["counters"]
+        assert counters["recovery.crashes_injected"] == 2
+        assert counters["recovery.restarts_injected"] == 2
+        assert counters["cluster.volume_failures"] == 2
+        # The workload really hit the dead volumes: failovers and
+        # skip-down routing occurred, then resync repaired the replicas.
+        assert counters["replication.failovers"] > 0
+        assert counters["replication.resyncs_verified"] > 0
+        assert counters["health.recoveries"] >= 2
+
+    def test_writes_made_progress(self, report):
+        acked = report["final_versions"]["acked"]
+        assert all(version > 0 for version in acked.values())
+        assert report["final_versions"]["agent_writes_acked"] > 0
+
+    def test_unavailability_bounded(self, report):
+        unavailability = report["unavailability"]
+        assert unavailability["out_of_bound"] == []
+        allowance = recovery_allowance_us(by_name("clean_restarts"))
+        assert unavailability["allowance_us"] == allowance
+
+    def test_deterministic_and_json_clean(self, report):
+        # Byte-for-byte reproducibility is the whole contract: the
+        # same scenario serialises identically on a second run.
+        again = run_scenario(by_name("clean_restarts"))
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+class TestCampaign:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            run_campaign(["no_such_scenario"])
+
+    def test_document_shape(self):
+        document = run_campaign(["clean_restarts"])
+        assert document["schema_version"] == 1
+        assert document["suite"] == "repro-availability"
+        assert set(document["scenarios"]) == {"clean_restarts"}

@@ -114,6 +114,45 @@ class TestConfigurations:
         assert cluster.total_disk_references() < cluster.metrics.total("disk.")
 
 
+class TestLifecycle:
+    def test_fail_and_restart_volume_round_trip(self):
+        cluster = RhodosCluster(ClusterConfig(n_disks=2, replication_degree=2))
+        replicated = AttributedName.file("/repl")
+        cluster.replication.create(replicated)
+        cluster.replication.write(replicated, 0, b"v1")
+        cluster.fail_volume(0)
+        # The dead volume fails over; the write lands on the survivor
+        # and marks volume 0 stale.
+        cluster.replication.write(replicated, 0, b"v2")
+        assert cluster.replication.live_replicas(replicated) == 1
+        cluster.restart_volume(0)
+        # restart fires the recovery event: resync runs automatically.
+        assert cluster.replication.live_replicas(replicated) == 2
+        assert cluster.metrics.get("cluster.volume_failures") == 1
+        assert cluster.metrics.get("cluster.volume_restarts") == 1
+        assert cluster.metrics.get("replication.resyncs_verified") == 1
+
+    def test_fail_volume_invalidates_client_caches(self):
+        cluster = RhodosCluster()
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(AttributedName.file("/cached"))
+        agent.write(descriptor, b"hot block")
+        agent.flush()
+        agent.pread(descriptor, 9, 0)  # block now cached client-side
+        cluster.fail_volume(0)
+        assert cluster.metrics.get("file_agent.m0.cache.invalidations") >= 1
+
+    def test_fail_volume_downs_the_bus_endpoint(self):
+        cluster = RhodosCluster(
+            ClusterConfig(fault_profile=FaultProfile(latency_us=100))
+        )
+        cluster.fail_volume(0)
+        assert cluster.bus is not None
+        arrived, _ = cluster.bus.transmit("file_server.0", "exists", ((), {}))
+        assert not arrived
+        cluster.restart_volume(0)
+
+
 class TestRpcMode:
     def test_cluster_over_message_bus(self):
         cluster = RhodosCluster(

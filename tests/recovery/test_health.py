@@ -1,0 +1,84 @@
+"""The failure detector: tolerance rule, recovery events, listeners."""
+
+import pytest
+
+from repro.common.metrics import Metrics
+from repro.recovery.health import HealthRegistry, HealthState
+
+
+def build(tolerance=3):
+    metrics = Metrics()
+    return HealthRegistry(metrics, transient_tolerance=tolerance), metrics
+
+
+class TestStates:
+    def test_unknown_component_is_up(self):
+        health, _ = build()
+        assert health.state("volume.0") is HealthState.UP
+        assert not health.is_down("volume.0")
+
+    def test_permanent_error_marks_down_immediately(self):
+        health, metrics = build()
+        verdict = health.note_error("volume.0", permanent=True)
+        assert verdict is True
+        assert health.is_down("volume.0")
+        assert metrics.get("health.permanent_errors") == 1
+        assert metrics.get("health.marked_down") == 1
+
+    def test_transient_errors_absorbed_until_tolerance(self):
+        health, metrics = build(tolerance=3)
+        assert health.note_error("volume.0", permanent=False) is False
+        assert health.state("volume.0") is HealthState.SUSPECT
+        assert health.note_error("volume.0", permanent=False) is False
+        # The third consecutive transient error escalates.
+        assert health.note_error("volume.0", permanent=False) is True
+        assert health.is_down("volume.0")
+        assert metrics.get("health.transient_escalations") == 1
+        assert metrics.get("health.transient_errors") == 2
+
+    def test_success_resets_the_transient_count(self):
+        health, _ = build(tolerance=2)
+        health.note_error("volume.0", permanent=False)
+        health.note_ok("volume.0")
+        assert health.state("volume.0") is HealthState.UP
+        # The counter restarted: one more transient does not escalate.
+        assert health.note_error("volume.0", permanent=False) is False
+
+    def test_down_component_gets_no_benefit_of_the_doubt(self):
+        health, _ = build()
+        health.mark_down("volume.0")
+        # Even a "transient" error on a down component stays a failure.
+        assert health.note_error("volume.0", permanent=False) is True
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            HealthRegistry(Metrics(), transient_tolerance=0)
+
+
+class TestRecovery:
+    def test_note_recovered_marks_up_and_fires_listeners(self):
+        health, metrics = build()
+        seen = []
+        health.on_recovery(seen.append)
+        health.on_recovery(lambda c: seen.append(c + "/second"))
+        health.mark_down("volume.1")
+        health.note_recovered("volume.1")
+        assert health.state("volume.1") is HealthState.UP
+        # Listeners run synchronously, in registration order.
+        assert seen == ["volume.1", "volume.1/second"]
+        assert metrics.get("health.recoveries") == 1
+
+    def test_note_ok_clears_down_without_firing_listeners(self):
+        health, _ = build()
+        fired = []
+        health.on_recovery(fired.append)
+        health.mark_down("volume.0")
+        health.note_ok("volume.0")
+        assert health.state("volume.0") is HealthState.UP
+        assert fired == []
+
+    def test_components_sorted(self):
+        health, _ = build()
+        health.mark_down("volume.2")
+        health.note_error("volume.0", permanent=False)
+        assert health.components() == ["volume.0", "volume.2"]

@@ -1,0 +1,120 @@
+"""Failure schedules: ordering, overlap rejection, poll/run_out."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.metrics import Metrics
+from repro.recovery.schedule import FailureEvent, FailureSchedule
+
+
+class _Host:
+    """Records the lifecycle calls a schedule makes, in order."""
+
+    def __init__(self):
+        self.calls = []
+
+    def fail_volume(self, volume_id):
+        self.calls.append(("fail", volume_id))
+
+    def restart_volume(self, volume_id):
+        self.calls.append(("restart", volume_id))
+
+
+def build(events):
+    clock = SimClock()
+    return FailureSchedule(events, clock, metrics=Metrics()), clock, _Host()
+
+
+class TestEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(at_us=-1, volume_id=0, down_us=10)
+        with pytest.raises(ValueError):
+            FailureEvent(at_us=0, volume_id=0, down_us=0)
+
+    def test_restart_time(self):
+        event = FailureEvent(at_us=100, volume_id=0, down_us=50)
+        assert event.restart_at_us == 150
+
+    def test_overlapping_windows_same_volume_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule(
+                [
+                    FailureEvent(at_us=0, volume_id=0, down_us=100),
+                    FailureEvent(at_us=50, volume_id=0, down_us=100),
+                ],
+                SimClock(),
+            )
+
+    def test_overlapping_windows_distinct_volumes_allowed(self):
+        schedule, _, _ = build(
+            [
+                FailureEvent(at_us=0, volume_id=0, down_us=100),
+                FailureEvent(at_us=50, volume_id=1, down_us=100),
+            ]
+        )
+        assert len(schedule.events) == 2
+
+
+class TestPoll:
+    def test_nothing_fires_before_its_time(self):
+        schedule, clock, host = build(
+            [FailureEvent(at_us=100, volume_id=0, down_us=50)]
+        )
+        assert schedule.poll(host) == []
+        assert host.calls == []
+        assert schedule.next_event_us() == 100
+
+    def test_crash_then_restart(self):
+        schedule, clock, host = build(
+            [FailureEvent(at_us=100, volume_id=0, down_us=50)]
+        )
+        clock.advance_to(100)
+        schedule.poll(host)
+        assert host.calls == [("fail", 0)]
+        clock.advance_to(150)
+        schedule.poll(host)
+        assert host.calls == [("fail", 0), ("restart", 0)]
+        assert schedule.done()
+        assert schedule.downtime_windows() == [(0, 100, 150)]
+
+    def test_clock_jump_fires_actions_in_script_order(self):
+        """A big jump past crash AND restart still restarts after the
+        crash — and a restart due at the same instant as another
+        volume's crash fires first."""
+        schedule, clock, host = build(
+            [
+                FailureEvent(at_us=100, volume_id=0, down_us=100),
+                FailureEvent(at_us=200, volume_id=1, down_us=100),
+            ]
+        )
+        clock.advance_to(400)
+        schedule.poll(host)
+        assert host.calls == [
+            ("fail", 0),
+            ("restart", 0),
+            ("fail", 1),
+            ("restart", 1),
+        ]
+
+    def test_run_out_advances_to_each_action(self):
+        schedule, clock, host = build(
+            [FailureEvent(at_us=300, volume_id=2, down_us=100)]
+        )
+        actions = schedule.run_out(host)
+        assert [call for call in host.calls] == [("fail", 2), ("restart", 2)]
+        assert clock.now_us == 400
+        assert len(actions) == 2
+        assert schedule.done()
+
+    def test_metrics_counted(self):
+        metrics = Metrics()
+        clock = SimClock()
+        schedule = FailureSchedule(
+            [FailureEvent(at_us=10, volume_id=0, down_us=10)],
+            clock,
+            metrics=metrics,
+        )
+        schedule.run_out(_Host())
+        assert metrics.get("recovery.crashes_injected") == 1
+        assert metrics.get("recovery.restarts_injected") == 1

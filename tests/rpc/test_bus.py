@@ -90,6 +90,44 @@ class TestFaults:
         assert executed == [1, 1]
         assert metrics.get("rpc.duplicated_executions") == 1
 
+    def test_reorder_parks_request_and_times_out_sender(self):
+        bus, _, metrics = build(FaultProfile(reorder=0.999), seed=2)
+        executed = []
+        bus.register("srv", lambda op, payload: executed.append(payload))
+        arrived, _ = bus.transmit("srv", "put", "a")
+        assert not arrived
+        assert executed == []
+        assert bus.pending_delayed() == 1
+        assert metrics.get("rpc.requests_delayed") == 1
+
+    def test_parked_request_executes_after_a_later_handler(self):
+        """The whole point of reorder injection: the delayed request
+        really lands *after* an operation issued after it."""
+        # Under seed 1 the first transmit is parked, the second delivers.
+        bus, _, metrics = build(FaultProfile(reorder=0.5), seed=1)
+        executed = []
+        bus.register("srv", lambda op, payload: executed.append(payload))
+        arrived, _ = bus.transmit("srv", "put", "first")
+        assert not arrived
+        arrived, _ = bus.transmit("srv", "put", "second")
+        assert arrived
+        # The drain ran inside the second transmit, after its handler:
+        # true out-of-order execution, no explicit drain call needed.
+        assert executed == ["second", "first"]
+        assert bus.pending_delayed() == 0
+        assert metrics.get("rpc.reordered_executions") == 1
+
+    def test_drain_delayed_drops_requests_for_down_endpoints(self):
+        bus, _, metrics = build(FaultProfile(reorder=0.999), seed=2)
+        bus.register("srv", lambda op, payload: None)
+        bus.transmit("srv", "put", "a")
+        assert bus.pending_delayed() == 1
+        bus.set_down("srv")
+        assert bus.drain_delayed() == 0
+        assert bus.pending_delayed() == 0
+        assert metrics.get("rpc.requests_lost") == 1
+        assert metrics.get("rpc.reordered_executions") == 0
+
     def test_seeded_runs_are_deterministic(self):
         outcomes = []
         for _ in range(2):

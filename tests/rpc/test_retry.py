@@ -1,0 +1,225 @@
+"""Backoff and circuit breaking: policy math, state machine, client."""
+
+import random
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import CircuitOpenError
+from repro.common.metrics import Metrics
+from repro.rpc.bus import MessageBus
+from repro.rpc.endpoint import RpcClient
+from repro.rpc.retry import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+class TestBackoffPolicy:
+    def test_deterministic_schedule_without_jitter(self):
+        policy = BackoffPolicy(base_us=1000, multiplier=2.0, max_us=8000, jitter=0.0)
+        rng = random.Random(0)
+        assert [policy.delay_us(n, rng) for n in (1, 2, 3, 4, 5)] == [
+            1000,
+            2000,
+            4000,
+            8000,
+            8000,  # capped at max_us
+        ]
+
+    def test_jitter_only_ever_shrinks_the_delay(self):
+        policy = BackoffPolicy(base_us=1000, multiplier=2.0, max_us=64000, jitter=0.5)
+        rng = random.Random(42)
+        for failures in range(1, 10):
+            ceiling = min(64000, 1000 * 2 ** (failures - 1))
+            delay = policy.delay_us(failures, rng)
+            # max_us stays a hard bound usable in availability budgets.
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = BackoffPolicy()
+        a = [policy.delay_us(n, random.Random(9)) for n in (1, 2, 3)]
+        b = [policy.delay_us(n, random.Random(9)) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_us=100, max_us=50)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            BreakerPolicy(threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown_us=-1)
+
+
+class _Listener:
+    def __init__(self):
+        self.events = []
+
+    def on_breaker_open(self, destination):
+        self.events.append(("open", destination))
+
+    def on_breaker_close(self, destination):
+        self.events.append(("close", destination))
+
+
+def build_breaker(threshold=3, cooldown_us=1000):
+    clock, metrics, listener = SimClock(), Metrics(), _Listener()
+    breaker = CircuitBreaker(
+        BreakerPolicy(threshold=threshold, cooldown_us=cooldown_us),
+        clock,
+        metrics,
+        listener=listener,
+    )
+    return breaker, clock, metrics, listener
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker, _, metrics, listener = build_breaker(threshold=3)
+        breaker.record_failure("srv")
+        breaker.record_failure("srv")
+        assert breaker.state("srv") == CLOSED
+        breaker.record_failure("srv")
+        assert breaker.state("srv") == OPEN
+        assert breaker.is_open("srv")
+        assert metrics.get("rpc.breaker_opens") == 1
+        assert listener.events == [("open", "srv")]
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _, _, _ = build_breaker(threshold=2)
+        breaker.record_failure("srv")
+        breaker.record_success("srv")
+        breaker.record_failure("srv")
+        assert breaker.state("srv") == CLOSED
+
+    def test_open_circuit_rejects_until_cooldown(self):
+        breaker, clock, metrics, _ = build_breaker(threshold=1, cooldown_us=1000)
+        breaker.record_failure("srv")
+        assert not breaker.allow("srv")
+        assert metrics.get("rpc.breaker_rejections") == 1
+        clock.advance_us(999)
+        assert not breaker.allow("srv")
+        # Cooldown elapsed: exactly one half-open probe gets through.
+        clock.advance_us(1)
+        assert breaker.allow("srv")
+        assert breaker.state("srv") == HALF_OPEN
+        assert metrics.get("rpc.breaker_probes") == 1
+
+    def test_successful_probe_closes_and_notifies(self):
+        breaker, clock, metrics, listener = build_breaker(
+            threshold=1, cooldown_us=100
+        )
+        breaker.record_failure("srv")
+        clock.advance_us(100)
+        assert breaker.allow("srv")
+        breaker.record_success("srv")
+        assert breaker.state("srv") == CLOSED
+        assert metrics.get("rpc.breaker_closes") == 1
+        assert listener.events == [("open", "srv"), ("close", "srv")]
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker, clock, metrics, _ = build_breaker(threshold=3, cooldown_us=100)
+        for _ in range(3):
+            breaker.record_failure("srv")
+        clock.advance_us(100)
+        assert breaker.allow("srv")
+        # One failure suffices in HALF_OPEN — no fresh threshold count.
+        breaker.record_failure("srv")
+        assert breaker.state("srv") == OPEN
+        assert metrics.get("rpc.breaker_reopens") == 1
+        # The cooldown restarted at the re-open instant.
+        assert not breaker.allow("srv")
+
+    def test_destinations_are_independent(self):
+        breaker, _, _, _ = build_breaker(threshold=1)
+        breaker.record_failure("a")
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+        assert breaker.allow("b")
+
+
+def build_client(**kwargs):
+    clock, metrics = SimClock(), Metrics()
+    bus = MessageBus(clock, metrics)
+    breaker = CircuitBreaker(
+        BreakerPolicy(threshold=3, cooldown_us=500_000), clock, metrics
+    )
+    client = RpcClient(bus, breaker=breaker, **kwargs)
+    return client, bus, clock, metrics
+
+
+class TestRpcClientRetry:
+    def test_breaker_trips_mid_call_and_stops_hammering(self):
+        client, bus, _, metrics = build_client(max_attempts=8)
+        bus.register("srv", lambda op, payload: payload)
+        bus.set_down("srv")
+        with pytest.raises(CircuitOpenError):
+            client.call("srv", "op", None)
+        # Exactly threshold attempts crossed the bus, not the budget.
+        assert metrics.get("rpc.messages") == 3
+
+    def test_open_circuit_fails_fast_without_time_or_messages(self):
+        client, bus, clock, metrics = build_client()
+        bus.register("srv", lambda op, payload: payload)
+        bus.set_down("srv")
+        with pytest.raises(CircuitOpenError):
+            client.call("srv", "op", None)
+        before_us, before_messages = clock.now_us, metrics.get("rpc.messages")
+        with pytest.raises(CircuitOpenError):
+            client.call("srv", "op", None)
+        assert clock.now_us == before_us
+        assert metrics.get("rpc.messages") == before_messages
+        assert metrics.get("rpc.breaker_rejections") == 1
+
+    def test_recovers_after_cooldown_probe(self):
+        client, bus, clock, _ = build_client()
+        bus.register("srv", lambda op, payload: ("ok", payload * 2))
+        bus.set_down("srv")
+        with pytest.raises(CircuitOpenError):
+            client.call("srv", "op", 1)
+        bus.set_down("srv", False)
+        clock.advance_us(500_000)
+        assert client.call("srv", "op", 21) == 42
+        assert client.breaker.state("srv") == CLOSED
+
+    def test_backoff_waits_are_recorded_and_bounded(self):
+        clock, metrics = SimClock(), Metrics()
+        bus = MessageBus(clock, metrics)
+        backoff = BackoffPolicy(base_us=1000, multiplier=2.0, max_us=4000, jitter=0.5)
+        client = RpcClient(
+            bus, timeout_us=10_000, max_attempts=4, backoff=backoff, seed=7
+        )
+        bus.register("srv", lambda op, payload: payload)
+        bus.set_down("srv")
+        with pytest.raises(Exception):
+            client.call("srv", "op", None)
+        histogram = metrics.histogram("rpc.backoff_us")
+        assert histogram["count"] == 4
+        # Every recorded wait respects the hard max_us bound.
+        assert all(s <= 4000 for s in metrics.histogram_samples("rpc.backoff_us"))
+        # Total elapsed = latency + timeouts + backoff, never more than
+        # attempts * (timeout + max backoff) + send latencies.
+        assert clock.now_us <= 4 * (10_000 + 4000) + 4 * 500
+
+    def test_backoff_schedule_is_seeded(self):
+        def run():
+            clock, metrics = SimClock(), Metrics()
+            bus = MessageBus(clock, metrics)
+            client = RpcClient(
+                bus, max_attempts=5, backoff=BackoffPolicy(), seed=13
+            )
+            bus.register("srv", lambda op, payload: payload)
+            bus.set_down("srv")
+            with pytest.raises(Exception):
+                client.call("srv", "op", None)
+            return clock.now_us
+
+        assert run() == run()
