@@ -41,6 +41,7 @@ Quick start::
 """
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.driver import ConcurrentDriver, DriverReport
 from repro.cluster.system import RhodosCluster
 from repro.cluster.striping import StripedFile
 from repro.common.clock import SimClock
@@ -63,6 +64,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClusterConfig",
+    "ConcurrentDriver",
+    "DriverReport",
     "RhodosCluster",
     "StripedFile",
     "SimClock",

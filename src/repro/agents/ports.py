@@ -19,6 +19,7 @@ from typing import Deque, Tuple
 
 from repro.agents.devices import DeviceAgent, SimTTY
 from repro.common.clock import SimClock
+from repro.common.frames import charge_elapsed
 from repro.common.metrics import Metrics
 from repro.naming.attributed import AttributedName
 
@@ -49,7 +50,7 @@ class _Channel:
         room = self.capacity - len(self.buffer)
         accepted = data[: max(0, room)]
         self.buffer.extend(accepted)
-        self.clock.advance_us(self.byte_time_us * len(accepted))
+        charge_elapsed(self.clock, self.byte_time_us * len(accepted))
         self.metrics.add(f"port.{self.name}.bytes_sent", len(accepted))
         return len(accepted)
 

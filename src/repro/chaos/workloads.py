@@ -28,6 +28,8 @@ from repro.common.clock import SimClock
 from repro.common.ids import SystemName
 from repro.common.metrics import Metrics
 from repro.common.units import BLOCK_SIZE
+from repro.disk_service.pipeline import DiskPipeline
+from repro.disk_service.scheduler import CoalescingScheduler, ScanScheduler
 from repro.disk_service.server import DiskServer
 from repro.file_service.attributes import LockingLevel
 from repro.file_service.server import FileServer
@@ -36,6 +38,7 @@ from repro.naming.service import NamingService
 from repro.simdisk.disk import SimDisk
 from repro.simdisk.geometry import DiskGeometry
 from repro.simdisk.stable import StableStore
+from repro.simkernel.loop import EventLoop
 from repro.transactions.agent import TransactionAgentHost
 from repro.transactions.coordinator import TransactionCoordinator
 
@@ -217,6 +220,31 @@ class AppendOverwriteWorkload(ChaosWorkload):
         self.in_flux.clear()
 
 
+class QueuedWriteWorkload(AppendOverwriteWorkload):
+    """The append-overwrite script served through the request pipeline.
+
+    Same operations, same content promises — but every flush batches
+    its dirty blocks through a :class:`DiskPipeline` with SCAN +
+    adjacent-extent coalescing, so physical writes happen at
+    *queue-drain* time and adjacent blocks land in one merged disk
+    reference.  Sweeping this workload proves the recovery invariants
+    survive coalesced writes: a crash mid-batch tears one merged
+    reference and the recovery path must still honour every durable
+    promise the script made.
+    """
+
+    name = "queued-writes"
+
+    def build(self) -> None:
+        super().build()
+        self.loop = EventLoop(self.clock)
+        self.pipeline = DiskPipeline(
+            self.volume.disk_server,
+            self.loop,
+            CoalescingScheduler(ScanScheduler()),
+        )
+
+
 class _TransactionalWorkload(ChaosWorkload):
     """Shared machinery for the transaction-service workloads."""
 
@@ -369,6 +397,7 @@ WORKLOADS: Dict[str, Type[ChaosWorkload]] = {
     workload.name: workload
     for workload in (
         AppendOverwriteWorkload,
+        QueuedWriteWorkload,
         TransactionCommitWorkload,
         TwoVolumeCommitWorkload,
     )

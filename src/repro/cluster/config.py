@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
+from repro.disk_service.scheduler import DEFAULT_AGING_BOUND_US
 from repro.file_service.cache import WritePolicy
 from repro.rpc.bus import FaultProfile
 from repro.rpc.retry import BackoffPolicy, BreakerPolicy
@@ -35,6 +36,10 @@ class ClusterConfig:
         server_cache_blocks: per-volume file-server block pool (0 = off).
         disk_cache_tracks: per-disk track cache (0 = off).
         disk_readahead: rest-of-track readahead on/off.
+        disk_scheduler: service-order policy of each disk's request
+            pipeline — ``fcfs``, ``scan``, or ``scan+coalesce`` (E16).
+        scan_aging_bound_us: SCAN's starvation bound; a request waiting
+            at least this long is served oldest-first.
         write_policy: file-server policy for basic files.
         extent_rows / extent_columns: free-extent array dimensions.
         timeout_policy: the LT/N deadlock policy.
@@ -67,6 +72,8 @@ class ClusterConfig:
     server_cache_blocks: int = 256
     disk_cache_tracks: int = 128
     disk_readahead: bool = True
+    disk_scheduler: Literal["fcfs", "scan", "scan+coalesce"] = "fcfs"
+    scan_aging_bound_us: int = DEFAULT_AGING_BOUND_US
     write_policy: WritePolicy = WritePolicy.DELAYED
     extent_rows: int = 64
     extent_columns: int = 64

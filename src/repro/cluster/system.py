@@ -27,6 +27,8 @@ from repro.cluster.machine import Machine
 from repro.common.clock import SimClock
 from repro.common.metrics import Metrics
 from repro.common.trace import Tracer
+from repro.disk_service.pipeline import DiskPipeline
+from repro.disk_service.scheduler import make_scheduler
 from repro.disk_service.server import DiskServer
 from repro.file_service.server import FileServer
 from repro.naming.directory import DirectoryService
@@ -93,6 +95,7 @@ class RhodosCluster:
 
         self.disks: List[SimDisk] = []
         self.disk_servers: Dict[int, DiskServer] = {}
+        self.pipelines: Dict[int, DiskPipeline] = {}
         self.file_servers: Dict[int, FileServer] = {}
         for volume_id in range(self.config.n_disks):
             disk = SimDisk(
@@ -141,6 +144,16 @@ class RhodosCluster:
             )
             self.disks.append(disk)
             self.disk_servers[volume_id] = disk_server
+            # Each disk drains its own queue on the one shared loop, so
+            # requests overlap across disks but serialize per drive.
+            self.pipelines[volume_id] = DiskPipeline(
+                disk_server,
+                self.loop,
+                make_scheduler(
+                    self.config.disk_scheduler,
+                    aging_bound_us=self.config.scan_aging_bound_us,
+                ),
+            )
             self.file_servers[volume_id] = file_server
 
         self.health = HealthRegistry(
@@ -248,6 +261,20 @@ class RhodosCluster:
     def machine(self) -> Machine:
         """The first machine (single-machine examples and tests)."""
         return self.machines[0]
+
+    def run_concurrent(self, op, *, n_clients: int, ops_per_client: int):
+        """Run a closed-loop contention workload; returns a DriverReport.
+
+        ``op(cluster, client_index, op_index)`` is issued by each of
+        ``n_clients`` concurrent clients, each starting its next
+        operation the moment the previous one's modelled service
+        completes (see :mod:`repro.cluster.driver`).
+        """
+        from repro.cluster.driver import ConcurrentDriver
+
+        return ConcurrentDriver(
+            self, op, n_clients=n_clients, ops_per_client=ops_per_client
+        ).run()
 
     def flush_all(self) -> None:
         """Flush every agent cache and every file server."""

@@ -1,0 +1,169 @@
+"""Deferred-time service frames: the overlapped-operation time context.
+
+Historically every modelled delay — a disk reference, an RPC hop, a
+port transfer — advanced the one shared
+:class:`~repro.common.clock.SimClock` inline, which serializes the
+whole simulated world: two operations on two different disks cost the
+*sum* of their service times instead of the max.
+
+A :class:`ServiceFrame` is the deferred-time context one overlapped
+operation runs inside.  While a frame is open, components charge their
+delays to the frame's *cursor* (via :func:`charge_elapsed` or a
+disk's :class:`~repro.simdisk.timeline.DiskTimeline`) instead of the
+global clock.  On exit the cursor is the operation's completion time;
+the caller (a request pipeline or the cluster's concurrent driver)
+schedules the completion on the event loop, and the loop advances the
+clock event-to-event.  With no frame open, charging falls back to
+inline clock advancement — bit-identical to the historical blocking
+semantics, which is what keeps every sequential test and benchmark
+byte-stable.
+
+Frames nest (the innermost wins) and are keyed by clock instance, so
+independent simulated systems in one process never share a frame
+stack.  :class:`FrameFork` expresses fan-out *within* an operation —
+e.g. a replicated write updating all replicas in parallel: branches
+replay from the fork point and the join advances the cursor to the
+slowest branch.
+
+Everything here is deterministic: time is integer microseconds, state
+is explicit, and nothing consults wall clock, dict order, or object
+identity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.clock import SimClock
+
+#: Active frame stacks, keyed by ``id(clock)``.  The simulation is
+#: single-threaded by construction (DESIGN.md §2), and the context
+#: manager below pops eagerly, so entries never outlive their block.
+_FRAMES: Dict[int, List["ServiceFrame"]] = {}
+
+
+class ServiceFrame:
+    """Deferred-time context for one overlapped operation.
+
+    The frame's ``cursor_us`` starts at the global now and advances by
+    every charge the operation performs, sequencing the operation's own
+    delays while leaving the global clock — and therefore every *other*
+    operation — untouched.
+    """
+
+    __slots__ = ("clock", "cursor_us", "waited_us", "charged_us")
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.cursor_us = clock.now_us
+        #: Total time this operation's charges spent queued behind
+        #: other operations' reservations (start - cursor, summed).
+        self.waited_us = 0
+        #: Total service time charged through this frame.
+        self.charged_us = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceFrame(cursor_us={self.cursor_us}, "
+            f"waited_us={self.waited_us}, charged_us={self.charged_us})"
+        )
+
+
+def active_frame(clock: SimClock) -> Optional[ServiceFrame]:
+    """The innermost frame open for ``clock``, or None (blocking mode)."""
+    stack = _FRAMES.get(id(clock))
+    return stack[-1] if stack else None
+
+
+def frame_now(clock: SimClock) -> int:
+    """The operation-local now: frame cursor if one is open, else clock."""
+    frame = active_frame(clock)
+    return frame.cursor_us if frame is not None else clock.now_us
+
+
+@contextlib.contextmanager
+def service_frame(clock: SimClock) -> Iterator[ServiceFrame]:
+    """Open a deferred-time frame: charges inside move the frame cursor.
+
+    On exit the frame's ``cursor_us`` is the operation's completion
+    time; the caller (a pipeline or driver) schedules the completion on
+    the event loop instead of advancing the clock inline.
+    """
+    frame = ServiceFrame(clock)
+    stack = _FRAMES.setdefault(id(clock), [])
+    stack.append(frame)
+    try:
+        yield frame
+    finally:
+        stack.pop()
+        if not stack:
+            del _FRAMES[id(clock)]
+
+
+def ceil_us(delta_us: float) -> int:
+    """Round a delay up to whole microseconds.
+
+    Mirrors :meth:`SimClock.advance_us` so a frame charge and the old
+    inline advancement account for identical integer time.
+    """
+    return int(-(-delta_us // 1))
+
+
+def charge_elapsed(clock: SimClock, delta_us: float) -> None:
+    """Charge a plain (non-disk) delay — RPC latency, port transfer.
+
+    Inside a frame the delay extends the frame cursor; otherwise the
+    clock advances inline, exactly as ``clock.advance_us`` always did.
+    Components with a busy-until resource of their own (disks) charge
+    through their timeline instead.
+    """
+    frame = active_frame(clock)
+    if frame is None:
+        clock.advance_us(delta_us)
+        return
+    charged = ceil_us(delta_us)
+    frame.cursor_us += charged
+    frame.charged_us += charged
+
+
+class FrameFork:
+    """Fan one frame out into parallel branches, then join at the max.
+
+    With no frame open every branch is a no-op passthrough (the
+    operations run sequentially, as blocking mode always did), so
+    callers fan out unconditionally::
+
+        fork = FrameFork(clock)
+        for replica in replicas:
+            with fork.branch():
+                replica.write(...)
+        fork.join()
+
+    Branches replay from the fork-point cursor; ``join`` advances the
+    cursor to the slowest branch.  Per-disk ``busy_until`` ordering
+    still applies inside each branch, so two branches on one disk
+    serialize while branches on different disks overlap.
+    """
+
+    __slots__ = ("frame", "start_us", "end_us")
+
+    def __init__(self, clock: SimClock) -> None:
+        self.frame = active_frame(clock)
+        self.start_us = self.frame.cursor_us if self.frame is not None else 0
+        self.end_us = self.start_us
+
+    @contextlib.contextmanager
+    def branch(self) -> Iterator[None]:
+        if self.frame is None:
+            yield
+            return
+        self.frame.cursor_us = self.start_us
+        try:
+            yield
+        finally:
+            self.end_us = max(self.end_us, self.frame.cursor_us)
+
+    def join(self) -> None:
+        if self.frame is not None:
+            self.frame.cursor_us = max(self.end_us, self.frame.cursor_us)

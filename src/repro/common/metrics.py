@@ -156,13 +156,18 @@ class Metrics:
 
         The elapsed ``clock`` microseconds are recorded into histogram
         ``name`` on exit — including exits by exception, so failed
-        operations still account for the time they consumed.
+        operations still account for the time they consumed.  Inside a
+        deferred-time frame (:mod:`repro.common.frames`) the frame
+        cursor is measured instead, so overlapped operations record
+        their modelled duration rather than zero.
         """
-        started = clock.now_us
+        from repro.common.frames import frame_now
+
+        started = frame_now(clock)
         try:
             yield
         finally:
-            self._histograms[name].append(clock.now_us - started)
+            self._histograms[name].append(frame_now(clock) - started)
 
     def histogram(self, name: str) -> Dict[str, int]:
         """Deterministic summary of histogram ``name``.

@@ -1,0 +1,95 @@
+"""Per-disk request queue of the overlapped service pipeline.
+
+The paper's disk server "performs disk scheduling": requests from many
+client processes queue at the drive and the server chooses the service
+order.  A :class:`DiskRequest` captures one ``get``/``put`` with
+everything a :class:`~repro.disk_service.scheduler.DiskScheduler`
+needs to order it — arrival sequence number (the deterministic
+tie-breaker), target extent (seek position), enqueue time (aging) —
+plus the :class:`~repro.simkernel.future.Completion` its caller holds.
+
+The queue itself is a plain arrival-ordered list: policy lives in the
+scheduler, bookkeeping lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.disk_service.addresses import Extent
+from repro.disk_service.server import Source, Stability, SyncMode
+from repro.simkernel.future import Completion
+
+
+@dataclass(slots=True)
+class DiskRequest:
+    """One queued disk-server operation awaiting service.
+
+    Attributes:
+        seq: arrival sequence number, unique per queue — the only
+            tie-breaker schedulers may use (never dict order).
+        kind: ``"get"`` or ``"put"``.
+        extent: the contiguous fragment run addressed.
+        enqueued_at_us: simulated arrival time (drives aging bounds and
+            the ``disk_service.queue_wait_us`` histogram).
+        completion: settled when service finishes (or fails).
+        data: payload for puts.
+        source / use_cache: get options (see :class:`DiskServer.get`).
+        stability / sync: put options (see :class:`DiskServer.put`).
+    """
+
+    seq: int
+    kind: str
+    extent: Extent
+    enqueued_at_us: int
+    completion: Completion = field(default_factory=Completion)
+    data: Optional[bytes] = None
+    source: Source = Source.MAIN
+    use_cache: bool = True
+    stability: Stability = Stability.ORIGINAL_ONLY
+    sync: SyncMode = SyncMode.AFTER_STABLE
+
+    def coalescable(self) -> bool:
+        """Whether this request may legally merge with an adjacent one.
+
+        Reads coalesce only from main storage (a stable read must hit
+        the mirrored store for exactly its own key); writes coalesce
+        only at ``ORIGINAL_ONLY`` stability — a stable-bound put has a
+        per-extent stable-storage identity and a recovery ordering
+        (bitmap checkpoint first) that a merged reference must not
+        blur.  DESIGN.md §10 states the legality argument.
+        """
+        if self.kind == "get":
+            return self.source is Source.MAIN
+        return self.stability is Stability.ORIGINAL_ONLY
+
+    def wait_us(self, now_us: int) -> int:
+        """Queue wait accumulated by ``now_us``."""
+        return now_us - self.enqueued_at_us
+
+
+class RequestQueue:
+    """Arrival-ordered pending requests of one disk server."""
+
+    def __init__(self) -> None:
+        self._pending: List[DiskRequest] = []
+
+    def push(self, request: DiskRequest) -> None:
+        self._pending.append(request)
+
+    def remove(self, request: DiskRequest) -> None:
+        self._pending.remove(request)
+
+    def pending(self) -> Tuple[DiskRequest, ...]:
+        """A snapshot in arrival order (schedulers must not mutate it)."""
+        return tuple(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def __repr__(self) -> str:
+        return f"RequestQueue({len(self._pending)} pending)"

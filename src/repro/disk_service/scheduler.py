@@ -1,0 +1,220 @@
+"""Pluggable disk-scheduling policies for the request pipeline.
+
+A :class:`DiskScheduler` decides, each time the drive goes idle, which
+queued request (or coalesced batch of requests) is served next:
+
+* :class:`FcfsScheduler` — arrival order; the fairness baseline and
+  the behaviour the serialized pre-pipeline code path implied.
+* :class:`ScanScheduler` — the elevator: serve the pending request
+  nearest to the head in the current sweep direction, reversing at the
+  edges.  Seek-optimal under contention, but a pure elevator can
+  starve a request parked behind a hot cylinder, so an **aging bound**
+  promotes any request that has waited at least ``aging_bound_us`` to
+  strict FCFS service (oldest first).  The bound is the rule's whole
+  contract: a test can assert no wait ever exceeds it by more than one
+  in-flight service.
+* :class:`CoalescingScheduler` — wraps another policy and, after it
+  picks, merges queued requests for *adjacent* extents of the same
+  kind into one batch the pipeline serves as **one disk reference** —
+  the paper's §4 one-reference property applied to the queue itself.
+
+Every choice is deterministic: ordering keys are (distance, seq) or
+(age, seq), never wall clock, dict order, or object identity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.disk_service.queue import DiskRequest, RequestQueue
+
+#: Maps a sector number to its cylinder (bound from the disk geometry).
+CylinderOf = Callable[[int], int]
+
+#: Default promotion bound: about 45 revolutions of the modelled drive.
+DEFAULT_AGING_BOUND_US = 500_000
+
+
+class DiskScheduler:
+    """Base policy: pick the next batch to serve from a queue.
+
+    ``take`` removes and returns the chosen requests; a batch longer
+    than one is served as a single coalesced disk reference.
+    """
+
+    name = "base"
+
+    def take(
+        self,
+        queue: RequestQueue,
+        *,
+        head_cylinder: int,
+        now_us: int,
+        cylinder_of: CylinderOf,
+    ) -> List[DiskRequest]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class FcfsScheduler(DiskScheduler):
+    """First-come-first-served: strict arrival order."""
+
+    name = "fcfs"
+
+    def take(
+        self,
+        queue: RequestQueue,
+        *,
+        head_cylinder: int,
+        now_us: int,
+        cylinder_of: CylinderOf,
+    ) -> List[DiskRequest]:
+        pending = queue.pending()
+        chosen = min(pending, key=lambda request: request.seq)
+        queue.remove(chosen)
+        return [chosen]
+
+
+class ScanScheduler(DiskScheduler):
+    """The elevator with an aging bound against starvation."""
+
+    name = "scan"
+
+    def __init__(self, *, aging_bound_us: int = DEFAULT_AGING_BOUND_US) -> None:
+        if aging_bound_us < 0:
+            raise ValueError("aging bound cannot be negative")
+        self.aging_bound_us = aging_bound_us
+        self._direction = 1  # +1 sweeping toward higher cylinders
+
+    def take(
+        self,
+        queue: RequestQueue,
+        *,
+        head_cylinder: int,
+        now_us: int,
+        cylinder_of: CylinderOf,
+    ) -> List[DiskRequest]:
+        pending = queue.pending()
+        chosen = self.select(
+            pending,
+            head_cylinder=head_cylinder,
+            now_us=now_us,
+            cylinder_of=cylinder_of,
+        )
+        queue.remove(chosen)
+        return [chosen]
+
+    def select(
+        self,
+        pending: tuple,
+        *,
+        head_cylinder: int,
+        now_us: int,
+        cylinder_of: CylinderOf,
+    ) -> DiskRequest:
+        """The elevator/aging choice without dequeueing (test hook)."""
+        aged = [
+            request
+            for request in pending
+            if request.wait_us(now_us) >= self.aging_bound_us
+        ]
+        if aged:
+            # Starvation valve: past the bound, seniority outranks seeks.
+            return min(aged, key=lambda request: request.seq)
+        keyed = [
+            (cylinder_of(request.extent.first_sector), request) for request in pending
+        ]
+        ahead = [
+            (cylinder, request)
+            for cylinder, request in keyed
+            if (cylinder - head_cylinder) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction = -self._direction
+            ahead = keyed
+        _, chosen = min(
+            ahead,
+            key=lambda pair: (abs(pair[0] - head_cylinder), pair[1].seq),
+        )
+        return chosen
+
+
+class CoalescingScheduler(DiskScheduler):
+    """Adjacent-extent coalescing around an inner policy.
+
+    After the inner policy picks, queued requests whose extents extend
+    the picked run contiguously (same kind, coalescable flags — see
+    :meth:`DiskRequest.coalescable`) join the batch, greedily in both
+    directions, lowest arrival sequence first among equal extensions.
+    The pipeline serves the whole batch in one disk reference.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[DiskScheduler] = None,
+        *,
+        max_batch: int = 16,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("batch limit must allow at least one request")
+        self.inner = inner or ScanScheduler()
+        self.max_batch = max_batch
+        self.name = f"{self.inner.name}+coalesce"
+
+    def take(
+        self,
+        queue: RequestQueue,
+        *,
+        head_cylinder: int,
+        now_us: int,
+        cylinder_of: CylinderOf,
+    ) -> List[DiskRequest]:
+        batch = self.inner.take(
+            queue,
+            head_cylinder=head_cylinder,
+            now_us=now_us,
+            cylinder_of=cylinder_of,
+        )
+        seed = batch[0]
+        if not seed.coalescable():
+            return batch
+        start, end = seed.extent.start, seed.extent.end
+        extended = True
+        while extended and len(batch) < self.max_batch:
+            extended = False
+            for request in queue.pending():  # arrival order: seq ties resolved
+                if request.kind != seed.kind or not request.coalescable():
+                    continue
+                if seed.kind == "get" and request.use_cache != seed.use_cache:
+                    continue
+                if request.extent.start == end:
+                    end = request.extent.end
+                elif request.extent.end == start:
+                    start = request.extent.start
+                else:
+                    continue
+                queue.remove(request)
+                batch.append(request)
+                extended = True
+                break
+        return batch
+
+
+def make_scheduler(
+    name: str, *, aging_bound_us: int = DEFAULT_AGING_BOUND_US
+) -> DiskScheduler:
+    """Build a scheduler from its config name.
+
+    Known names: ``fcfs``, ``scan``, ``scan+coalesce``.
+    """
+    if name == "fcfs":
+        return FcfsScheduler()
+    if name == "scan":
+        return ScanScheduler(aging_bound_us=aging_bound_us)
+    if name == "scan+coalesce":
+        return CoalescingScheduler(ScanScheduler(aging_bound_us=aging_bound_us))
+    raise ValueError(
+        f"unknown disk scheduler {name!r} (known: fcfs, scan, scan+coalesce)"
+    )

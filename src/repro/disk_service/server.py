@@ -21,9 +21,9 @@ import enum
 from typing import List, Optional, Tuple
 
 from repro.common.clock import SimClock
-from repro.common.errors import BadAddressError, DiskFullError
+from repro.common.errors import BadAddressError, DiskError, DiskFullError
 from repro.common.metrics import Metrics
-from repro.common.trace import NULL_TRACER, Tracer
+from repro.common.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.common.units import FRAGMENTS_PER_BLOCK
 from repro.disk_service.addresses import Extent
 from repro.disk_service.bitmap import FragmentBitmap
@@ -117,6 +117,8 @@ class DiskServer:
         # again (the crash sweep proves this ordering).
         self._bitmap_dirty = False
         self._prefix = f"disk_server.{disk.disk_id}"
+        # Set by DiskPipeline when the overlapped request path is wired.
+        self.pipeline: Optional[object] = None
 
     # ------------------------------------------------------ allocate
 
@@ -216,23 +218,7 @@ class DiskServer:
         ``source=Source.STABLE`` retrieves the stable-storage copy that
         a prior ``put(..., stability=STABLE_ONLY or BOTH)`` saved.
         """
-        with self.tracer.span(
-            "disk_service",
-            "get",
-            disk=self.disk.disk_id,
-            fragment=extent.start,
-            n_fragments=extent.length,
-            source=source.value,
-        ), self.metrics.timer(f"{self._prefix}.get_us", self.clock):
-            self._check_extent(extent)
-            self.metrics.add(f"{self._prefix}.gets")
-            if source is Source.STABLE:
-                self._drain_pending()
-                return self.stable.get(_stable_key(extent))
-            if self._cache is not None and use_cache:
-                return self._cache.read(extent.first_sector, extent.n_sectors)
-            self.tracer.annotate("track_cache", "bypassed")
-            return self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+        return self._do_get(extent, source=source, use_cache=use_cache)
 
     def put(
         self,
@@ -249,6 +235,73 @@ class DiskServer:
         the next ``flush`` or stable read — a crash first loses it,
         which is the semantics the caller signed up for).
         """
+        self._do_put(extent, data, stability=stability, sync=sync)
+
+    def submit_get(
+        self,
+        extent: Extent,
+        *,
+        source: Source = Source.MAIN,
+        use_cache: bool = True,
+    ):
+        """Enqueue a read on the attached pipeline; returns a Completion."""
+        if self.pipeline is None:
+            raise DiskError(
+                f"{self._prefix}: no request pipeline attached (submit_get)"
+            )
+        return self.pipeline.submit_get(extent, source=source, use_cache=use_cache)
+
+    def submit_put(
+        self,
+        extent: Extent,
+        data: bytes,
+        *,
+        stability: Stability = Stability.ORIGINAL_ONLY,
+        sync: SyncMode = SyncMode.AFTER_STABLE,
+    ):
+        """Enqueue a write on the attached pipeline; returns a Completion."""
+        if self.pipeline is None:
+            raise DiskError(
+                f"{self._prefix}: no request pipeline attached (submit_put)"
+            )
+        return self.pipeline.submit_put(extent, data, stability=stability, sync=sync)
+
+    def _do_get(
+        self,
+        extent: Extent,
+        *,
+        source: Source = Source.MAIN,
+        use_cache: bool = True,
+        queued_since: Optional[int] = None,
+    ) -> bytes:
+        with self.tracer.span(
+            "disk_service",
+            "get",
+            disk=self.disk.disk_id,
+            fragment=extent.start,
+            n_fragments=extent.length,
+            source=source.value,
+        ), self.metrics.timer(f"{self._prefix}.get_us", self.clock):
+            self._note_queue_wait(queued_since)
+            self._check_extent(extent)
+            self.metrics.add(f"{self._prefix}.gets")
+            if source is Source.STABLE:
+                self._drain_pending()
+                return self.stable.get(_stable_key(extent))
+            if self._cache is not None and use_cache:
+                return self._cache.read(extent.first_sector, extent.n_sectors)
+            self.tracer.annotate("track_cache", "bypassed")
+            return self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+
+    def _do_put(
+        self,
+        extent: Extent,
+        data: bytes,
+        *,
+        stability: Stability = Stability.ORIGINAL_ONLY,
+        sync: SyncMode = SyncMode.AFTER_STABLE,
+        queued_since: Optional[int] = None,
+    ) -> None:
         with self.tracer.span(
             "disk_service",
             "put",
@@ -257,6 +310,7 @@ class DiskServer:
             n_fragments=extent.length,
             stability=stability.value,
         ), self.metrics.timer(f"{self._prefix}.put_us", self.clock):
+            self._note_queue_wait(queued_since)
             self._check_extent(extent)
             if len(data) != extent.byte_size:
                 raise BadAddressError(
@@ -412,6 +466,20 @@ class DiskServer:
             pieces.append(piece)
             remaining -= piece.length
         return pieces
+
+    def _note_queue_wait(self, queued_since: Optional[int]) -> None:
+        """Record the queue span of a pipelined request.
+
+        The pipeline passes the batch's earliest enqueue time; the span
+        is retro-dated to it so the trace tree reads disk_service →
+        queue → simdisk and the queue span's duration *is* the wait.
+        Direct (non-pipelined) calls pass None and trace nothing.
+        """
+        if queued_since is None:
+            return
+        with self.tracer.span("queue", "wait", disk=self.disk.disk_id) as handle:
+            if handle is not NULL_SPAN:
+                handle.span.start_us = min(queued_since, handle.span.start_us)
 
     def _drain_pending(self) -> None:
         pending, self._pending_stable = self._pending_stable, []

@@ -7,6 +7,7 @@ chasing code.
 """
 
 from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    clock_advance,
     crashpoint,
     layering,
     metrics_names,

@@ -51,8 +51,10 @@ REGISTERED_WRITE_SITES: FrozenSet[Tuple[str, str]] = frozenset(
         ("repro.simdisk.stable", "StableStore._repair_slot"),
         # the track cache's write-through path
         ("repro.disk_service.cache", "TrackCache.write_through"),
-        # put-block's direct path when the cache is disabled
-        ("repro.disk_service.server", "DiskServer.put"),
+        # put-block's direct path when the cache is disabled (the body
+        # behind both the blocking wrapper and the queued pipeline, so
+        # crash points keep firing at queue-drain time)
+        ("repro.disk_service.server", "DiskServer._do_put"),
     }
 )
 

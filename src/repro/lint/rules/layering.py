@@ -32,8 +32,9 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     # failure detection and crash/restart scheduling (PR 4): pure
     # policy over common types, consulted by replication and cluster
     "recovery": {"common"},
-    # the disk service (paper section 4)
-    "disk_service": {"common", "simdisk"},
+    # the disk service (paper section 4); simkernel carries the request
+    # pipeline's completions and queue-drain events (PR 5)
+    "disk_service": {"common", "simdisk", "simkernel"},
     # the basic file service (paper section 5)
     "file_service": {"common", "disk_service"},
     # the service triple above it (paper sections 6-8)
@@ -49,9 +50,9 @@ LAYER_DEPS: Dict[str, Set[str]] = {
               "replication"},
     "workloads": {"common", "file_service", "naming", "transactions"},
     "chaos": {
-        "common", "simdisk", "rpc", "disk_service", "file_service",
-        "naming", "transactions", "replication", "recovery", "cluster",
-        "tools",
+        "common", "simkernel", "simdisk", "rpc", "disk_service",
+        "file_service", "naming", "transactions", "replication",
+        "recovery", "cluster", "tools",
     },
     "cluster": {
         "common", "simkernel", "simdisk", "rpc", "disk_service",

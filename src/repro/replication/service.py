@@ -41,6 +41,7 @@ from repro.common.errors import (
     FileServiceError,
     ReplicationError,
 )
+from repro.common.frames import FrameFork
 from repro.common.ids import SystemName
 from repro.common.metrics import Metrics
 from repro.file_service.attributes import FileAttributes
@@ -218,9 +219,17 @@ class ReplicationService:
         missed the write and is marked stale — staleness tracks content
         divergence, so here it is unavoidable; resync repairs it.  The
         write succeeds as long as one replica applies it.
+
+        Under a deferred-time frame the replica writes fork: each
+        branch replays from the fork point and the join charges the
+        slowest branch, so a write-all across N volumes costs the max
+        of the replica services, not the sum (the volumes' disks work
+        in parallel).  Blocking mode is unchanged — sequential, as the
+        replication benches established.
         """
         replica_set = self.lookup(name)
         applied = 0
+        fork = FrameFork(self.clock)
         for system_name in replica_set.replicas:
             volume_id = system_name.volume_id
             if volume_id in replica_set.stale:
@@ -232,7 +241,8 @@ class ReplicationService:
                 continue
             server = self.servers[volume_id]
             try:
-                self._attempt(lambda: server.write(system_name, offset, data))
+                with fork.branch():
+                    self._attempt(lambda: server.write(system_name, offset, data))
             except _REPLICA_ERRORS as exc:
                 self._note_replica_error(volume_id, exc)
                 replica_set.stale.add(volume_id)
@@ -240,6 +250,7 @@ class ReplicationService:
                 continue
             self.health.note_ok(volume_component(volume_id))
             applied += 1
+        fork.join()
         if applied == 0:
             raise ReplicationError(f"no live replica of {name} accepted the write")
         self.metrics.add("replication.writes")

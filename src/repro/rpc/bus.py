@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.clock import SimClock
+from repro.common.frames import charge_elapsed
 from repro.common.errors import RpcError
 from repro.common.metrics import Metrics
 from repro.common.trace import NULL_TRACER, Tracer
@@ -131,7 +132,7 @@ class MessageBus:
         with self.tracer.span(
             "rpc", "transmit", dst=dst, rpc_op=op
         ) as span, self.metrics.timer("rpc.transmit_us", self.clock):
-            self.clock.advance_us(self.profile.latency_us)
+            charge_elapsed(self.clock, self.profile.latency_us)
             self.metrics.add("rpc.messages")
             if dst in self._down or self._chance(self.profile.request_loss):
                 self.metrics.add("rpc.requests_lost")
@@ -149,7 +150,7 @@ class MessageBus:
                 self.metrics.add("rpc.executions")
                 self.metrics.add("rpc.duplicated_executions")
             self.drain_delayed()
-            self.clock.advance_us(self.profile.latency_us)
+            charge_elapsed(self.clock, self.profile.latency_us)
             if dst in self._down or self._chance(self.profile.reply_loss):
                 self.metrics.add("rpc.replies_lost")
                 span.annotate("outcome", "reply_lost")

@@ -3,9 +3,12 @@
 A :class:`SimDisk` is a sector store combined with the timing model and
 fault injector.  Every call to :meth:`read_sectors` or
 :meth:`write_sectors` is **one disk reference** — the quantity the
-paper's whole design minimises — and advances the shared simulated
-clock by the modelled service time while tracking head position across
-requests.
+paper's whole design minimises — and charges the modelled service time
+to the disk's own :class:`~repro.simdisk.timeline.DiskTimeline` while
+tracking head position across requests.  With no service frame active
+the timeline waits inline (the classic blocking semantics); inside a
+frame the charge is deferred, which is what lets requests overlap
+across disks.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from repro.common.metrics import Metrics
 from repro.common.trace import NULL_TRACER, Tracer
 from repro.simdisk.faults import FaultInjector
 from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.timeline import DiskTimeline
 from repro.simdisk.timing import DiskTimingModel
 
 _ZERO_SECTOR_CACHE: Dict[int, bytes] = {}
@@ -53,6 +57,7 @@ class SimDisk:
         timing: Optional[DiskTimingModel] = None,
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        timeline: Optional[DiskTimeline] = None,
     ) -> None:
         self.disk_id = disk_id
         self.geometry = geometry
@@ -61,6 +66,7 @@ class SimDisk:
         self.tracer = tracer or NULL_TRACER
         self.timing = timing or DiskTimingModel()
         self.faults = faults or FaultInjector()
+        self.timeline = timeline or DiskTimeline(clock)
         self._sectors: Dict[int, bytes] = {}
         self._head_cylinder = 0
         self._head_angular = 0.0
@@ -144,7 +150,7 @@ class SimDisk:
             if self.faults.is_bad(sector):
                 raise BadSectorError(f"{self.disk_id}: sector {sector} unreadable")
         slot = self.timing.slot_time_us(self.geometry)
-        self.clock.advance_us(slot * n_sectors)
+        self.timeline.charge(slot * n_sectors)
         self._head_angular = (
             self._head_angular + n_sectors
         ) % self.geometry.sectors_per_track
@@ -162,6 +168,11 @@ class SimDisk:
 
     def track_bounds(self, track: int) -> tuple[int, int]:
         return self.geometry.track_bounds(track)
+
+    @property
+    def head_cylinder(self) -> int:
+        """Cylinder the arm currently rests on (schedulers sort by it)."""
+        return self._head_cylinder
 
     # ------------------------------------------------------- faults
 
@@ -195,9 +206,12 @@ class SimDisk:
         )
         self._head_cylinder = cylinder
         self._head_angular = angular
-        self.clock.advance_us(elapsed)
+        self.timeline.charge(elapsed)
         self.metrics.add(f"{self._prefix}.busy_us", int(elapsed))
         self.metrics.observe(f"{self._prefix}.service_us", int(elapsed))
+        self.metrics.gauge(
+            f"{self._prefix}.utilization", self.timeline.utilization_percent()
+        )
 
     def __repr__(self) -> str:
         return (

@@ -112,19 +112,34 @@ class StableStore:
         raise DiskError(f"stable storage: both copies of {key!r} unreadable")
 
     def delete(self, key: str) -> None:
-        """Remove ``key``; its slot is tombstoned on both mirrors and reused."""
+        """Remove ``key``; its slot is tombstoned on both mirrors and reused.
+
+        The tombstone carries the key and the next version number, so a
+        directory rebuild can arbitrate the delete crash window: if the
+        tombstone tore on mirror A but landed on mirror B, the slot
+        reads (A = stale live record, B = newer tombstone) and the
+        higher version — the deletion — must win.  The version counter
+        also survives deletion so a later re-put stays monotonic.
+        """
         slot = self._directory.pop(key, None)
         if slot is None:
             return
-        # The version counter survives deletion: a later re-put must
-        # stay version-monotonic, or a stale copy left by a crashed
-        # tombstone write could tie (and win against) the new record.
-        tomb = _TOMBSTONE + bytes(SECTOR_SIZE - len(_TOMBSTONE))
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        tomb = self._encode_tombstone(key, version)
+        errors: list[Exception] = []
         for mirror in (self.mirror_a, self.mirror_b):
             try:
                 mirror.write_sectors(slot[0], tomb)
-            except (DiskError, DiskCrashedError):
-                pass
+            except (DiskError, DiskCrashedError) as exc:
+                errors.append(exc)
+        if len(errors) == 2:
+            # Careful writes tolerate losing ONE copy.  With neither
+            # mirror holding the tombstone the deletion is not durable
+            # — a directory rebuild would resurrect the live record —
+            # so the caller must not be told it succeeded.
+            self._directory[key] = slot
+            raise errors[0]
         self._free.setdefault(slot[1], []).append(slot[0])
 
     def __contains__(self, key: str) -> bool:
@@ -242,13 +257,19 @@ class StableStore:
                 sector += 1
                 continue
             key, version, n_sectors, is_tombstone = entry
+            current = self._versions.get(key)
             if not is_tombstone:
-                current = self._versions.get(key)
                 if current is None or version > current:
                     self._directory[key] = (sector, n_sectors)
                     self._versions[key] = version
                     found += 1
             else:
+                # Remember the deletion's version so a slot elsewhere
+                # holding a stale (older) copy of the key cannot win,
+                # and a later re-put stays version-monotonic.
+                if key and (current is None or version > current):
+                    self._directory.pop(key, None)
+                    self._versions[key] = version
                 self._free.setdefault(1, []).append(sector)
             sector += n_sectors
         return found
@@ -291,6 +312,13 @@ class StableStore:
         return first + payload + bytes(padded_len - len(payload))
 
     @staticmethod
+    def _encode_tombstone(key: str, version: int) -> bytes:
+        key_bytes = key.encode("utf-8")
+        header = _HEADER.pack(_TOMBSTONE, version, 0, 0, len(key_bytes))
+        record = header + key_bytes
+        return record + bytes(SECTOR_SIZE - len(record))
+
+    @staticmethod
     def _decode(record: bytes) -> Optional[Tuple[str, int, bytes]]:
         if len(record) < SECTOR_SIZE:
             return None
@@ -317,17 +345,41 @@ class StableStore:
         return decoded
 
     def _scan_slot(self, sector: int) -> Optional[Tuple[str, int, int, bool]]:
+        """Read one slot's header from both mirrors and arbitrate.
+
+        A write (record or tombstone) lands on mirror A before mirror
+        B, so the two copies can disagree after a crash.  When both
+        headers decode for the *same* key, the higher version is the
+        later write and wins — in particular a tombstone that tore on
+        mirror A but reached mirror B must beat A's stale live record.
+        For differing keys (a freed slot reused mid-put) the live
+        record is preferred; either outcome is admissible there, since
+        the interrupted put never completed both copies.
+        """
+        candidates: list[Tuple[str, int, int, bool]] = []
         for mirror in (self.mirror_a, self.mirror_b):
             try:
                 head = mirror.read_sectors(sector, 1)
             except (DiskError, DiskCrashedError):
                 continue
-            if head[:4] == _TOMBSTONE:
-                return "", 0, 1, True
-            if head[:4] != _MAGIC:
+            magic = head[:4]
+            if magic not in (_MAGIC, _TOMBSTONE):
                 continue
-            magic, version, payload_len, crc, key_len = _HEADER.unpack_from(head)
-            n_sectors = 1 + -(-payload_len // SECTOR_SIZE) if payload_len else 1
-            key = head[_HEADER.size : _HEADER.size + key_len].decode("utf-8", "replace")
-            return key, version, n_sectors, False
-        return None
+            _, version, payload_len, crc, key_len = _HEADER.unpack_from(head)
+            if key_len > _MAX_KEY:
+                continue
+            is_tombstone = magic == _TOMBSTONE
+            n_sectors = (
+                1 if is_tombstone or not payload_len
+                else 1 + -(-payload_len // SECTOR_SIZE)
+            )
+            key = head[_HEADER.size : _HEADER.size + key_len].decode(
+                "utf-8", "replace"
+            )
+            candidates.append((key, version, n_sectors, is_tombstone))
+        if not candidates:
+            return None
+        if len(candidates) == 2 and candidates[0][0] == candidates[1][0]:
+            return max(candidates, key=lambda entry: entry[1])
+        live = [entry for entry in candidates if not entry[3]]
+        return live[0] if live else candidates[0]

@@ -1,0 +1,111 @@
+"""Completion: the future primitive of the overlapped request pipeline.
+
+A :class:`Completion` represents one in-flight request whose result
+will be delivered by an :class:`~repro.simkernel.loop.EventLoop`
+callback at its simulated completion time.  It is deliberately tiny —
+resolve-once, synchronous callbacks, no cancellation — because the
+simulation is single-threaded: "concurrency" means overlapped
+*simulated* time, delivered in deterministic event order.
+
+Callbacks run inline at resolution, in registration order, so the
+order every downstream effect happens in is fixed by the order of
+``add_done_callback`` calls — never by dict order or wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, List, Optional, TypeVar
+
+from repro.simkernel.loop import EventLoop
+
+T = TypeVar("T")
+
+
+class Completion(Generic[T]):
+    """A resolve-once container for an overlapped request's outcome."""
+
+    __slots__ = ("_done", "_value", "_error", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Optional[T] = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Completion[T]"], None]] = []
+
+    # ------------------------------------------------------- producers
+
+    def resolve(self, value: T = None) -> None:  # type: ignore[assignment]
+        """Deliver a successful result; runs callbacks inline."""
+        self._settle(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        """Deliver a failure; ``result()`` will re-raise ``error``."""
+        self._settle(None, error)
+
+    def _settle(self, value: Optional[T], error: Optional[BaseException]) -> None:
+        if self._done:
+            raise RuntimeError("completion already settled")
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # ------------------------------------------------------- consumers
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        return self._done and self._error is not None
+
+    def exception(self) -> Optional[BaseException]:
+        """The failure, if settled with one (None while pending or ok)."""
+        return self._error
+
+    def result(self) -> T:
+        """The value; raises the failure, or RuntimeError while pending."""
+        if not self._done:
+            raise RuntimeError("completion still pending")
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+    def add_done_callback(
+        self, callback: Callable[["Completion[T]"], None]
+    ) -> None:
+        """Run ``callback(self)`` at settlement (immediately if settled)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        if not self._done:
+            state = "pending"
+        elif self._error is not None:
+            state = f"failed({type(self._error).__name__})"
+        else:
+            state = "resolved"
+        return f"Completion({state})"
+
+
+def wait(loop: EventLoop, completion: Completion[T]) -> T:
+    """Run the event loop until ``completion`` settles; return its result.
+
+    The blocking bridge between the overlapped pipeline and synchronous
+    callers: simulated time advances event-to-event exactly as
+    ``run_until_idle`` would, but stops as soon as the awaited result
+    is in.  Raises RuntimeError if the loop drains while the completion
+    is still pending (a lost wakeup — always a bug).
+    """
+    loop.run_until(lambda: completion.done)
+    return completion.result()
+
+
+def wait_all(loop: EventLoop, completions: Iterable[Completion]) -> List[object]:
+    """Wait for every completion, in order; returns their results."""
+    return [wait(loop, completion) for completion in completions]

@@ -78,6 +78,30 @@ class EventLoop:
             ran += self.run_due()
         raise RuntimeError(f"event loop did not go idle within {max_events} events")
 
+    def run_until(
+        self, predicate: Callable[[], bool], *, max_events: int = 1_000_000
+    ) -> int:
+        """Advance time event-to-event until ``predicate()`` holds.
+
+        The blocking bridge for synchronous callers awaiting an
+        overlapped completion: events already due run first, then time
+        jumps to each next event in turn.  Raises RuntimeError if the
+        loop drains while the predicate is still false (a lost wakeup)
+        or ``max_events`` is exceeded; returns the events run.
+        """
+        ran = self.run_due()
+        while ran < max_events:
+            if predicate():
+                return ran
+            when = self.next_event_time()
+            if when is None:
+                raise RuntimeError(
+                    "event loop drained with the awaited condition still false"
+                )
+            self.clock.advance_to(when)
+            ran += self.run_due()
+        raise RuntimeError(f"condition not reached within {max_events} events")
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][1] in self._cancelled:
             _, seq, _ = heapq.heappop(self._heap)

@@ -50,6 +50,7 @@ from repro.common.metrics import HISTOGRAM_PERCENTILES, Metrics, _nearest_rank
 SMOKE_EXPERIMENTS = (
     "e1_two_disk_references",
     "e14_track_cache",
+    "e16_scheduling",
     "t1_lock_compatibility",
 )
 
@@ -225,7 +226,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pr4.json",
+        default="BENCH_pr5.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(

@@ -42,6 +42,7 @@ def _rule_of(path: Path) -> str:
         "taxonomy": "error-taxonomy",
         "crashpoint": "crash-point-discipline",
         "metrics": "metrics-naming",
+        "clock_advance": "clock-advance-discipline",
     }[path.parent.name]
 
 
@@ -68,12 +69,13 @@ def test_missing_path_is_a_usage_error(capsys):
     assert "no such path" in capsys.readouterr().err
 
 
-def test_list_rules_names_all_six(capsys):
+def test_list_rules_names_all_seven(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in (
         "layering", "no-wall-clock", "no-ambient-randomness",
         "error-taxonomy", "crash-point-discipline", "metrics-naming",
+        "clock-advance-discipline",
     ):
         assert rule_id in out
 

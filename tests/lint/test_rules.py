@@ -47,7 +47,7 @@ def test_every_rule_has_a_bad_and_a_good_fixture():
     rules_covered = {p.parent.name for p in BAD_FIXTURES}
     assert rules_covered == {
         "layering", "wallclock", "randomness",
-        "taxonomy", "crashpoint", "metrics",
+        "taxonomy", "crashpoint", "metrics", "clock_advance",
     }
     assert {p.parent.name for p in GOOD_FIXTURES} == rules_covered
 

@@ -1,0 +1,99 @@
+"""Completion: the resolve-once future behind the request pipeline."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.simkernel.future import Completion, wait, wait_all
+from repro.simkernel.loop import EventLoop
+
+
+class TestSettlement:
+    def test_resolve_delivers_value(self):
+        completion = Completion()
+        assert not completion.done
+        completion.resolve(b"payload")
+        assert completion.done
+        assert not completion.failed
+        assert completion.result() == b"payload"
+        assert completion.exception() is None
+
+    def test_fail_delivers_error(self):
+        completion = Completion()
+        error = ValueError("disk on fire")
+        completion.fail(error)
+        assert completion.failed
+        assert completion.exception() is error
+        with pytest.raises(ValueError, match="disk on fire"):
+            completion.result()
+
+    def test_result_while_pending_is_an_error(self):
+        with pytest.raises(RuntimeError, match="pending"):
+            Completion().result()
+
+    def test_double_settle_is_an_error(self):
+        completion = Completion()
+        completion.resolve(1)
+        with pytest.raises(RuntimeError, match="already settled"):
+            completion.resolve(2)
+        with pytest.raises(RuntimeError, match="already settled"):
+            completion.fail(ValueError())
+
+
+class TestCallbacks:
+    def test_callbacks_run_in_registration_order(self):
+        completion = Completion()
+        order = []
+        completion.add_done_callback(lambda c: order.append("first"))
+        completion.add_done_callback(lambda c: order.append("second"))
+        completion.resolve(None)
+        assert order == ["first", "second"]
+
+    def test_late_callback_runs_immediately(self):
+        completion = Completion()
+        completion.resolve(7)
+        seen = []
+        completion.add_done_callback(lambda c: seen.append(c.result()))
+        assert seen == [7]
+
+
+class TestWait:
+    def test_wait_advances_the_loop_to_the_settlement_event(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        completion = Completion()
+        loop.call_at(250, lambda: completion.resolve("done"))
+        assert wait(loop, completion) == "done"
+        assert clock.now_us == 250
+
+    def test_wait_stops_at_settlement_not_idle(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        completion = Completion()
+        loop.call_at(100, lambda: completion.resolve(1))
+        loop.call_at(9_000, lambda: None)  # unrelated later work stays queued
+        wait(loop, completion)
+        assert clock.now_us == 100
+        assert loop.next_event_time() == 9_000
+
+    def test_wait_on_a_drained_loop_is_a_lost_wakeup_error(self):
+        loop = EventLoop(SimClock())
+        with pytest.raises(RuntimeError, match="drained"):
+            wait(loop, Completion())
+
+    def test_wait_all_returns_results_in_given_order(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        first, second = Completion(), Completion()
+        # settle out of order: the later completion settles first
+        loop.call_at(10, lambda: second.resolve("b"))
+        loop.call_at(20, lambda: first.resolve("a"))
+        assert wait_all(loop, [first, second]) == ["a", "b"]
+        assert clock.now_us == 20
+
+    def test_wait_reraises_failure_at_the_caller(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        completion = Completion()
+        loop.call_at(5, lambda: completion.fail(OSError("torn write")))
+        with pytest.raises(OSError, match="torn write"):
+            wait(loop, completion)
