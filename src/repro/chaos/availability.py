@@ -29,6 +29,16 @@ and brings them back.  Three SLO invariants are asserted:
   call (breaker threshold x (timeout + max backoff)), and bus latency.
   Unavailability is bounded by configuration, not by luck.
 
+Two further scenarios (``scrub_latent_rot``, ``scrub_media_errors``)
+measure the media-failure SLOs instead of crash windows: deterministic
+corruption is injected into one volume's checksummed fragments and the
+background scrubber must find and repair **100 %** of it within a
+bounded number of cycles — from the stable-storage mirror where one
+exists, else from a peer replica via
+:meth:`~repro.replication.service.ReplicationService.quarantine_volume_media`
+— while **no corrupt byte ever reaches a client or the track cache**
+(every read during the campaign is byte-checked).
+
 Reports are byte-deterministic: the same seed emits the identical JSON
 document, which CI diffs across a double run.
 """
@@ -45,12 +55,16 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.system import RhodosCluster
-from repro.common.errors import ReplicationError, RhodosError, RpcError
+from repro.common.errors import MediaError, ReplicationError, RhodosError, RpcError
+from repro.common.units import BLOCK_SIZE
+from repro.disk_service.addresses import Extent
+from repro.disk_service.scrub import Scrubber, ScrubFinding
 from repro.file_service.cache import WritePolicy
 from repro.naming.attributed import AttributedName
 from repro.recovery.schedule import FailureEvent, FailureSchedule
 from repro.rpc.bus import FaultProfile
 from repro.rpc.retry import BackoffPolicy, BreakerPolicy
+from repro.tools.fsck import verify_checksums
 
 #: Fixed payload sizes keep every write the same shape, so version
 #: content is a pure function of the version number (idempotent
@@ -147,6 +161,43 @@ SCENARIOS: Tuple[Scenario, ...] = (
 )
 
 SMOKE_SCENARIOS = ("clean_restarts", "lossy_bus")
+
+
+@dataclass(frozen=True)
+class ScrubScenario:
+    """One media-failure campaign cell: an injection mode x SLO bounds.
+
+    Attributes:
+        kind: ``"rot"`` (at-rest byte flips) or ``"media"`` (latent
+            unreadable sectors).
+        targets: checksummed fragments corrupted on volume 0, chosen by
+            the seeded :meth:`FaultInjector.pick_targets`.
+        max_cycles: scrub cycles within which the volume must verify
+            clean — the bounded-repair SLO.
+    """
+
+    name: str
+    kind: str
+    targets: int = 4
+    max_cycles: int = 3
+    seed: int = 0
+    description: str = ""
+
+
+SCRUB_SCENARIOS: Tuple[ScrubScenario, ...] = (
+    ScrubScenario(
+        name="scrub_latent_rot",
+        kind="rot",
+        description="silent at-rest byte flips; scrub + mirror/replica repair",
+    ),
+    ScrubScenario(
+        name="scrub_media_errors",
+        kind="media",
+        description="latent unreadable sectors; scrub + rewrite repair",
+    ),
+)
+
+SCRUB_SMOKE = tuple(scenario.name for scenario in SCRUB_SCENARIOS)
 
 
 def recovery_allowance_us(
@@ -494,14 +545,274 @@ class _Run:
         }
 
 
-def run_scenario(scenario: Scenario) -> Dict[str, object]:
+class _ScrubRun:
+    """One scrub scenario: inject, byte-check reads, scrub, verify.
+
+    The run seeds two replicated files (degree two, volumes 0 and 1),
+    corrupts ``targets`` checksummed fragments on volume 0, then
+    drives full scrub cycles over every volume.  Mirrored fragments
+    (the FITs) repair locally from stable storage; everything else is
+    routed through ``on_corruption`` to
+    :meth:`ReplicationService.quarantine_volume_media`, which resyncs
+    the damaged replicas from their clean peers.  The scenario passes
+    when a whole cycle finds nothing — within ``max_cycles`` — and no
+    read anywhere in the campaign observed corrupt bytes.
+    """
+
+    FILE_BLOCKS = 4
+
+    def __init__(self, scenario: ScrubScenario) -> None:
+        self.scenario = scenario
+        self.cluster = RhodosCluster(
+            ClusterConfig(
+                n_machines=1,
+                n_disks=3,
+                replication_degree=2,
+                fault_profile=FaultProfile.reliable(),
+                write_policy=WritePolicy.WRITE_THROUGH,
+                client_cache_blocks=0,
+                seed=scenario.seed,
+            )
+        )
+        self.violations: List[str] = []
+        self.findings_log: List[List[object]] = []
+        self.reads_checked = 0
+
+    # ------------------------------------------------------- campaign
+
+    def run(self) -> Dict[str, object]:
+        cluster = self.cluster
+        scenario = self.scenario
+        paths = ["/scrub/r0", "/scrub/r1"]
+        expected: Dict[str, bytes] = {}
+        for index, path in enumerate(paths):
+            cluster.replication.create(AttributedName.file(path))
+            content = bytes(
+                (index * 37 + offset * 7 + 13) % 251 + 1
+                for offset in range(self.FILE_BLOCKS * BLOCK_SIZE)
+            )
+            cluster.replication.write(AttributedName.file(path), 0, content)
+            expected[path] = content
+        for volume_id in sorted(cluster.file_servers):
+            cluster.file_servers[volume_id].flush()
+
+        disk_server = cluster.file_servers[0].disk
+        sim_disk = disk_server.disk
+        population = disk_server.checksummed_fragments()
+        targets = sim_disk.faults.pick_targets(
+            population, scenario.targets, salt=17
+        )
+        # Pre-corruption ground truth for the direct-read byte checks.
+        pristine = {
+            fragment: disk_server.get(Extent(fragment, 1), use_cache=False)
+            for fragment in targets
+        }
+        for fragment in targets:
+            extent = Extent(fragment, 1)
+            if scenario.kind == "rot":
+                sim_disk.corrupt_sectors(extent.first_sector, extent.n_sectors)
+            else:
+                sim_disk.faults.schedule_media_error(extent.first_sector)
+
+        # SLO 2, before any repair ran: a read of a damaged fragment
+        # either raises (checksum/media error) or returns exact bytes
+        # (an uncorrupted cached copy) — never silently wrong data.
+        direct_errors = 0
+        for fragment in sorted(targets):
+            try:
+                data = disk_server.get(Extent(fragment, 1))
+            except MediaError:
+                direct_errors += 1
+                continue
+            self.reads_checked += 1
+            if data != pristine[fragment]:
+                self.violations.append(
+                    f"fragment {fragment}: corrupt bytes served to a "
+                    f"direct read before scrub"
+                )
+        self._client_reads(paths, expected)
+
+        # The scrub loop: every volume, full cycles, repair callbacks.
+        unrepaired: List[Tuple[int, ScrubFinding]] = []
+        scrubbers = {
+            volume_id: Scrubber(
+                cluster.file_servers[volume_id].disk,
+                on_corruption=lambda finding, volume_id=volume_id: (
+                    unrepaired.append((volume_id, finding))
+                ),
+            )
+            for volume_id in sorted(cluster.file_servers)
+        }
+        cycles_to_clean: Optional[int] = None
+        first_cycle_found: set[int] = set()
+        for cycle in range(1, scenario.max_cycles + 1):
+            cycle_findings: List[Tuple[int, ScrubFinding]] = []
+            for volume_id in sorted(scrubbers):
+                for finding in scrubbers[volume_id].run_cycle():
+                    cycle_findings.append((volume_id, finding))
+                    self.findings_log.append(
+                        [
+                            cycle,
+                            volume_id,
+                            finding.kind,
+                            finding.extent.start,
+                            finding.extent.length,
+                            finding.repaired,
+                        ]
+                    )
+            if cycle == 1:
+                for _, finding in cycle_findings:
+                    first_cycle_found.update(
+                        range(finding.extent.start, finding.extent.end)
+                    )
+            if not cycle_findings:
+                cycles_to_clean = cycle
+                break
+            for volume_id in sorted(
+                {vid for vid, finding in cycle_findings if not finding.repaired}
+            ):
+                cluster.replication.quarantine_volume_media(volume_id)
+
+        # SLO 1: everything injected was found, and a clean cycle
+        # arrived within the bound.
+        if cycles_to_clean is None:
+            self.violations.append(
+                f"scrub still finding corruption after "
+                f"{scenario.max_cycles} cycles"
+            )
+        missed = sorted(set(targets) - first_cycle_found)
+        if missed:
+            self.violations.append(
+                f"injected corruption never found by the scrubber: "
+                f"fragments {missed}"
+            )
+        self._verify_repaired(paths, expected, targets, pristine)
+        return self._report(targets, cycles_to_clean, direct_errors, unrepaired)
+
+    # ------------------------------------------------------ internal
+
+    def _client_reads(self, paths: List[str], expected: Dict[str, bytes]) -> None:
+        """Read every replicated file end to end; byte-check the result.
+
+        Read-one failover means these reads succeed with exact content
+        even while volume 0 is damaged — a wrong byte is an SLO 2
+        violation, not a degraded read.
+        """
+        for path in paths:
+            try:
+                data = self.cluster.replication.read(
+                    AttributedName.file(path), 0, len(expected[path])
+                )
+            except (ReplicationError, RpcError) as exc:
+                self.violations.append(
+                    f"{path}: replicated read failed outright ({exc})"
+                )
+                continue
+            self.reads_checked += 1
+            if data != expected[path]:
+                self.violations.append(
+                    f"{path}: corrupt bytes reached the client"
+                )
+
+    def _verify_repaired(
+        self,
+        paths: List[str],
+        expected: Dict[str, bytes],
+        targets: List[int],
+        pristine: Dict[int, bytes],
+    ) -> None:
+        cluster = self.cluster
+        # Every damaged fragment reads clean — through the cache and
+        # around it — so nothing corrupt survived into the cache.
+        disk_server = cluster.file_servers[0].disk
+        for fragment in sorted(targets):
+            for use_cache in (True, False):
+                try:
+                    data = disk_server.get(
+                        Extent(fragment, 1), use_cache=use_cache
+                    )
+                except MediaError as exc:
+                    self.violations.append(
+                        f"fragment {fragment}: still unreadable after "
+                        f"scrub repair ({exc})"
+                    )
+                    continue
+                self.reads_checked += 1
+                if data != pristine[fragment]:
+                    self.violations.append(
+                        f"fragment {fragment}: content wrong after repair "
+                        f"(cache={use_cache})"
+                    )
+        # The raw recompute pass agrees: zero latent findings anywhere.
+        for volume_id in sorted(cluster.file_servers):
+            findings = verify_checksums(cluster.file_servers[volume_id].disk)
+            for finding in findings:
+                self.violations.append(f"volume {volume_id} fsck: {finding}")
+        # Client-visible content, and no replica left stale.
+        self._client_reads(paths, expected)
+        for path in paths:
+            replica_set = cluster.replication.lookup(AttributedName.file(path))
+            if replica_set.stale:
+                self.violations.append(
+                    f"{path}: replicas still stale after scrub repair: "
+                    f"{sorted(replica_set.stale)}"
+                )
+
+    def _report(
+        self,
+        targets: List[int],
+        cycles_to_clean: Optional[int],
+        direct_errors: int,
+        unrepaired: List[Tuple[int, ScrubFinding]],
+    ) -> Dict[str, object]:
+        metrics = self.cluster.metrics
+        counters = {
+            name: metrics.get(name)
+            for name in (
+                "disk_server.0.checksum_failures",
+                "disk_server.0.read_repairs",
+                "disk_server.0.stable_repairs",
+                "replication.media_quarantines",
+                "replication.quarantine_deferrals",
+                "replication.resyncs",
+                "replication.resyncs_verified",
+                "scrub.0.cycles",
+                "scrub.0.fragments_verified",
+                "scrub.0.mirrors_verified",
+                "scrub.0.repairs",
+                "scrub.0.repair_failures",
+            )
+        }
+        return {
+            "counters": counters,
+            "cycles_to_clean": cycles_to_clean,
+            "description": self.scenario.description,
+            "direct_read_errors": direct_errors,
+            "findings": self.findings_log,
+            "injected": {
+                "fragments": sorted(targets),
+                "kind": self.scenario.kind,
+            },
+            "reads_checked": self.reads_checked,
+            "routed_to_replication": len(unrepaired),
+            "seed": self.scenario.seed,
+            "status": "pass" if not self.violations else "fail",
+            "violations": list(self.violations),
+        }
+
+
+def run_scenario(scenario) -> Dict[str, object]:
     """Execute one scenario; returns its deterministic report dict."""
+    if isinstance(scenario, ScrubScenario):
+        return _ScrubRun(scenario).run()
     return _Run(scenario).run()
 
 
 def run_campaign(names: List[str]) -> Dict[str, object]:
     """Run the named scenarios; returns the full JSON document."""
-    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    by_name: Dict[str, object] = {
+        scenario.name: scenario for scenario in (*SCENARIOS, *SCRUB_SCENARIOS)
+    }
     unknown = sorted(set(names) - set(by_name))
     if unknown:
         raise SystemExit(
@@ -537,7 +848,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="AVAILABILITY_pr4.json",
+        default="AVAILABILITY_pr6.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(
@@ -549,7 +860,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.list:
-        for scenario in SCENARIOS:
+        for scenario in (*SCENARIOS, *SCRUB_SCENARIOS):
             print(f"{scenario.name:20s} {scenario.description}")
         return 0
     if args.only:
@@ -557,7 +868,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.smoke:
         names = list(SMOKE_SCENARIOS)
     else:
-        names = [scenario.name for scenario in SCENARIOS]
+        names = [
+            scenario.name for scenario in (*SCENARIOS, *SCRUB_SCENARIOS)
+        ]
     document = run_campaign(names)
     out_path = Path(args.out)
     out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

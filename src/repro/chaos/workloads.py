@@ -25,12 +25,15 @@ from typing import Dict, List, Optional, Tuple, Type
 from repro.chaos.invariants import check_volume
 from repro.chaos.trace import CrashPointMonitor
 from repro.common.clock import SimClock
+from repro.common.errors import MediaError
 from repro.common.ids import SystemName
 from repro.common.metrics import Metrics
 from repro.common.units import BLOCK_SIZE
+from repro.disk_service.addresses import Extent
 from repro.disk_service.pipeline import DiskPipeline
 from repro.disk_service.scheduler import CoalescingScheduler, ScanScheduler
-from repro.disk_service.server import DiskServer
+from repro.disk_service.scrub import Scrubber
+from repro.disk_service.server import DiskServer, Source, Stability
 from repro.file_service.attributes import LockingLevel
 from repro.file_service.server import FileServer
 from repro.naming.attributed import AttributedName
@@ -245,6 +248,83 @@ class QueuedWriteWorkload(AppendOverwriteWorkload):
         )
 
 
+class ScrubRepairWorkload(ChaosWorkload):
+    """Disk-server level: mirrored puts, injected rot, scrub repair.
+
+    The script establishes mirrored extents (``Stability.BOTH`` puts),
+    flushes so the protection record (checksums + mirrored set) is
+    checkpointed, then injects deterministic media failures — at-rest
+    byte rot on one extent, a latent unreadable sector on another
+    (platter physics: neither injection is a numbered write) — and
+    runs one full scrub cycle.  Every scrub repair goes through the
+    ordinary put machinery, so each is a crash point: sweeping this
+    workload proves the scrubber itself is crash-safe.
+
+    Content promise: everything flushed before the crash reads back
+    byte-exact after recovery plus one forced scrub cycle — corruption
+    is either repaired or surfaces as an error, never as silently
+    wrong bytes — and the stable copies still agree.
+    """
+
+    name = "scrub-repair"
+
+    FILLS = b"ABC"
+    EXTENT_FRAGMENTS = 2
+
+    def build(self) -> None:
+        self.volume = self.add_volume(0)
+        self.extents: Dict[str, Extent] = {}
+        self.expected: Dict[str, bytes] = {}
+        self.durable: set[str] = set()
+
+    def run(self) -> None:
+        server = self.volume.disk_server
+        for fill in self.FILLS:
+            label = chr(fill)
+            extent = server.allocate(self.EXTENT_FRAGMENTS)
+            payload = bytes([fill]) * extent.byte_size
+            self.extents[label] = extent
+            self.expected[label] = payload
+            server.put(extent, payload, stability=Stability.BOTH)
+        server.flush()  # checkpoints bitmap, checksums, mirrored set
+        self.durable = set(self.expected)
+        disk = self.volume.disk
+        rotten = self.extents["A"]
+        disk.corrupt_sectors(rotten.first_sector, 1)
+        failing = self.extents["B"]
+        disk.faults.schedule_media_error(failing.first_sector + 1)
+        Scrubber(server).run_cycle()
+
+    def recover(self) -> None:
+        super().recover()
+        # Post-restart scrub: complete any repair the crash interrupted
+        # (and find anything the pre-crash cycle never reached) before
+        # the checks run.  force is implicit — run_cycle always forces.
+        Scrubber(self.volume.disk_server).run_cycle()
+
+    def check_content(self) -> List[str]:
+        server = self.volume.disk_server
+        violations: List[str] = []
+        for label in sorted(self.durable):
+            extent, payload = self.extents[label], self.expected[label]
+            try:
+                content = server.get(extent, use_cache=False)
+            except MediaError as exc:
+                violations.append(
+                    f"extent {label!r}: unreadable after scrub ({exc})"
+                )
+                continue
+            if content != payload:
+                violations.append(
+                    f"extent {label!r}: content diverged after scrub "
+                    f"(first divergence at byte "
+                    f"{_first_divergence(payload, content)})"
+                )
+            if server.get(extent, source=Source.STABLE) != payload:
+                violations.append(f"extent {label!r}: stable copy diverged")
+        return violations
+
+
 class _TransactionalWorkload(ChaosWorkload):
     """Shared machinery for the transaction-service workloads."""
 
@@ -398,6 +478,7 @@ WORKLOADS: Dict[str, Type[ChaosWorkload]] = {
     for workload in (
         AppendOverwriteWorkload,
         QueuedWriteWorkload,
+        ScrubRepairWorkload,
         TransactionCommitWorkload,
         TwoVolumeCommitWorkload,
     )

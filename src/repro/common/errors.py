@@ -29,8 +29,28 @@ class BadAddressError(DiskError):
     """An address or extent lies outside the disk, or is malformed."""
 
 
-class BadSectorError(DiskError):
+class MediaError(DiskError):
+    """The physical medium failed silently: a latent sector error or
+    detected at-rest corruption.
+
+    Distinct from :class:`DiskCrashedError` (the whole drive stopped):
+    a media error is localised — the rest of the disk keeps serving —
+    and the repair story is redundancy (the stable-storage mirror or a
+    replica), not restart.
+    """
+
+
+class BadSectorError(MediaError):
     """A sector is unreadable (injected media failure)."""
+
+
+class ChecksumError(MediaError):
+    """Stored data failed its fragment checksum on read.
+
+    Raised by the disk server *instead of returning the corrupt bytes*
+    — no caller, and no cache, ever sees data whose CRC disagrees with
+    the recorded one.
+    """
 
 
 class SectorAlignmentError(DiskError):

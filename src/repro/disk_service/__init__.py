@@ -20,6 +20,7 @@ from repro.disk_service.addresses import Extent
 from repro.disk_service.bitmap import FragmentBitmap
 from repro.disk_service.extent_table import FreeExtentTable
 from repro.disk_service.cache import TrackCache
+from repro.disk_service.scrub import Scrubber, ScrubFinding
 from repro.disk_service.server import (
     DiskServer,
     Source,
@@ -32,6 +33,8 @@ __all__ = [
     "FragmentBitmap",
     "FreeExtentTable",
     "TrackCache",
+    "Scrubber",
+    "ScrubFinding",
     "DiskServer",
     "Source",
     "Stability",

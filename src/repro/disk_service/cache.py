@@ -108,6 +108,27 @@ class TrackCache:
         """Drop every cached sector (e.g. after disk recovery)."""
         self._tracks.clear()
 
+    def drop_sectors(self, start: int, n_sectors: int) -> int:
+        """Evict a sector range (a read of it failed verification).
+
+        The disk server calls this before raising
+        :class:`~repro.common.errors.ChecksumError`: bytes that failed
+        their checksum must never be served from the cache later, and a
+        miss-path read may already have stored them.  Returns how many
+        cached sectors were dropped.
+        """
+        dropped = 0
+        for sector in range(start, start + n_sectors):
+            track = self.disk.track_of(sector)
+            cached = self._tracks.get(track)
+            if cached is not None and cached.pop(sector, None) is not None:
+                dropped += 1
+                if not cached:
+                    del self._tracks[track]
+        if dropped:
+            self.metrics.add(f"{self.name}.verification_drops", dropped)
+        return dropped
+
     def cached_sector_count(self) -> int:
         return sum(len(sectors) for sectors in self._tracks.values())
 

@@ -40,6 +40,38 @@ from repro.simkernel.loop import EventLoop
 Outcome = Tuple[str, object]
 
 
+class _PriorityView:
+    """One priority class of a queue, presented as a queue.
+
+    Exposes exactly the surface schedulers use — ``pending()`` and
+    ``remove()`` — filtered to one class; removals fall through to the
+    real queue.  ``__bool__`` answers "does this class have work".
+    """
+
+    def __init__(self, queue: RequestQueue, *, low_priority: bool) -> None:
+        self._queue = queue
+        self._low_priority = low_priority
+
+    def pending(self) -> Tuple[DiskRequest, ...]:
+        return tuple(
+            request
+            for request in self._queue.pending()
+            if request.low_priority == self._low_priority
+        )
+
+    def remove(self, request: DiskRequest) -> None:
+        self._queue.remove(request)
+
+    def __len__(self) -> int:
+        return len(self.pending())
+
+    def __bool__(self) -> bool:
+        return any(
+            request.low_priority == self._low_priority
+            for request in self._queue.pending()
+        )
+
+
 class DiskPipeline:
     """Queue + scheduler + deferred completion for one disk server.
 
@@ -78,6 +110,7 @@ class DiskPipeline:
         *,
         source: Source = Source.MAIN,
         use_cache: bool = True,
+        low_priority: bool = False,
     ) -> Completion:
         """Enqueue a read; the completion resolves to its bytes."""
         return self._submit(
@@ -88,6 +121,7 @@ class DiskPipeline:
                 enqueued_at_us=self.clock.now_us,
                 source=source,
                 use_cache=use_cache,
+                low_priority=low_priority,
             )
         )
 
@@ -117,6 +151,16 @@ class DiskPipeline:
         """Requests currently queued (the one in service excluded)."""
         return len(self.queue)
 
+    @property
+    def busy(self) -> bool:
+        """Whether any request is queued or in service.
+
+        The scrubber's idle gate: a ``step()`` only proceeds when this
+        is False, so background verification never delays foreground
+        traffic that is already waiting.
+        """
+        return self._in_service or bool(self.queue)
+
     def drain(self) -> None:
         """Run the loop until this pipeline is fully idle (test helper)."""
         self.loop.run_until(lambda: not self.queue and not self._in_service)
@@ -138,8 +182,16 @@ class DiskPipeline:
         if self._in_service or not self.queue:
             return
         disk = self.server.disk
+        # Two-class priority: whenever any foreground request is
+        # pending the scheduler only sees the foreground view, so
+        # low-priority (scrub) requests are served strictly from the
+        # leftover idle slots and the two classes never share a batch.
+        foreground = _PriorityView(self.queue, low_priority=False)
+        view = foreground if foreground else _PriorityView(
+            self.queue, low_priority=True
+        )
         batch = self.scheduler.take(
-            self.queue,
+            view,
             head_cylinder=disk.head_cylinder,
             now_us=self.clock.now_us,
             cylinder_of=disk.geometry.cylinder_of,

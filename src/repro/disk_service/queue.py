@@ -37,6 +37,9 @@ class DiskRequest:
         data: payload for puts.
         source / use_cache: get options (see :class:`DiskServer.get`).
         stability / sync: put options (see :class:`DiskServer.put`).
+        low_priority: background work (the scrubber's reads) — served
+            only while no foreground request is pending, and never
+            coalesced into a foreground batch.
     """
 
     seq: int
@@ -49,6 +52,7 @@ class DiskRequest:
     use_cache: bool = True
     stability: Stability = Stability.ORIGINAL_ONLY
     sync: SyncMode = SyncMode.AFTER_STABLE
+    low_priority: bool = False
 
     def coalescable(self) -> bool:
         """Whether this request may legally merge with an adjacent one.

@@ -1,0 +1,227 @@
+"""The background scrubber: find latent media failures before clients do.
+
+Checksums (DESIGN.md §11) turn silent corruption into
+:class:`~repro.common.errors.ChecksumError` — but only when somebody
+reads the data.  Cold data can rot for months; the PAPERS.md Linux RAID
+study's conclusion is that detection must be *proactive* and paired
+with repair-from-redundancy.  A :class:`Scrubber` walks one volume's
+allocated fragments in cursor order, a bounded slice per ``step()``:
+
+* **mirror pass** (once per cycle) — every *mirrored* extent (last put
+  was ``Stability.BOTH``, so stable legitimately equals main) is
+  byte-compared against its stable copy; a divergence is repaired in
+  place via :meth:`DiskServer.repair_from_stable`.  The repair write
+  goes through the ordinary put machinery, so it is a numbered crash
+  point — the chaos sweep's ``scrub-repair`` workload proves scrubbing
+  is itself crash-safe.
+* **verify pass** — each checksummed fragment is re-read with the cache
+  bypassed; a :class:`~repro.common.errors.ChecksumError` or
+  :class:`~repro.common.errors.MediaError` becomes a
+  :class:`ScrubFinding`.  Mirrored fragments are repaired locally;
+  anything else is reported through the ``on_corruption`` callback so a
+  higher layer (replication, via the recovery health machinery) can
+  repair from a peer replica — the disk service cannot import
+  replication (layering), so repair-from-replica is the caller's hook.
+
+Scheduling: with a :class:`~repro.disk_service.pipeline.DiskPipeline`
+attached, scrub reads are submitted ``low_priority`` — the pipeline
+serves them only from idle slots — and ``step()`` refuses to start at
+all while the pipeline is busy.  Without a pipeline, reads are direct
+blocking gets (the chaos workloads' configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.errors import ChecksumError, DiskError, MediaError
+from repro.disk_service.addresses import Extent
+from repro.disk_service.server import DiskServer, Source
+from repro.simkernel.future import wait
+
+
+@dataclass(frozen=True)
+class ScrubFinding:
+    """One latent fault the scrubber detected on its walk."""
+
+    kind: str  # "checksum" | "media" | "mirror-divergence"
+    extent: Extent
+    repaired: bool
+    detail: str = ""
+
+
+class Scrubber:
+    """Cursor-driven background verification of one disk server.
+
+    Args:
+        server: the volume's disk server.
+        fragments_per_step: walk budget of one ``step()`` call — the
+            knob trading scrub cycle time against burst length.
+        repair: repair mirrored extents in place (False = report only).
+        on_corruption: called with each finding the scrubber cannot
+            repair locally (non-mirrored rot / media errors) — the hook
+            replication-level repair plugs into.
+    """
+
+    def __init__(
+        self,
+        server: DiskServer,
+        *,
+        fragments_per_step: int = 64,
+        repair: bool = True,
+        on_corruption: Optional[Callable[[ScrubFinding], None]] = None,
+    ) -> None:
+        if fragments_per_step < 1:
+            raise ValueError("a scrub step must cover at least one fragment")
+        self.server = server
+        self.fragments_per_step = fragments_per_step
+        self.repair = repair
+        self.on_corruption = on_corruption
+        self.findings: List[ScrubFinding] = []
+        self.cycles_completed = 0
+        self._cursor = 0
+        self._prefix = f"scrub.{server.disk.disk_id}"
+        self.metrics = server.metrics
+
+    # ------------------------------------------------------- driving
+
+    def step(self, *, force: bool = False) -> List[ScrubFinding]:
+        """Scrub the next slice of the volume; returns new findings.
+
+        A no-op while the attached pipeline has foreground work queued
+        (``force=True`` overrides — used by :meth:`run_cycle` and by
+        recovery-time re-scrubs where there is no foreground).
+        """
+        pipeline = self.server.pipeline
+        if not force and pipeline is not None and pipeline.busy:
+            self.metrics.add(f"{self._prefix}.steps_yielded")
+            return []
+        found: List[ScrubFinding] = []
+        if self._cursor == 0:
+            found.extend(self._scrub_mirrored())
+        end = min(self._cursor + self.fragments_per_step, self.server.n_fragments)
+        for fragment in range(self._cursor, end):
+            finding = self._verify_fragment(fragment)
+            if finding is not None:
+                found.append(finding)
+        self._cursor = end
+        if self._cursor >= self.server.n_fragments:
+            self._cursor = 0
+            self.cycles_completed += 1
+            self.metrics.add(f"{self._prefix}.cycles")
+        self.metrics.add(f"{self._prefix}.steps")
+        self.findings.extend(found)
+        return found
+
+    def run_cycle(self) -> List[ScrubFinding]:
+        """Drive ``step`` until one full cycle completes; its findings."""
+        target = self.cycles_completed + 1
+        found: List[ScrubFinding] = []
+        while self.cycles_completed < target:
+            found.extend(self.step(force=True))
+        return found
+
+    # ------------------------------------------------------- passes
+
+    def _scrub_mirrored(self) -> List[ScrubFinding]:
+        """Byte-compare every mirrored extent against its stable copy."""
+        found: List[ScrubFinding] = []
+        for start, length in self.server.mirrored_extents():
+            extent = Extent(start, length)
+            try:
+                expected = self.server.get(extent, source=Source.STABLE)
+            except (KeyError, DiskError):
+                # Released concurrently, or both mirrors unreadable:
+                # nothing to compare against this cycle.
+                self.metrics.add(f"{self._prefix}.mirror_skips")
+                continue
+            try:
+                actual = self._read(extent)
+            except MediaError:
+                actual = None
+            if actual == expected:
+                self.metrics.add(f"{self._prefix}.mirrors_verified")
+                continue
+            repaired = False
+            detail = "unreadable" if actual is None else "diverged from stable"
+            if self.repair:
+                repaired = self._repair_mirrored(extent, expected)
+            found.append(
+                ScrubFinding(
+                    kind="mirror-divergence",
+                    extent=extent,
+                    repaired=repaired,
+                    detail=detail,
+                )
+            )
+        return found
+
+    def _verify_fragment(self, fragment: int) -> Optional[ScrubFinding]:
+        server = self.server
+        if server.bitmap.is_free(fragment):
+            return None
+        if not server.has_checksum(fragment):
+            return None
+        extent = Extent(fragment, 1)
+        try:
+            self._read(extent)
+            self.metrics.add(f"{self._prefix}.fragments_verified")
+            return None
+        except ChecksumError as exc:
+            kind, detail = "checksum", str(exc)
+        except MediaError as exc:
+            kind, detail = "media", str(exc)
+        repaired = False
+        if self.repair and server.is_mirrored_fragment(fragment):
+            covering = next(
+                (
+                    (start, length)
+                    for start, length in server.mirrored_extents()
+                    if start <= fragment < start + length
+                ),
+                None,
+            )
+            if covering is not None:
+                repaired = self._repair_mirrored(Extent(*covering), None)
+        finding = ScrubFinding(
+            kind=kind, extent=extent, repaired=repaired, detail=detail
+        )
+        if not repaired and self.on_corruption is not None:
+            self.on_corruption(finding)
+        return finding
+
+    # ------------------------------------------------------ internal
+
+    def _read(self, extent: Extent) -> bytes:
+        """One verification read: low-priority when pipelined."""
+        server = self.server
+        if server.pipeline is not None:
+            completion = server.submit_get(
+                extent, use_cache=False, low_priority=True
+            )
+            return wait(server.pipeline.loop, completion)
+        return server.get(extent, use_cache=False)
+
+    def _repair_mirrored(
+        self, extent: Extent, expected: Optional[bytes]
+    ) -> bool:
+        """Repair one mirrored extent; True once the re-read verifies."""
+        server = self.server
+        try:
+            written = server.repair_from_stable(extent)
+        except (KeyError, DiskError):
+            self.metrics.add(f"{self._prefix}.repair_failures")
+            return False
+        if expected is not None and written != expected:
+            self.metrics.add(f"{self._prefix}.repair_failures")
+            return False
+        try:
+            verified = self._read(extent) == written
+        except MediaError:
+            verified = False
+        self.metrics.add(
+            f"{self._prefix}.repairs" if verified
+            else f"{self._prefix}.repair_failures"
+        )
+        return verified

@@ -13,15 +13,32 @@ stable-storage semantics of ``get``/``put``:
 
 Any operation on a contiguous extent is one single disk reference —
 the property the paper's whole design is organised around.
+
+Media-failure defence (DESIGN.md §11): every put records a per-fragment
+CRC-32 and every main-storage get verifies it, raising
+:class:`~repro.common.errors.ChecksumError` instead of ever returning
+rotted bytes — and evicting them from the track cache first.  The
+checksum map and the set of *mirrored* extents (those whose last put
+was ``Stability.BOTH``, so the stable copy legitimately equals main)
+are checkpointed to stable storage at ``flush``; the background
+scrubber uses both to find latent corruption and repair mirrored
+extents in place from their stable copy.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+import struct
+import zlib
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.clock import SimClock
-from repro.common.errors import BadAddressError, DiskError, DiskFullError
+from repro.common.errors import (
+    BadAddressError,
+    ChecksumError,
+    DiskError,
+    DiskFullError,
+)
 from repro.common.metrics import Metrics
 from repro.common.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.common.units import FRAGMENTS_PER_BLOCK
@@ -57,6 +74,54 @@ class Source(enum.Enum):
 
 def _stable_key(extent: Extent) -> str:
     return f"ext:{extent.start}:{extent.length}"
+
+
+#: Bytes per fragment (2 KB): the checksum granule.
+_FRAGMENT_BYTES = Extent(0, 1).byte_size
+
+#: Stable-storage record holding the protection checkpoint.
+PROTECTION_KEY = "protection"
+_PROTECTION_MAGIC = b"RPRT"
+
+
+def _encode_protection(
+    checksums: Dict[int, int], mirrored: Set[Tuple[int, int]]
+) -> bytes:
+    """Serialise the checksum map + mirrored-extent set, sorted (so the
+    record — and everything downstream — is byte-deterministic)."""
+    parts = [
+        _PROTECTION_MAGIC,
+        struct.pack("<II", len(checksums), len(mirrored)),
+    ]
+    for fragment in sorted(checksums):
+        parts.append(struct.pack("<II", fragment, checksums[fragment]))
+    for start, length in sorted(mirrored):
+        parts.append(struct.pack("<II", start, length))
+    return b"".join(parts)
+
+
+def _decode_protection(
+    blob: bytes,
+) -> Tuple[Dict[int, int], Set[Tuple[int, int]]]:
+    """Inverse of :func:`_encode_protection`; raises ValueError on junk."""
+    if blob[:4] != _PROTECTION_MAGIC or len(blob) < 12:
+        raise ValueError("not a protection record")
+    n_checksums, n_mirrored = struct.unpack_from("<II", blob, 4)
+    expected = 12 + 8 * (n_checksums + n_mirrored)
+    if len(blob) != expected:
+        raise ValueError("protection record length mismatch")
+    offset = 12
+    checksums: Dict[int, int] = {}
+    for _ in range(n_checksums):
+        fragment, crc = struct.unpack_from("<II", blob, offset)
+        checksums[fragment] = crc
+        offset += 8
+    mirrored: Set[Tuple[int, int]] = set()
+    for _ in range(n_mirrored):
+        start, length = struct.unpack_from("<II", blob, offset)
+        mirrored.add((start, length))
+        offset += 8
+    return checksums, mirrored
 
 
 class DiskServer:
@@ -108,7 +173,22 @@ class DiskServer:
             if cache_tracks > 0
             else None
         )
-        self._pending_stable: List[Tuple[str, bytes]] = []
+        # Deferred stable writes: (key, data, marks_mirrored).
+        self._pending_stable: List[Tuple[str, bytes, bool]] = []
+        #: fragment -> CRC-32 of its last successful main write.
+        self._checksums: Dict[int, int] = {}
+        #: Extents whose stable copy legitimately equals main (last put
+        #: was Stability.BOTH) — the scrubber's repair candidates.
+        #: Shadow pages (STABLE_ONLY) are deliberately excluded: their
+        #: stable copy is *supposed* to diverge from main.
+        self._mirrored: Set[Tuple[int, int]] = set()
+        self._mirrored_fragments: Set[int] = set()
+        #: Fragments whose recorded checksum predates the last crash.
+        #: A post-crash mismatch on one of these cannot be arbitrated
+        #: locally (rot vs. an in-flux write the crash tore), so unless
+        #: the fragment is mirrored the stale entry is dropped, not
+        #: raised — redundancy covers that window (DESIGN.md §11).
+        self._unreconciled: Set[int] = set()
         # True when the in-memory bitmap has diverged from its stable-
         # storage checkpoint.  Any stable-bound put checkpoints first:
         # vital structures (FITs, indirect blocks) must never become
@@ -194,6 +274,13 @@ class DiskServer:
         self.bitmap.mark_free(extent)
         self._bitmap_dirty = True
         self.metrics.add(f"{self._prefix}.frees")
+        # Freed fragments carry no protection: their recorded checksums
+        # describe content that no longer exists, and verifying a later
+        # reallocation against them would reject legitimate new data.
+        for fragment in range(extent.start, extent.end):
+            self._checksums.pop(fragment, None)
+            self._unreconciled.discard(fragment)
+        self._unmark_mirrored(extent)
         merged = self.bitmap.run_containing(extent.start)
         assert merged is not None  # we just freed it
         # Remove stale index entries for the runs we merged with.
@@ -243,13 +330,20 @@ class DiskServer:
         *,
         source: Source = Source.MAIN,
         use_cache: bool = True,
+        low_priority: bool = False,
     ):
-        """Enqueue a read on the attached pipeline; returns a Completion."""
+        """Enqueue a read on the attached pipeline; returns a Completion.
+
+        ``low_priority`` requests (the scrubber's) are only served while
+        no foreground request is pending.
+        """
         if self.pipeline is None:
             raise DiskError(
                 f"{self._prefix}: no request pipeline attached (submit_get)"
             )
-        return self.pipeline.submit_get(extent, source=source, use_cache=use_cache)
+        return self.pipeline.submit_get(
+            extent, source=source, use_cache=use_cache, low_priority=low_priority
+        )
 
     def submit_put(
         self,
@@ -289,9 +383,11 @@ class DiskServer:
                 self._drain_pending()
                 return self.stable.get(_stable_key(extent))
             if self._cache is not None and use_cache:
-                return self._cache.read(extent.first_sector, extent.n_sectors)
-            self.tracer.annotate("track_cache", "bypassed")
-            return self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+                data = self._cache.read(extent.first_sector, extent.n_sectors)
+            else:
+                self.tracer.annotate("track_cache", "bypassed")
+                data = self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+            return self._verify_extent(extent, data)
 
     def _do_put(
         self,
@@ -328,21 +424,30 @@ class DiskServer:
                     self._cache.write_through(extent.first_sector, data)
                 else:
                     self.disk.write_sectors(extent.first_sector, data)
+                self._record_checksums(extent, data)
+            # Any overwrite ends the extent's mirrored status until its
+            # stable copy is (re)confirmed equal to main below; a
+            # STABLE_ONLY put (shadow page) ends it outright.
+            self._unmark_mirrored(extent)
             if stability in (Stability.STABLE_ONLY, Stability.BOTH):
                 key = _stable_key(extent)
+                mirror = stability is Stability.BOTH
                 if sync is SyncMode.AFTER_STABLE:
                     self.stable.put(key, data)
+                    if mirror:
+                        self._mark_mirrored(extent)
                 else:
-                    self._pending_stable.append((key, data))
+                    self._pending_stable.append((key, data, mirror))
                     self.metrics.add(f"{self._prefix}.deferred_stable_puts")
 
     def release_stable(self, extent: Extent) -> None:
         """Drop the stable-storage copy of an extent (e.g. committed shadow)."""
         self._pending_stable = [
-            (key, data)
-            for key, data in self._pending_stable
-            if key != _stable_key(extent)
+            entry
+            for entry in self._pending_stable
+            if entry[0] != _stable_key(extent)
         ]
+        self._unmark_mirrored(extent)
         self.stable.delete(_stable_key(extent))
 
     def flush(self) -> None:
@@ -354,6 +459,7 @@ class DiskServer:
         """
         self._drain_pending()
         self.checkpoint_free_space()
+        self.checkpoint_protection()
         self.metrics.add(f"{self._prefix}.flushes")
 
     # ----------------------------------------------------- recovery
@@ -364,12 +470,31 @@ class DiskServer:
         self.metrics.gauge(f"{self._prefix}.free_fragments", self.bitmap.free_count)
         self.stable.put("bitmap", self.bitmap.to_bytes())
 
+    def checkpoint_protection(self) -> None:
+        """Save the checksum map + mirrored set to stable storage.
+
+        Called by ``flush``: after it, the scrubber of a recovered
+        server knows which fragments carry checksums and which extents
+        it may repair from their stable copy.
+        """
+        self.metrics.gauge(
+            f"{self._prefix}.checksummed_fragments", len(self._checksums)
+        )
+        self.stable.put(
+            PROTECTION_KEY, _encode_protection(self._checksums, self._mirrored)
+        )
+
     def recover(self) -> None:
         """Rebuild volatile state after a crash.
 
         Reloads the bitmap from stable storage (falling back to a full
         free disk if no checkpoint exists), refills the free-extent
-        array by scanning it, and invalidates the track cache.
+        array by scanning it, invalidates the track cache, and reloads
+        the protection checkpoint.  Reloaded checksums are marked
+        *unreconciled*: the first read of each fragment arbitrates a
+        mismatch (stale entry for an in-flux write vs. rot — see
+        :meth:`_verify_extent`).  Mirrored entries whose stable record
+        vanished (released mid-crash) are pruned.
         """
         try:
             blob = self.stable.get("bitmap")
@@ -381,13 +506,81 @@ class DiskServer:
             self._cache.invalidate()
         self._pending_stable.clear()
         self._bitmap_dirty = False
+        self._checksums = {}
+        self._mirrored = set()
+        self._mirrored_fragments = set()
+        self._unreconciled = set()
+        try:
+            checksums, mirrored = _decode_protection(
+                self.stable.get(PROTECTION_KEY)
+            )
+        except (KeyError, ValueError):
+            checksums, mirrored = {}, set()
+        if mirrored:
+            existing = set(self.stable.keys())
+            mirrored = {
+                (start, length)
+                for start, length in mirrored
+                if _stable_key(Extent(start, length)) in existing
+            }
+        self._checksums = checksums
+        self._unreconciled = set(checksums)
+        for start, length in mirrored:
+            self._mark_mirrored(Extent(start, length))
         self.metrics.add(f"{self._prefix}.recoveries")
+
+    def repair_from_stable(self, extent: Extent) -> bytes:
+        """Overwrite a mirrored extent's main copy from its stable copy.
+
+        The scrubber's repair path: the write goes through the normal
+        put machinery, so it is a numbered crash point, refreshes the
+        checksum, heals latent media errors on the rewritten sectors,
+        and updates any cached copy.  The extent is re-marked mirrored
+        (main now equals stable by construction).  Raises
+        :class:`~repro.common.errors.StableKeyError` if no stable copy
+        exists.
+        """
+        expected = self.stable.get(_stable_key(extent))
+        self._do_put(extent, expected, stability=Stability.ORIGINAL_ONLY)
+        self._mark_mirrored(extent)
+        self.metrics.add(f"{self._prefix}.stable_repairs")
+        return expected
 
     # ------------------------------------------------------- status
 
     @property
     def free_fragments(self) -> int:
         return self.bitmap.free_count
+
+    def has_checksum(self, fragment: int) -> bool:
+        """Whether a CRC is recorded for ``fragment``."""
+        return fragment in self._checksums
+
+    def checksummed_fragments(self) -> List[int]:
+        """Fragments with a recorded CRC, sorted (scrub walk order)."""
+        return sorted(self._checksums)
+
+    def recorded_checksum(self, fragment: int) -> Optional[int]:
+        """The recorded CRC of ``fragment``, or None (fsck's view)."""
+        return self._checksums.get(fragment)
+
+    def is_unreconciled(self, fragment: int) -> bool:
+        """Whether a fragment's checksum awaits post-crash reconciliation.
+
+        True between a recovery and the fragment's first read or write:
+        the recorded CRC came from the last checkpoint and may lag an
+        in-flux write, so a raw recompute (fsck) cannot treat a
+        mismatch as rot yet.
+        """
+        return fragment in self._unreconciled
+
+    def mirrored_extents(self) -> List[Tuple[int, int]]:
+        """(start, length) of every mirrored extent, sorted."""
+        return sorted(self._mirrored)
+
+    def is_mirrored_fragment(self, fragment: int) -> bool:
+        """Whether ``fragment`` lies inside a mirrored extent."""
+        return fragment in self._mirrored_fragments
 
     @property
     def cache(self) -> Optional[TrackCache]:
@@ -483,8 +676,162 @@ class DiskServer:
 
     def _drain_pending(self) -> None:
         pending, self._pending_stable = self._pending_stable, []
-        for key, data in pending:
+        for key, data, mirror in pending:
             self.stable.put(key, data)
+            if mirror:
+                # A deferred BOTH put: its stable copy just caught up
+                # with main, so the extent is mirrored from here on.
+                _, start, length = key.split(":")
+                self._mark_mirrored(Extent(int(start), int(length)))
+
+    def _record_checksums(self, extent: Extent, data: bytes) -> None:
+        for index in range(extent.length):
+            fragment = extent.start + index
+            self._checksums[fragment] = zlib.crc32(
+                data[index * _FRAGMENT_BYTES : (index + 1) * _FRAGMENT_BYTES]
+            )
+            self._unreconciled.discard(fragment)
+
+    def _verify_extent(self, extent: Extent, data: bytes) -> bytes:
+        """Check every checksummed fragment of a main-storage read.
+
+        Returns the verified bytes — usually ``data`` unchanged.
+
+        A mismatch on an *unreconciled* checksum (loaded from the last
+        pre-crash checkpoint) may just be stale bookkeeping: the
+        fragment was legitimately rewritten after the checkpoint, so
+        the recorded CRC describes older bytes.  A local checksum
+        cannot arbitrate that against rot by itself, so the crash
+        window is resolved by redundancy class:
+
+        * a non-mirrored fragment's entry is dropped (the basic
+          service makes no content promise for in-flux data) and the
+          read proceeds;
+        * a *mirrored* fragment is byte-compared against its stable
+          copy — agreement re-seals the checksum at the current bytes;
+          disagreement means a BOTH put tore between its main and
+          stable writes, and the extent is rolled back to the stable
+          copy in place (read repair), the caller receiving the
+          repaired bytes.
+
+        Every other mismatch is rot or a latent media flip: the
+        extent's sectors are evicted from the track cache and
+        :class:`~repro.common.errors.ChecksumError` is raised — corrupt
+        bytes never reach a caller or linger in the cache.
+        """
+        if not self._checksums:
+            return data
+        buffer = data
+        for index in range(extent.length):
+            fragment = extent.start + index
+            expected = self._checksums.get(fragment)
+            if expected is None:
+                continue
+            fragment_bytes = buffer[
+                index * _FRAGMENT_BYTES : (index + 1) * _FRAGMENT_BYTES
+            ]
+            actual = zlib.crc32(fragment_bytes)
+            if actual == expected:
+                self._unreconciled.discard(fragment)
+                continue
+            if fragment in self._unreconciled:
+                self._unreconciled.discard(fragment)
+                if fragment not in self._mirrored_fragments:
+                    del self._checksums[fragment]
+                    self.metrics.add(f"{self._prefix}.checksums_reconciled")
+                    continue
+                covering = self._mirrored_extent_covering(fragment)
+                stable_bytes = (
+                    None
+                    if covering is None
+                    else self._stable_fragment_bytes(fragment, covering)
+                )
+                if stable_bytes is None or stable_bytes == fragment_bytes:
+                    self._checksums[fragment] = actual
+                    self.metrics.add(f"{self._prefix}.checksums_reconciled")
+                    continue
+                buffer = self._read_repair(extent, buffer, covering)
+                continue
+            self.metrics.add(f"{self._prefix}.checksum_failures")
+            if self._cache is not None:
+                self._cache.drop_sectors(extent.first_sector, extent.n_sectors)
+            raise ChecksumError(
+                f"{self._prefix}: fragment {fragment} failed its checksum "
+                f"(recorded 0x{expected:08x}, computed 0x{actual:08x})"
+            )
+        return buffer
+
+    def _mirrored_extent_covering(
+        self, fragment: int
+    ) -> Optional[Tuple[int, int]]:
+        """The mirrored extent holding ``fragment``, if one does.
+
+        Mirrored extents never overlap (marking retires overlaps
+        first), so at most one covers the fragment.
+        """
+        for start, length in self._mirrored:
+            if start <= fragment < start + length:
+                return (start, length)
+        return None
+
+    def _stable_fragment_bytes(
+        self, fragment: int, covering: Tuple[int, int]
+    ) -> Optional[bytes]:
+        """One mirrored fragment's bytes per the stable copy, if any."""
+        start, length = covering
+        try:
+            blob = self.stable.get(_stable_key(Extent(start, length)))
+        except KeyError:
+            return None
+        offset = (fragment - start) * _FRAGMENT_BYTES
+        return blob[offset : offset + _FRAGMENT_BYTES]
+
+    def _read_repair(
+        self, extent: Extent, buffer: bytes, covering: Tuple[int, int]
+    ) -> bytes:
+        """Roll a torn mirrored extent back to stable, mid-read.
+
+        Splices the repaired fragments into the read buffer so the
+        caller (and the rest of verification) sees the healed bytes.
+        """
+        mirrored = Extent(*covering)
+        repaired = self.repair_from_stable(mirrored)
+        self.metrics.add(f"{self._prefix}.read_repairs")
+        patched = bytearray(buffer)
+        overlap_start = max(extent.start, mirrored.start)
+        overlap_end = min(extent.end, mirrored.end)
+        for position in range(overlap_start, overlap_end):
+            into = (position - extent.start) * _FRAGMENT_BYTES
+            from_ = (position - mirrored.start) * _FRAGMENT_BYTES
+            patched[into : into + _FRAGMENT_BYTES] = repaired[
+                from_ : from_ + _FRAGMENT_BYTES
+            ]
+        return bytes(patched)
+
+    def _mark_mirrored(self, extent: Extent) -> None:
+        self._mirrored.add((extent.start, extent.length))
+        self._mirrored_fragments.update(range(extent.start, extent.end))
+
+    def _unmark_mirrored(self, extent: Extent) -> None:
+        """Retire every mirrored extent the write overlaps.
+
+        Overlap (not exact match) matters: once any covered fragment is
+        rewritten, main and stable may diverge, and a scrub repair from
+        the stale stable copy would *undo* the write.
+        """
+        if not self._mirrored_fragments.intersection(
+            range(extent.start, extent.end)
+        ):
+            return
+        for start, length in [
+            (start, length)
+            for start, length in self._mirrored
+            if start < extent.end and extent.start < start + length
+        ]:
+            self._mirrored.discard((start, length))
+            self._mirrored_fragments.difference_update(
+                range(start, start + length)
+            )
 
     def _check_extent(self, extent: Extent) -> None:
         if extent.end > self.n_fragments:

@@ -36,6 +36,7 @@ from repro.common.errors import (
     FileNotFoundError_,
     FileServiceError,
     FileSizeError,
+    MediaError,
 )
 from repro.common.ids import SystemName, monotonic_id_factory
 from repro.common.metrics import Metrics
@@ -580,10 +581,10 @@ class FileServer:
         try:
             blob = self.disk.get(extent)
             fit = FileIndexTable.decode(blob)
-        except (FileSizeError, BadAddressError) as exc:
+        except (FileSizeError, BadAddressError, MediaError) as exc:
             # "A copy of the file index table is always available in
-            # stable storage" (paper section 5) — a torn or corrupt main
-            # copy is repaired from it.
+            # stable storage" (paper section 5) — a torn, corrupt, or
+            # checksum-failed main copy is repaired from it.
             fit = self._restore_fit_from_stable(extent)
             if fit is None:
                 raise FileNotFoundError_(
@@ -598,7 +599,7 @@ class FileServer:
         try:
             blob = self.disk.get(extent, source=Source.STABLE)
             fit = FileIndexTable.decode(blob)
-        except (KeyError, FileSizeError, BadAddressError):
+        except (KeyError, FileSizeError, BadAddressError, MediaError):
             return None
         self.disk.put(extent, blob)  # heal the main copy
         self.metrics.add(f"{self.name}.fit_restores")

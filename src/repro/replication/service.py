@@ -19,9 +19,12 @@ Failure handling routes through a
   (``transient_retries``) and only escalates through the registry's
   tolerance rule.  A single torn-sector hiccup therefore no longer
   triggers a permanent failover.
-* **staleness means missed writes** — only a replica that missed (or
-  may have missed) a write is marked stale; a failed *read* fails over
-  without staleness, because the replica's content is still current.
+* **staleness means content divergence** — a replica that missed (or
+  may have missed) a write is marked stale; so is one whose read
+  failed with a :class:`~repro.common.errors.MediaError` (checksum
+  mismatch or latent sector error — its bytes are *wrong*, not merely
+  unreachable).  Any other failed read fails over without staleness,
+  because the replica's content is still current.
 * **auto-repair** — the service subscribes to recovery events: when a
   volume comes back, every replica set with stale members is
   resynchronised and orphaned replicas from failed deletes are swept.
@@ -39,6 +42,7 @@ from repro.common.errors import (
     DiskCrashedError,
     DiskError,
     FileServiceError,
+    MediaError,
     ReplicationError,
 )
 from repro.common.frames import FrameFork
@@ -200,6 +204,14 @@ class ReplicationService:
             except _REPLICA_ERRORS as exc:
                 last_error = exc
                 self._note_replica_error(volume_id, exc)
+                if isinstance(exc, MediaError) and self._has_clean_peer(
+                    replica_set, volume_id
+                ):
+                    # Rot: this replica's bytes are wrong, so it has
+                    # diverged — stale until resync repairs it from a
+                    # clean peer (never quarantine the last one).
+                    replica_set.stale.add(volume_id)
+                    self.metrics.add("replication.media_quarantines")
                 self.metrics.add("replication.failovers")
                 degraded = True
                 continue
@@ -338,6 +350,43 @@ class ReplicationService:
         self._orphans = remaining
         return swept
 
+    def quarantine_volume_media(self, volume_id: int) -> int:
+        """Quarantine a media-damaged volume's replicas, repair from peers.
+
+        The scrubber's repair-from-replica hook: when a volume's
+        scrubber reports corruption it cannot repair locally (the data
+        had no stable-storage mirror), every replica set with a member
+        on that volume is marked stale and immediately resynchronised
+        from a clean peer — the replica's *content* is suspect even
+        where reads still succeed, because rot may sit in blocks the
+        finding did not name.  Sets with no clean live peer are left
+        alone (quarantining the last copy would make them unreadable)
+        and counted in ``replication.quarantine_deferrals``.
+
+        Returns the number of replicas repaired by the resync.
+        """
+        quarantined = 0
+        visited: set[int] = set()
+        for replica_set in list(self._sets.values()):
+            if id(replica_set) in visited:
+                continue
+            visited.add(id(replica_set))
+            on_volume = any(
+                system_name.volume_id == volume_id
+                for system_name in replica_set.replicas
+            )
+            if not on_volume or volume_id in replica_set.stale:
+                continue
+            if not self._has_clean_peer(replica_set, volume_id):
+                self.metrics.add("replication.quarantine_deferrals")
+                continue
+            replica_set.stale.add(volume_id)
+            quarantined += 1
+            self.metrics.add("replication.media_quarantines")
+        if quarantined == 0:
+            return 0
+        return self.resync_all_stale()
+
     def resync(self, name: AttributedName) -> int:
         """Copy the primary's content onto every stale replica.
 
@@ -372,7 +421,23 @@ class ReplicationService:
                     ] = fresh
                     system_name = fresh
                 if content:
-                    server.write(system_name, 0, content)
+                    try:
+                        server.write(system_name, 0, content)
+                    except MediaError:
+                        # The replica's own blocks are rotten or
+                        # unreadable: a sub-block overwrite read-
+                        # modify-writes through them and trips the
+                        # very corruption being repaired.  Rebuild the
+                        # replica from scratch instead of converging
+                        # never.
+                        server.delete(system_name)
+                        fresh = server.create()
+                        replica_set.replicas[
+                            replica_set.replicas.index(system_name)
+                        ] = fresh
+                        system_name = fresh
+                        server.write(system_name, 0, content)
+                        self.metrics.add("replication.resync_rebuilds")
                 if server.read(system_name, 0, size) != content:
                     self.metrics.add("replication.resync_mismatches")
                     continue  # stays stale; a later resync retries
@@ -437,6 +502,15 @@ class ReplicationService:
                     raise
                 retries -= 1
                 self.metrics.add("replication.transient_retries")
+
+    def _has_clean_peer(self, replica_set: ReplicaSet, volume_id: int) -> bool:
+        """Whether another replica is neither stale nor on a down volume."""
+        return any(
+            system_name.volume_id != volume_id
+            and system_name.volume_id not in replica_set.stale
+            and not self.health.is_down(volume_component(system_name.volume_id))
+            for system_name in replica_set.replicas
+        )
 
     def _note_replica_error(self, volume_id: int, exc: Exception) -> bool:
         """Feed one replica failure to the detector; True = permanent."""

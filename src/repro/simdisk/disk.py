@@ -16,7 +16,12 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.common.clock import SimClock
-from repro.common.errors import BadAddressError, BadSectorError, DiskCrashedError
+from repro.common.errors import (
+    BadAddressError,
+    BadSectorError,
+    DiskCrashedError,
+    MediaError,
+)
 from repro.common.metrics import Metrics
 from repro.common.trace import NULL_TRACER, Tracer
 from repro.simdisk.faults import FaultInjector
@@ -81,11 +86,7 @@ class SimDisk:
         ):
             self._check_alive()
             self._check_range(start, n_sectors)
-            for sector in range(start, start + n_sectors):
-                if self.faults.is_bad(sector):
-                    raise BadSectorError(
-                        f"{self.disk_id}: sector {sector} unreadable"
-                    )
+            self._check_media(start, n_sectors)
             self._charge(start, n_sectors)
             self.metrics.add(f"{self._prefix}.reads")
             self.metrics.add(f"{self._prefix}.references")
@@ -121,6 +122,9 @@ class SimDisk:
             for index in range(written):
                 offset = index * size
                 self._sectors[start + index] = bytes(data[offset : offset + size])
+            # A rewrite remaps latent media errors (only for the sectors
+            # that actually reached the platter on a torn write).
+            self.faults.heal_range(start, written)
             self._charge(start, n_sectors)
             self.metrics.add(f"{self._prefix}.writes")
             self.metrics.add(f"{self._prefix}.references")
@@ -146,9 +150,7 @@ class SimDisk:
         """
         self._check_alive()
         self._check_range(start, n_sectors)
-        for sector in range(start, start + n_sectors):
-            if self.faults.is_bad(sector):
-                raise BadSectorError(f"{self.disk_id}: sector {sector} unreadable")
+        self._check_media(start, n_sectors)
         slot = self.timing.slot_time_us(self.geometry)
         self.timeline.charge(slot * n_sectors)
         self._head_angular = (
@@ -176,6 +178,43 @@ class SimDisk:
 
     # ------------------------------------------------------- faults
 
+    def corrupt_at(self, sector: int, byte_offset: int, xor_mask: int) -> None:
+        """Flip bits of one stored byte *at rest* (silent corruption).
+
+        Models bit-rot on the platter: no disk reference, no timing
+        charge, and nothing detects it here — reads return the rotted
+        bytes verbatim, and only a layer that recorded a checksum can
+        tell.  A later write of the sector overwrites the rot, which is
+        why repair-from-redundancy works.
+        """
+        self.geometry.check_sector(sector)
+        size = self.geometry.sector_size
+        if not 0 <= byte_offset < size:
+            raise BadAddressError(
+                f"byte offset {byte_offset} outside the {size}-byte sector"
+            )
+        if not 0 <= xor_mask <= 0xFF:
+            raise BadAddressError(f"xor mask {xor_mask} is not one byte")
+        current = bytearray(self._sectors.get(sector, _zero_sector(size)))
+        current[byte_offset] ^= xor_mask
+        self._sectors[sector] = bytes(current)  # repro-lint: allow[crash-point-discipline] at-rest rot is injected platter state, not a write the crash sweep numbers
+        self.metrics.add(f"{self._prefix}.sectors_corrupted")
+
+    def corrupt_sectors(self, start: int, n_sectors: int) -> None:
+        """Rot each sector of a range deterministically.
+
+        One byte per sector is XOR-flipped; the position and mask are a
+        pure function of (fault seed, sector number), so two runs with
+        the same seed rot identical bytes — which keeps every report
+        downstream byte-deterministic.
+        """
+        seed = self.faults.seed
+        for sector in range(start, start + n_sectors):
+            token = (sector + 1) * 2654435761 ^ (seed * 40503)
+            offset = token % self.geometry.sector_size
+            mask = (token >> 11) % 255 + 1  # never zero: always a real flip
+            self.corrupt_at(sector, offset, mask)
+
     def crash(self) -> None:
         """Take the disk offline immediately (contents persist)."""
         self.faults.crash_now()
@@ -193,6 +232,20 @@ class SimDisk:
     def _check_alive(self) -> None:
         if self.faults.crashed:
             raise DiskCrashedError(f"{self.disk_id}: disk is crashed")
+
+    def _check_media(self, start: int, n_sectors: int) -> None:
+        """Raise for the first bad or latently failing sector in range."""
+        faults = self.faults
+        for sector in range(start, start + n_sectors):
+            if faults.is_bad(sector):
+                raise BadSectorError(f"{self.disk_id}: sector {sector} unreadable")
+        if faults.latent_media_errors:
+            for sector in range(start, start + n_sectors):
+                if faults.media_failing(sector):
+                    self.metrics.add(f"{self._prefix}.media_errors")
+                    raise MediaError(
+                        f"{self.disk_id}: latent media error at sector {sector}"
+                    )
 
     def _check_range(self, start: int, n_sectors: int) -> None:
         if n_sectors <= 0:

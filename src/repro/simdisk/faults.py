@@ -8,6 +8,11 @@ keep under failures, so the disk model can inject them on demand:
   (a prefix of the sectors written, the rest lost), which is exactly
   the failure careful replicated writes defend against;
 * **bad sectors**: persistent media failures on read;
+* **latent sector errors**: a sector that reads fine for its first
+  ``after_reads`` accesses and then fails persistently — the failure
+  mode background scrubbing exists to find before a client does.  A
+  rewrite heals the sector (the drive remaps it), which is what makes
+  repair-from-redundancy effective;
 * **scheduled crash points**: "crash after the k-th write", used by the
   recovery tests to prove atomicity at every step of a commit;
 * **write monitors**: an external observer (the chaos subsystem's
@@ -20,7 +25,11 @@ keep under failures, so the disk model can inject them on demand:
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol, Set
+from typing import Dict, List, Optional, Protocol, Sequence, Set
+
+#: Knuth's multiplicative hash constant; used to derive per-sector
+#: deterministic values (the chaos tracer uses the same scatter).
+_SCATTER = 2654435761
 
 
 class WriteMonitor(Protocol):
@@ -44,6 +53,9 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self.crashed = False
         self.bad_sectors: Set[int] = set()
+        #: Latent sector errors: sector -> successful reads remaining
+        #: before the sector starts failing (0 = failing already).
+        self._media_errors: Dict[int, int] = {}
         self._crash_after_writes: Optional[int] = None
         self._writes_seen = 0
         self.torn_write_fraction: float = 0.5
@@ -84,6 +96,44 @@ class FaultInjector:
     def heal(self, sector: int) -> None:
         """Repair a bad sector (e.g. after a rewrite remaps it)."""
         self.bad_sectors.discard(sector)
+        self._media_errors.pop(sector, None)
+
+    def schedule_media_error(self, sector: int, *, after_reads: int = 0) -> None:
+        """Make ``sector`` develop a latent error on a read schedule.
+
+        The sector serves ``after_reads`` more reads normally, then
+        every later read fails with :class:`~repro.common.errors.MediaError`
+        — persistently, until a rewrite of the sector heals it
+        (:meth:`heal_range`, called by the disk's write path).
+        """
+        if after_reads < 0:
+            raise ValueError("after_reads cannot be negative")
+        self._media_errors[sector] = after_reads
+
+    def heal_range(self, start: int, n_sectors: int) -> None:
+        """A rewrite remaps latent errors in ``[start, start+n)``.
+
+        Only *scheduled* media errors heal on rewrite; sectors marked
+        with :meth:`mark_bad` stay bad until explicitly healed (the
+        legacy hard-failure semantics the stable-storage tests rely on).
+        """
+        for sector in range(start, start + n_sectors):
+            self._media_errors.pop(sector, None)
+
+    def pick_targets(
+        self, population: Sequence[int], count: int, *, salt: int = 0
+    ) -> List[int]:
+        """A seed-deterministic sample of fault-injection targets.
+
+        Derives a private RNG from ``(seed, salt)`` so campaigns and
+        tests can pick corruption/error sites reproducibly without
+        disturbing :attr:`_rng` (whose draw sequence the torn-write
+        schedule depends on).
+        """
+        if count >= len(population):
+            return sorted(population)
+        rng = random.Random((self.seed + 1) * _SCATTER + salt)
+        return sorted(rng.sample(list(population), count))
 
     # ------------------------------------------------------ queries
 
@@ -125,3 +175,23 @@ class FaultInjector:
 
     def is_bad(self, sector: int) -> bool:
         return sector in self.bad_sectors
+
+    def media_failing(self, sector: int) -> bool:
+        """Consulted once per read attempt of ``sector``.
+
+        Counts the latent-error onset schedule down; returns True once
+        the sector's grace reads are exhausted.  A failing sector stays
+        failing across re-reads until a rewrite heals it.
+        """
+        remaining = self._media_errors.get(sector)
+        if remaining is None:
+            return False
+        if remaining > 0:
+            self._media_errors[sector] = remaining - 1
+            return False
+        return True
+
+    @property
+    def latent_media_errors(self) -> int:
+        """Sectors with a scheduled (or active) latent error."""
+        return len(self._media_errors)

@@ -51,6 +51,7 @@ SMOKE_EXPERIMENTS = (
     "e1_two_disk_references",
     "e14_track_cache",
     "e16_scheduling",
+    "e18_scrub_overhead",
     "t1_lock_compatibility",
 )
 
@@ -226,7 +227,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pr5.json",
+        default="BENCH_pr6.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(

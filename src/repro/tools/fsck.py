@@ -12,7 +12,11 @@ against the allocation bitmap:
   no FIT (space leaks);
 * **stale contiguity counts** — a stored count field disagreeing with
   the actual layout (would make reads fetch wrong runs);
-* **size anomalies** — a recorded file size beyond the mapped blocks.
+* **size anomalies** — a recorded file size beyond the mapped blocks;
+* **latent corruption** (optional pass, ``verify_media=True``) — every
+  recorded fragment checksum recomputed against the raw sectors; a
+  mismatch or unreadable sector is *reported, never repaired* — repair
+  is the scrubber's job (:mod:`repro.disk_service.scrub`).
 
 The report distinguishes *errors* (integrity broken) from *warnings*
 (suboptimal but safe).
@@ -20,10 +24,14 @@ The report distinguishes *errors* (integrity broken) from *warnings*
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.common.errors import FileSizeError, MediaError
 from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK
+from repro.disk_service.server import DiskServer
 from repro.disk_service.addresses import Extent
 from repro.file_service.fit import (
     DIRECT_DESCRIPTORS,
@@ -77,8 +85,13 @@ def _plausible_fit(fit: FileIndexTable, n_fragments: int) -> bool:
     return True
 
 
-def fsck_volume(server: FileServer) -> FsckReport:
-    """Check one volume; purely read-only (uses raw disk reads)."""
+def fsck_volume(server: FileServer, *, verify_media: bool = False) -> FsckReport:
+    """Check one volume; purely read-only (uses raw disk reads).
+
+    With ``verify_media=True`` a fourth pass recomputes every recorded
+    fragment checksum from the raw sectors and reports mismatches as
+    errors (see :func:`verify_checksums`).
+    """
     disk = server.disk
     report = FsckReport(volume_id=server.volume_id)
     n_fragments = disk.n_fragments
@@ -89,12 +102,22 @@ def fsck_volume(server: FileServer) -> FsckReport:
     for fragment in range(n_fragments):
         if bitmap.is_free(fragment):
             continue
-        blob = disk.get(Extent(fragment, 1))
+        try:
+            blob = disk.get(Extent(fragment, 1))
+        except MediaError as exc:
+            # An unreadable or rotten fragment cannot hold a live FIT
+            # candidate; the media pass (or the scrubber) names it.
+            report.warnings.append(f"fragment {fragment}: unreadable ({exc})")
+            continue
         if blob[:4] != b"RFIT":
             continue
         try:
             fit = FileIndexTable.decode(blob)
-        except Exception:  # noqa: BLE001 - corrupt candidates are findings
+        except (FileSizeError, ValueError, struct.error):
+            # The concrete decode taxonomy: structural corruption
+            # (FileSizeError), malformed field values (ValueError), or
+            # a truncated layout (struct.error).  Anything else is a
+            # checker bug and must surface, not be swallowed.
             report.warnings.append(
                 f"fragment {fragment}: FIT magic but undecodable (torn write?)"
             )
@@ -121,9 +144,18 @@ def fsck_volume(server: FileServer) -> FsckReport:
                 )
                 block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
                 continue
-            block_map.extend(
-                decode_indirect_block(disk.get(Extent.for_block_run(address, 1)))
-            )
+            try:
+                block_map.extend(
+                    decode_indirect_block(
+                        disk.get(Extent.for_block_run(address, 1))
+                    )
+                )
+            except MediaError as exc:
+                report.errors.append(
+                    f"FIT {fit_address}: indirect block {address} "
+                    f"unreadable ({exc})"
+                )
+                block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
         for address in fit.double_indirect:
             if address is None:
                 block_map.extend(
@@ -137,9 +169,17 @@ def fsck_volume(server: FileServer) -> FsckReport:
                     f"{address} is free"
                 )
                 continue
-            for pointer in decode_indirect_block(
-                disk.get(Extent.for_block_run(address, 1))
-            ):
+            try:
+                pointers = decode_indirect_block(
+                    disk.get(Extent.for_block_run(address, 1))
+                )
+            except MediaError as exc:
+                report.errors.append(
+                    f"FIT {fit_address}: double-indirect pointer block "
+                    f"{address} unreadable ({exc})"
+                )
+                continue
+            for pointer in pointers:
                 if pointer is None:
                     block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
                     continue
@@ -153,11 +193,18 @@ def fsck_volume(server: FileServer) -> FsckReport:
                     )
                     block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
                     continue
-                block_map.extend(
-                    decode_indirect_block(
-                        disk.get(Extent.for_block_run(pointer.address, 1))
+                try:
+                    block_map.extend(
+                        decode_indirect_block(
+                            disk.get(Extent.for_block_run(pointer.address, 1))
+                        )
                     )
-                )
+                except MediaError as exc:
+                    report.errors.append(
+                        f"FIT {fit_address}: inner indirect block "
+                        f"{pointer.address} unreadable ({exc})"
+                    )
+                    block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
         while block_map and block_map[-1] is None:
             block_map.pop()
         mapped = 0
@@ -212,7 +259,43 @@ def fsck_volume(server: FileServer) -> FsckReport:
             f"by no FIT (leaked space — or non-file data such as scratch "
             f"extents of in-flight transactions)"
         )
+
+    # Pass 4 (optional): recompute fragment checksums against raw sectors.
+    if verify_media:
+        report.errors.extend(verify_checksums(disk))
     return report
+
+
+def verify_checksums(disk: DiskServer) -> List[str]:
+    """Recompute every recorded fragment checksum from raw sectors.
+
+    Purely a *reporting* pass: sectors are read below the track cache
+    and below the server's verify-on-read path, so nothing is
+    reconciled, read-repaired, or cached as a side effect — a finding
+    here is latent corruption an administrator (or the scrubber) still
+    has to act on.  Unreconciled checksums — entries reloaded from the
+    last checkpoint that no read or write has confirmed since a crash —
+    are skipped: their recorded CRC may simply lag an in-flux write, so
+    a raw recompute cannot call a mismatch rot yet.
+    """
+    findings: List[str] = []
+    for fragment in disk.checksummed_fragments():
+        if disk.is_unreconciled(fragment):
+            continue
+        expected = disk.recorded_checksum(fragment)
+        extent = Extent(fragment, 1)
+        try:
+            blob = disk.disk.read_sectors(extent.first_sector, extent.n_sectors)
+        except MediaError as exc:
+            findings.append(f"fragment {fragment}: unreadable ({exc})")
+            continue
+        actual = zlib.crc32(blob)
+        if actual != expected:
+            findings.append(
+                f"fragment {fragment}: checksum mismatch (recorded "
+                f"0x{expected:08x}, computed 0x{actual:08x} — latent rot)"
+            )
+    return findings
 
 
 def sweep_replication_orphans(

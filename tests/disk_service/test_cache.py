@@ -3,11 +3,12 @@
 import pytest
 
 from repro.common.clock import SimClock
-from repro.common.errors import SectorAlignmentError
+from repro.common.errors import ChecksumError, SectorAlignmentError
 from repro.common.metrics import Metrics
 from repro.disk_service.cache import TrackCache
 from repro.simdisk.disk import SimDisk
 from repro.simdisk.geometry import DiskGeometry
+from tests.conftest import build_disk_server
 
 
 def build(readahead=True, capacity_tracks=4):
@@ -136,3 +137,56 @@ class TestEviction:
         refs = metrics.get("disk.t.references")
         cache.read(0, 2)
         assert metrics.get("disk.t.references") == refs + 1
+
+
+class TestVerificationDrops:
+    """PR 6: a checksum-failed block must never live in (or be served
+    from) the track cache — companion to the alignment regressions
+    above, which defend the same invariant for the write path."""
+
+    def _rotten_server(self):
+        metrics = Metrics()
+        server = build_disk_server(SimClock(), metrics)
+        extent = server.allocate(1)
+        server.put(extent, b"\xaa" * extent.byte_size)
+        server.cache.invalidate()  # force the next read to hit the platter
+        server.disk.corrupt_at(extent.first_sector, 100, 0x0F)
+        return server, extent, metrics
+
+    def test_failed_read_does_not_leave_corrupt_sectors_cached(self):
+        server, extent, metrics = self._rotten_server()
+        with pytest.raises(ChecksumError):
+            server.get(extent)  # cached-path read: misses, fetches rot
+        # The miss stored the rotten track before verification could
+        # run; the failure path must have dropped those sectors again.
+        cache_name = f"disk_cache.{server.disk.disk_id}"
+        assert metrics.get(f"{cache_name}.verification_drops") >= extent.n_sectors
+        with pytest.raises(ChecksumError):
+            server.get(extent)
+        # Two loud failures, zero serves from cache: each attempt had
+        # to re-read the platter (a miss), never a poisoned hit.
+        assert metrics.get(f"{cache_name}.hits") == 0
+
+    def test_repair_after_failure_serves_clean_bytes_from_cache(self):
+        server, extent, metrics = self._rotten_server()
+        with pytest.raises(ChecksumError):
+            server.get(extent)
+        fresh = b"\xbb" * extent.byte_size
+        server.put(extent, fresh)  # rewrite re-seals the checksum
+        assert server.get(extent) == fresh  # miss: dropped sectors re-read
+        refs = metrics.get(f"disk.{server.disk.disk_id}.references")
+        assert server.get(extent) == fresh  # now a clean cache hit
+        assert metrics.get(f"disk.{server.disk.disk_id}.references") == refs
+
+    def test_bypass_read_also_drops_poisoned_cache_entries(self):
+        """A ``use_cache=False`` read (the scrubber's) that fails its
+        checksum must still evict any stale copy the cache holds."""
+        server, extent, metrics = self._rotten_server()
+        cache = server.cache
+        # Simulate an earlier miss having cached the rotten sectors.
+        cache.read(extent.first_sector, extent.n_sectors)
+        assert cache.cached_sector_count() > 0
+        with pytest.raises(ChecksumError):
+            server.get(extent, use_cache=False)
+        probe = cache._all_cached(extent.first_sector, extent.n_sectors)
+        assert not probe

@@ -1,0 +1,114 @@
+"""Property-based tests: checksums make corruption loud, never silent.
+
+The PR 6 contract (DESIGN.md §11): for any payload and any schedule of
+at-rest byte flips, ``get`` either returns the exact original bytes or
+raises :class:`~repro.common.errors.ChecksumError` — it never hands a
+caller silently wrong data.  Hypothesis drives arbitrary payloads and
+flip schedules; note the flips themselves are XOR, so a schedule may
+legitimately cancel itself out (same offset, same mask, twice), which
+is exactly why the property is "right bytes or an error", not "always
+an error".
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.common.errors import ChecksumError
+from repro.common.metrics import Metrics
+from tests.conftest import build_disk_server
+
+_FRAGMENT = 2048  # Extent(0, 1).byte_size
+_SECTOR = 512
+
+
+def _tile(pattern: bytes, size: int) -> bytes:
+    """Expand a short generated pattern to an exact payload size.
+
+    Keeping the *generated* example small (a seed pattern, not 2 KB of
+    raw bytes) is what lets Hypothesis shrink failures usefully.
+    """
+    return (pattern * (size // len(pattern) + 1))[:size]
+
+
+def _payloads(max_size: int = 32):
+    return st.binary(min_size=1, max_size=max_size)
+
+
+@st.composite
+def payload_and_flips(draw):
+    """An extent payload plus an at-rest bit-flip schedule over it."""
+    n_fragments = draw(st.integers(min_value=1, max_value=3))
+    payload = _tile(draw(_payloads()), n_fragments * _FRAGMENT)
+    flips = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_fragments * _FRAGMENT - 1),
+                st.integers(min_value=1, max_value=0xFF),
+            ),
+            max_size=6,
+        )
+    )
+    return n_fragments, payload, flips
+
+
+class TestChecksumProperties:
+    @given(payload_and_flips())
+    @settings(max_examples=60, deadline=None)
+    def test_get_returns_original_bytes_or_raises(self, case):
+        n_fragments, payload, flips = case
+        server = build_disk_server(SimClock(), Metrics())
+        extent = server.allocate(n_fragments)
+        server.put(extent, payload)
+        for byte_index, mask in flips:
+            server.disk.corrupt_at(
+                extent.first_sector + byte_index // _SECTOR,
+                byte_index % _SECTOR,
+                mask,
+            )
+        try:
+            result = server.get(extent, use_cache=False)
+        except ChecksumError:
+            return  # loud failure: the acceptable outcome
+        assert result == payload  # the only acceptable silent outcome
+
+    @given(
+        _payloads(),
+        st.integers(min_value=0, max_value=_FRAGMENT - 1),
+        st.integers(min_value=1, max_value=0xFF),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_flip_is_always_detected(self, pattern, byte_index, mask):
+        """One real bit flip can never slip past CRC-32."""
+        payload = _tile(pattern, _FRAGMENT)
+        server = build_disk_server(SimClock(), Metrics())
+        extent = server.allocate(1)
+        server.put(extent, payload)
+        server.disk.corrupt_at(
+            extent.first_sector + byte_index // _SECTOR, byte_index % _SECTOR, mask
+        )
+        try:
+            result = server.get(extent, use_cache=False)
+        except ChecksumError:
+            return
+        raise AssertionError(
+            f"silently served {'wrong' if result != payload else 'stale'} bytes "
+            f"after flipping byte {byte_index} with mask 0x{mask:02x}"
+        )
+
+    @given(
+        _payloads(),
+        _payloads(),
+        st.integers(min_value=0, max_value=_FRAGMENT - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rewrite_heals_rotten_fragment(self, first, second, byte_index):
+        """Overwriting rot re-seals the checksum at the new bytes."""
+        before, after = _tile(first, _FRAGMENT), _tile(second, _FRAGMENT)
+        server = build_disk_server(SimClock(), Metrics())
+        extent = server.allocate(1)
+        server.put(extent, before)
+        server.disk.corrupt_at(
+            extent.first_sector + byte_index // _SECTOR, byte_index % _SECTOR, 0x5A
+        )
+        server.put(extent, after)
+        assert server.get(extent, use_cache=False) == after

@@ -1,0 +1,159 @@
+"""The background scrubber: detection, local repair, and the idle gate."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ChecksumError
+from repro.common.metrics import Metrics
+from repro.disk_service.addresses import Extent
+from repro.disk_service.pipeline import DiskPipeline
+from repro.disk_service.scrub import Scrubber
+from repro.disk_service.server import Stability
+from repro.simkernel.loop import EventLoop
+from tests.conftest import build_disk_server
+
+
+@pytest.fixture
+def server(clock, metrics):
+    return build_disk_server(clock, metrics)
+
+
+def fill(server, n_fragments=4, *, stability=Stability.ORIGINAL_ONLY):
+    extent = server.allocate(n_fragments)
+    payload = bytes(
+        (index * 29 + 11) % 251 + 1 for index in range(extent.byte_size)
+    )
+    server.put(extent, payload, stability=stability)
+    return extent, payload
+
+
+class TestCleanWalk:
+    def test_clean_cycle_finds_nothing(self, server, metrics):
+        extent, _ = fill(server)
+        scrubber = Scrubber(server)
+        assert scrubber.run_cycle() == []
+        assert scrubber.cycles_completed == 1
+        assert metrics.get("scrub.0.fragments_verified") == extent.length
+        assert metrics.get("scrub.0.cycles") == 1
+
+    def test_cursor_wraps_for_repeated_cycles(self, server):
+        fill(server)
+        scrubber = Scrubber(server, fragments_per_step=1000)
+        scrubber.run_cycle()
+        scrubber.run_cycle()
+        assert scrubber.cycles_completed == 2
+
+    def test_free_and_unchecksummed_fragments_are_skipped(self, server, metrics):
+        extent, _ = fill(server)
+        server.free(extent)
+        Scrubber(server).run_cycle()
+        assert metrics.get("scrub.0.fragments_verified") == 0
+
+
+class TestDetection:
+    def test_rot_on_plain_fragment_is_reported_not_repaired(self, server):
+        extent, _ = fill(server)
+        server.disk.corrupt_sectors(extent.first_sector, 1)
+        reported = []
+        scrubber = Scrubber(server, on_corruption=reported.append)
+        [finding] = scrubber.run_cycle()
+        assert finding.kind == "checksum"
+        assert finding.extent == Extent(extent.start, 1)
+        assert not finding.repaired
+        assert reported == [finding]
+        # No redundancy to repair from: the fragment stays loud.
+        with pytest.raises(ChecksumError):
+            server.get(Extent(extent.start, 1), use_cache=False)
+
+    def test_latent_media_error_is_reported(self, server):
+        extent, _ = fill(server)
+        server.disk.faults.schedule_media_error(extent.first_sector)
+        reported = []
+        [finding] = Scrubber(server, on_corruption=reported.append).run_cycle()
+        assert finding.kind == "media"
+        assert not finding.repaired
+        assert reported == [finding]
+
+    def test_report_only_mode_never_writes(self, server, metrics):
+        extent, _ = fill(server, stability=Stability.BOTH)
+        server.disk.corrupt_sectors(extent.first_sector, 1)
+        findings = Scrubber(server, repair=False).run_cycle()
+        assert findings and not any(finding.repaired for finding in findings)
+        assert metrics.get("disk_server.0.stable_repairs") == 0
+
+
+class TestMirroredRepair:
+    def test_diverged_mirror_is_repaired_from_stable(self, server, metrics):
+        extent, payload = fill(server, stability=Stability.BOTH)
+        server.disk.corrupt_sectors(extent.first_sector, 1)
+        findings = Scrubber(server).run_cycle()
+        assert any(
+            finding.kind == "mirror-divergence" and finding.repaired
+            for finding in findings
+        )
+        assert metrics.get("scrub.0.repairs") >= 1
+        assert metrics.get("disk_server.0.stable_repairs") == 1
+        assert server.get(extent, use_cache=False) == payload
+
+    def test_unreadable_mirror_is_rewritten_and_healed(self, server):
+        """A latent media error under a mirrored extent heals because
+        the repair is a rewrite — the drive remaps the sector."""
+        extent, payload = fill(server, stability=Stability.BOTH)
+        server.disk.faults.schedule_media_error(extent.first_sector + 1)
+        findings = Scrubber(server).run_cycle()
+        assert any(finding.repaired for finding in findings)
+        assert server.disk.faults.latent_media_errors == 0
+        assert server.get(extent, use_cache=False) == payload
+
+    def test_repaired_fault_not_routed_to_callback(self, server):
+        """Locally repairable faults stay local: the replication hook
+        only hears about corruption the volume cannot fix itself."""
+        extent, _ = fill(server, stability=Stability.BOTH)
+        server.disk.corrupt_sectors(extent.first_sector, 1)
+        reported = []
+        Scrubber(server, on_corruption=reported.append).run_cycle()
+        assert reported == []
+
+
+class TestIdleGate:
+    def _pipelined(self, clock, metrics):
+        server = build_disk_server(clock, metrics)
+        extent, payload = fill(server)
+        loop = EventLoop(clock)
+        DiskPipeline(server, loop, None)
+        return server, extent, loop
+
+    def test_step_yields_while_foreground_pending(self, clock, metrics):
+        server, extent, loop = self._pipelined(clock, metrics)
+        completion = server.submit_get(Extent(extent.start, 1), use_cache=False)
+        scrubber = Scrubber(server)
+        assert scrubber.step() == []
+        assert metrics.get("scrub.0.steps_yielded") == 1
+        assert metrics.get("scrub.0.fragments_verified") == 0
+        loop.run_until(lambda: completion.done)
+        scrubber.step()
+        assert metrics.get("scrub.0.fragments_verified") >= 1
+
+    def test_force_overrides_the_gate(self, clock, metrics):
+        server, extent, loop = self._pipelined(clock, metrics)
+        completion = server.submit_get(Extent(extent.start, 1), use_cache=False)
+        Scrubber(server, fragments_per_step=server.n_fragments).step(force=True)
+        assert metrics.get("scrub.0.fragments_verified") == extent.length
+        assert completion.done  # waiting on scrub reads drained the queue
+
+    def test_pipelined_scrub_reads_go_through_the_queue(self, clock, metrics):
+        server, extent, loop = self._pipelined(clock, metrics)
+        before = metrics.get("disk_server.0.submissions")
+        Scrubber(server, fragments_per_step=server.n_fragments).run_cycle()
+        assert metrics.get("disk_server.0.submissions") >= before + extent.length
+
+    def test_step_budget_bounds_one_burst(self, clock, metrics):
+        server = build_disk_server(clock, metrics)
+        fill(server, n_fragments=8)
+        scrubber = Scrubber(server, fragments_per_step=3)
+        scrubber.step(force=True)
+        assert metrics.get("scrub.0.fragments_verified") == 3
+
+    def test_budget_validation(self, server):
+        with pytest.raises(ValueError):
+            Scrubber(server, fragments_per_step=0)

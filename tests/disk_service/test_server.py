@@ -200,3 +200,117 @@ class TestRecovery:
         )
         server.recover()
         assert server.pending_stable_writes == 0
+
+
+class TestChecksums:
+    """PR 6: every put seals a per-fragment CRC; every get verifies it."""
+
+    def test_put_records_a_checksum_per_fragment(self, server):
+        extent = server.allocate(3)
+        server.put(extent, payload(extent))
+        assert server.checksummed_fragments() == list(
+            range(extent.start, extent.end)
+        )
+        for fragment in range(extent.start, extent.end):
+            assert server.has_checksum(fragment)
+            assert server.recorded_checksum(fragment) is not None
+            assert not server.is_unreconciled(fragment)
+
+    def test_rot_raises_checksum_error_with_both_crcs(self, server):
+        from repro.common.errors import ChecksumError
+
+        extent = server.allocate(1)
+        server.put(extent, payload(extent))
+        recorded = server.recorded_checksum(extent.start)
+        server.disk.corrupt_at(extent.first_sector, 0, 0x80)
+        with pytest.raises(ChecksumError) as excinfo:
+            server.get(extent, use_cache=False)
+        assert f"0x{recorded:08x}" in str(excinfo.value)
+        assert server.metrics.get("disk_server.0.checksum_failures") == 1
+
+    def test_rot_in_a_wide_read_names_the_rotten_fragment(self, server):
+        from repro.common.errors import ChecksumError
+
+        extent = server.allocate(4)
+        server.put(extent, payload(extent))
+        rotten = extent.start + 2
+        server.disk.corrupt_at(Extent(rotten, 1).first_sector, 5, 0x01)
+        with pytest.raises(ChecksumError) as excinfo:
+            server.get(extent, use_cache=False)
+        assert f"fragment {rotten}" in str(excinfo.value)
+
+    def test_stable_source_reads_are_not_checksum_verified(self, server):
+        """The stable copy has its own duplex protection; only main
+        reads go through the CRC path."""
+        extent = server.allocate(1)
+        server.put(extent, payload(extent), stability=Stability.BOTH)
+        server.disk.corrupt_at(extent.first_sector, 0, 0xFF)
+        assert server.get(extent, source=Source.STABLE) == payload(extent)
+
+
+class TestChecksumReconciliation:
+    """Post-crash arbitration of stale checkpointed checksums."""
+
+    def test_flush_checkpoints_and_recover_reloads_checksums(self, server):
+        extent = server.allocate(2)
+        server.put(extent, payload(extent))
+        recorded = [
+            server.recorded_checksum(f) for f in range(extent.start, extent.end)
+        ]
+        server.flush()
+        server.recover()
+        assert [
+            server.recorded_checksum(f) for f in range(extent.start, extent.end)
+        ] == recorded
+        assert all(
+            server.is_unreconciled(f) for f in range(extent.start, extent.end)
+        )
+
+    def test_clean_read_reconciles(self, server):
+        extent = server.allocate(1)
+        server.put(extent, payload(extent))
+        server.flush()
+        server.recover()
+        assert server.get(extent, use_cache=False) == payload(extent)
+        assert not server.is_unreconciled(extent.start)
+
+    def test_post_checkpoint_rewrite_drops_stale_entry(self, server):
+        """A fragment legitimately rewritten after the checkpoint must
+        not read as rot: the basic service makes no content promise for
+        in-flux data, so the stale entry is dropped, not raised."""
+        extent = server.allocate(1)
+        server.put(extent, payload(extent, 0x01))
+        server.flush()
+        server.put(extent, payload(extent, 0x02))  # after the checkpoint
+        server.recover()
+        assert server.get(extent, use_cache=False) == payload(extent, 0x02)
+        assert server.metrics.get("disk_server.0.checksums_reconciled") == 1
+        assert server.metrics.get("disk_server.0.checksum_failures") == 0
+        assert not server.has_checksum(extent.start)  # no promise left
+
+    def test_torn_mirrored_write_is_read_repaired_from_stable(self, server):
+        """Mirrored fragments arbitrate the crash window against their
+        stable copy: main diverging from stable means the BOTH put tore
+        between its two writes, and the extent rolls back in place."""
+        extent = server.allocate(1)
+        server.put(extent, payload(extent, 0x01), stability=Stability.BOTH)
+        server.flush()
+        # Tear: main rewritten below the put path, stable left behind.
+        server.disk.write_sectors(
+            extent.first_sector, payload(extent, 0x02)
+        )
+        server.recover()
+        assert server.get(extent, use_cache=False) == payload(extent, 0x01)
+        assert server.metrics.get("disk_server.0.read_repairs") == 1
+        # The repair re-sealed everything: reads are clean and settled.
+        assert server.get(extent, use_cache=False) == payload(extent, 0x01)
+        assert not server.is_unreconciled(extent.start)
+
+    def test_repair_from_stable_restores_and_reseals(self, server):
+        extent = server.allocate(2)
+        server.put(extent, payload(extent, 0x07), stability=Stability.BOTH)
+        server.disk.corrupt_sectors(extent.first_sector, 2)
+        assert server.repair_from_stable(extent) == payload(extent, 0x07)
+        assert server.get(extent, use_cache=False) == payload(extent, 0x07)
+        assert server.metrics.get("disk_server.0.stable_repairs") == 1
+        assert server.is_mirrored_fragment(extent.start)

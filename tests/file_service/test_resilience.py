@@ -23,7 +23,14 @@ def server():
 class TestFitRestoreFromStable:
     def test_torn_fit_healed_from_stable_copy(self, server):
         """Paper section 5: 'A copy of the file index table is always
-        available in stable storage' — a corrupted main copy is healed."""
+        available in stable storage' — a corrupted main copy is healed.
+
+        Since the checksum layer, the heal happens below the file
+        service: the mirrored FIT fragment fails verification on the
+        first post-recovery read and is rolled back to its stable copy
+        in place (read repair) before the FIT decoder ever sees the
+        corrupt bytes.
+        """
         name = server.create()
         server.write(name, 0, b"important" * 100)
         server.flush()
@@ -33,7 +40,8 @@ class TestFitRestoreFromStable:
         )
         server.recover()  # drop the cached FIT
         assert server.read(name, 0, 9) == b"important"
-        assert server.metrics.get("file_server.0.fit_restores") == 1
+        assert server.metrics.get("disk_server.0.read_repairs") == 1
+        assert server.metrics.get("file_server.0.fit_restores") == 0
 
     def test_unrecoverable_fit_raises_not_found(self, server):
         """Garbage where no file ever was stays an error."""
@@ -50,10 +58,10 @@ class TestFitRestoreFromStable:
         server.flush()
         server.disk.disk.write_sectors(name.fit_address * 4, b"\xff" * 2048)
         server.recover()
-        server.read(name, 0, 4)  # triggers the heal
+        server.read(name, 0, 4)  # triggers the read repair
         server.recover()  # drop caches again: main copy must now be valid
         assert server.read(name, 0, 4) == b"data"
-        assert server.metrics.get("file_server.0.fit_restores") == 1
+        assert server.metrics.get("disk_server.0.read_repairs") == 1
 
 
 class TestSizeLimits:

@@ -13,10 +13,12 @@ from tests.conftest import build_file_server
 NAME = AttributedName.file("/replicated/data")
 
 
-def build(n_volumes=3, degree=3):
+def build(n_volumes=3, degree=3, **server_kwargs):
     clock, metrics = SimClock(), Metrics()
     servers = {
-        volume: build_file_server(clock, metrics, volume_id=volume)
+        volume: build_file_server(
+            clock, metrics, volume_id=volume, **server_kwargs
+        )
         for volume in range(n_volumes)
     }
     naming = NamingService(metrics)
@@ -146,3 +148,91 @@ class TestResync:
             for volume in range(degree - 1):
                 servers[volume].crash()
             assert service.read(NAME, 0, 4) == b"data"
+
+
+class TestMediaQuarantine:
+    """PR 6: rot on one replica means content divergence — quarantine
+    the replica and repair it from a clean peer, never serve it."""
+
+    def _rot_replica(self, service, servers, volume_id):
+        """Rot the first data block of NAME's replica on one volume."""
+        for server in servers.values():
+            server.flush()  # reads must come from the platter below
+        replica_set = service.lookup(NAME)
+        system_name = next(
+            replica
+            for replica in replica_set.replicas
+            if replica.volume_id == volume_id
+        )
+        server = servers[volume_id]
+        descriptor = server.block_descriptor(system_name, 0)
+        from repro.disk_service.addresses import Extent
+
+        extent = Extent.for_block_run(descriptor.address, 1)
+        server.disk.disk.corrupt_sectors(extent.first_sector, 1)
+        # Reads must hit the platter, not a warm cache.
+        server.disk.cache.invalidate()
+        return replica_set
+
+    def test_media_error_read_quarantines_and_fails_over(self):
+        service, servers, _, metrics = build(data_cache_blocks=0)
+        service.create(NAME)
+        service.write(NAME, 0, b"clean bytes")
+        replica_set = self._rot_replica(service, servers, 0)
+        # The read fails over to a clean peer — corrupt bytes never
+        # reach the client — and the rotten replica is quarantined.
+        assert service.read(NAME, 0, 11) == b"clean bytes"
+        assert 0 in replica_set.stale
+        assert metrics.get("replication.media_quarantines") == 1
+        assert metrics.get("disk_server.0.checksum_failures") >= 1
+
+    def test_quarantined_replica_repairs_by_resync(self):
+        service, servers, _, _ = build(data_cache_blocks=0)
+        service.create(NAME)
+        service.write(NAME, 0, b"clean bytes")
+        self._rot_replica(service, servers, 0)
+        service.read(NAME, 0, 11)
+        assert service.resync_all_stale() == 1
+        assert service.live_replicas(NAME) == 3
+        # Force reading volume 0's repaired copy.
+        servers[1].crash()
+        servers[2].crash()
+        assert service.read(NAME, 0, 11) == b"clean bytes"
+
+    def test_quarantine_volume_media_repairs_from_peers(self):
+        service, servers, _, metrics = build(data_cache_blocks=0)
+        service.create(NAME)
+        service.write(NAME, 0, b"scrub finding")
+        self._rot_replica(service, servers, 1)
+        # The scrubber's hook: quarantine everything on volume 1 and
+        # resync it from clean peers in one administrative sweep.
+        assert service.quarantine_volume_media(1) == 1
+        assert metrics.get("replication.media_quarantines") == 1
+        assert service.lookup(NAME).stale == set()
+        servers[0].crash()
+        servers[2].crash()
+        assert service.read(NAME, 0, 13) == b"scrub finding"
+
+    def test_never_quarantine_the_last_clean_replica(self):
+        service, servers, _, metrics = build(n_volumes=2, degree=2)
+        service.create(NAME)
+        service.write(NAME, 0, b"v1")
+        servers[1].crash()
+        service.write(NAME, 0, b"v2")  # the only peer is now stale
+        deferred = service.quarantine_volume_media(0)
+        assert deferred == 0
+        assert 0 not in service.lookup(NAME).stale
+        assert metrics.get("replication.quarantine_deferrals") == 1
+        assert metrics.get("replication.media_quarantines") == 0
+
+    def test_quarantine_skips_volumes_without_members(self):
+        service, _, _, metrics = build()
+        service.create(NAME, degree=2)
+        untouched = next(
+            volume
+            for volume in (0, 1, 2)
+            if volume
+            not in {r.volume_id for r in service.lookup(NAME).replicas}
+        )
+        assert service.quarantine_volume_media(untouched) == 0
+        assert metrics.get("replication.media_quarantines") == 0

@@ -2,7 +2,22 @@
 
 import pytest
 
+from repro.common.clock import SimClock
+from repro.common.errors import BadSectorError, MediaError
+from repro.common.metrics import Metrics
+from repro.simdisk.disk import SimDisk
 from repro.simdisk.faults import FaultInjector
+from repro.simdisk.geometry import DiskGeometry
+
+
+def build_disk(seed: int = 0) -> SimDisk:
+    return SimDisk(
+        "t",
+        DiskGeometry.small(),
+        SimClock(),
+        Metrics(),
+        faults=FaultInjector(seed=seed),
+    )
 
 
 class TestCrashControl:
@@ -66,3 +81,126 @@ class TestBadSectors:
 
     def test_heal_unknown_is_noop(self):
         FaultInjector().heal(99)
+
+    def test_bad_sector_fails_every_re_read(self):
+        """Regression: a marked sector must stay bad across re-reads,
+        not fail once and then serve bytes again."""
+        disk = build_disk()
+        disk.write_sectors(4, b"\x11" * 512)
+        disk.faults.mark_bad(4)
+        for _ in range(3):
+            with pytest.raises(BadSectorError):
+                disk.read_sectors(4, 1)
+
+    def test_bad_sector_survives_rewrite(self):
+        """``mark_bad`` is the legacy hard failure: unlike a latent
+        error, a rewrite does not remap it."""
+        disk = build_disk()
+        disk.faults.mark_bad(4)
+        disk.write_sectors(4, b"\x22" * 512)
+        with pytest.raises(BadSectorError):
+            disk.read_sectors(4, 1)
+
+
+class TestLatentMediaErrors:
+    def test_persistent_across_re_reads(self):
+        """Once the onset fires, every later read fails — latent errors
+        are platter damage, not transient hiccups."""
+        disk = build_disk()
+        disk.write_sectors(8, b"\x33" * 512)
+        disk.faults.schedule_media_error(8)
+        for _ in range(3):
+            with pytest.raises(MediaError):
+                disk.read_sectors(8, 1)
+        assert disk.metrics.get("disk.t.media_errors") == 3
+
+    def test_grace_reads_then_onset(self):
+        disk = build_disk()
+        disk.write_sectors(8, b"\x44" * 512)
+        disk.faults.schedule_media_error(8, after_reads=2)
+        assert disk.read_sectors(8, 1) == b"\x44" * 512
+        assert disk.read_sectors(8, 1) == b"\x44" * 512
+        with pytest.raises(MediaError):
+            disk.read_sectors(8, 1)
+
+    def test_rewrite_heals(self):
+        """The drive remaps on write — which is what makes
+        repair-from-redundancy effective."""
+        disk = build_disk()
+        disk.faults.schedule_media_error(8)
+        with pytest.raises(MediaError):
+            disk.read_sectors(8, 1)
+        disk.write_sectors(8, b"\x55" * 512)
+        assert disk.read_sectors(8, 1) == b"\x55" * 512
+        assert disk.faults.latent_media_errors == 0
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().schedule_media_error(3, after_reads=-1)
+
+    def test_error_counts_visible(self):
+        injector = FaultInjector()
+        injector.schedule_media_error(1)
+        injector.schedule_media_error(2, after_reads=5)
+        assert injector.latent_media_errors == 2
+
+
+class TestDeterminism:
+    def test_at_rest_corruption_is_byte_deterministic(self):
+        """Two disks with the same fault seed rot identical bytes, so
+        every downstream report stays byte-diffable across runs."""
+        images = []
+        for _ in range(2):
+            disk = build_disk(seed=7)
+            disk.write_sectors(0, bytes(range(256)) * 8)  # 4 KB
+            disk.corrupt_sectors(0, 8)
+            images.append(disk.read_sectors(0, 8))
+        assert images[0] == images[1]
+
+    def test_different_seeds_rot_differently(self):
+        images = []
+        for seed in (1, 2):
+            disk = build_disk(seed=seed)
+            disk.write_sectors(0, b"\x00" * 512)
+            disk.corrupt_sectors(0, 1)
+            images.append(disk.read_sectors(0, 1))
+        assert images[0] != images[1]
+
+    def test_media_error_schedule_deterministic_under_seed(self):
+        """The same seed produces the same onset behaviour: the grace
+        countdown is pure state, with no ambient randomness."""
+        outcomes = []
+        for _ in range(2):
+            disk = build_disk(seed=3)
+            disk.faults.schedule_media_error(6, after_reads=1)
+            sequence = []
+            for _ in range(3):
+                try:
+                    disk.read_sectors(6, 1)
+                    sequence.append("ok")
+                except MediaError:
+                    sequence.append("media-error")
+            outcomes.append(sequence)
+        assert outcomes[0] == outcomes[1] == ["ok", "media-error", "media-error"]
+
+    def test_pick_targets_is_seed_deterministic(self):
+        population = list(range(100))
+        first = FaultInjector(seed=5).pick_targets(population, 4, salt=9)
+        second = FaultInjector(seed=5).pick_targets(population, 4, salt=9)
+        assert first == second == sorted(first)
+        assert FaultInjector(seed=6).pick_targets(population, 4, salt=9) != first
+
+    def test_pick_targets_does_not_disturb_torn_writes(self):
+        """The sampler derives a private RNG: drawing targets must not
+        shift the torn-write schedule's draw sequence."""
+        survivors = []
+        for sample_first in (False, True):
+            injector = FaultInjector(seed=11)
+            if sample_first:
+                injector.pick_targets(range(50), 5)
+            injector.crash_after_writes(1)
+            survivors.append(injector.note_write(16))
+        assert survivors[0] == survivors[1]
+
+    def test_pick_targets_small_population_returns_all(self):
+        assert FaultInjector().pick_targets([9, 3, 7], 5) == [3, 7, 9]

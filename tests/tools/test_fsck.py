@@ -6,7 +6,7 @@ from repro.common.clock import SimClock
 from repro.common.metrics import Metrics
 from repro.common.units import BLOCK_SIZE
 from repro.disk_service.addresses import Extent
-from repro.tools.fsck import fsck_volume
+from repro.tools.fsck import fsck_volume, verify_checksums
 from tests.conftest import build_file_server
 
 
@@ -107,6 +107,89 @@ class TestCorruptionDetection:
         server._store_fit(name.fit_address, state)
         report = fsck_volume(server)
         assert any("stale contiguity count" in w for w in report.warnings)
+
+
+class TestMediaVerification:
+    """PR 6: the optional checksum pass reports latent rot — it never
+    repairs, reconciles, or caches anything as a side effect."""
+
+    def _data_fragment(self, server):
+        """A checksummed fragment holding file data (not a live FIT)."""
+        [name] = make_files(server, count=1)
+        descriptor = server.block_descriptor(name, 0)
+        assert server.disk.has_checksum(descriptor.address)
+        return descriptor.address
+
+    def test_clean_volume_has_no_findings(self, server):
+        self._data_fragment(server)
+        assert verify_checksums(server.disk) == []
+        assert fsck_volume(server, verify_media=True).clean
+
+    def test_latent_rot_reported_as_error(self, server):
+        fragment = self._data_fragment(server)
+        extent = Extent(fragment, 1)
+        server.disk.disk.corrupt_sectors(extent.first_sector, 1)
+        report = fsck_volume(server, verify_media=True)
+        assert not report.clean
+        assert any(
+            f"fragment {fragment}" in error and "checksum mismatch" in error
+            for error in report.errors
+        )
+        # Without the media pass the rot stays latent: fsck's own walk
+        # reads other fragments, so the default report is still clean.
+        assert fsck_volume(server).clean
+
+    def test_reporting_never_repairs(self, server):
+        fragment = self._data_fragment(server)
+        extent = Extent(fragment, 1)
+        disk = server.disk
+        recorded = disk.recorded_checksum(fragment)
+        disk.disk.corrupt_sectors(extent.first_sector, 1)
+        rotten = disk.disk.read_sectors(extent.first_sector, extent.n_sectors)
+        assert verify_checksums(disk) != []
+        # Raw bytes, the recorded CRC, and the repair counters are all
+        # untouched — finding rot is the whole job.
+        assert (
+            disk.disk.read_sectors(extent.first_sector, extent.n_sectors)
+            == rotten
+        )
+        assert disk.recorded_checksum(fragment) == recorded
+        assert server.metrics.get("disk_server.0.read_repairs") == 0
+        assert server.metrics.get("disk_server.0.stable_repairs") == 0
+
+    def test_unreadable_fragment_reported(self, server):
+        fragment = self._data_fragment(server)
+        extent = Extent(fragment, 1)
+        server.disk.disk.faults.schedule_media_error(extent.first_sector)
+        findings = verify_checksums(server.disk)
+        assert any(
+            f"fragment {fragment}" in finding and "unreadable" in finding
+            for finding in findings
+        )
+
+    def test_unreconciled_checksums_are_skipped(self, server):
+        """Post-crash, a stale recorded CRC may simply lag an in-flux
+        write — the raw pass cannot call that rot yet."""
+        fragment = self._data_fragment(server)
+        extent = Extent(fragment, 1)
+        disk = server.disk
+        disk.disk.corrupt_sectors(extent.first_sector, 1)
+        disk.recover()  # reload the checkpoint: everything unreconciled
+        assert disk.is_unreconciled(fragment)
+        assert verify_checksums(disk) == []
+
+    def test_fit_magic_with_garbage_body_is_a_warning(self, server):
+        """The narrowed decode taxonomy: structural garbage behind the
+        magic is reported as a torn write, never swallowed blindly and
+        never a crash."""
+        make_files(server, count=1)
+        extent = server.disk.allocate(1)
+        payload = b"RFIT" + bytes(
+            (index * 13 + 7) % 256 for index in range(extent.byte_size - 4)
+        )
+        server.disk.put(extent, payload)
+        report = fsck_volume(server)
+        assert any("undecodable" in warning for warning in report.warnings)
 
 
 class TestDoubleIndirect:
