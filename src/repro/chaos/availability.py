@@ -64,7 +64,7 @@ from repro.naming.attributed import AttributedName
 from repro.recovery.schedule import FailureEvent, FailureSchedule
 from repro.rpc.bus import FaultProfile
 from repro.rpc.retry import BackoffPolicy, BreakerPolicy
-from repro.tools.fsck import verify_checksums
+from repro.verify.fsck import verify_checksums
 
 #: Fixed payload sizes keep every write the same shape, so version
 #: content is a pure function of the version number (idempotent

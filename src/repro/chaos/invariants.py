@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.file_service.server import FileServer
-from repro.tools.fsck import fsck_volume
+from repro.verify.fsck import fsck_volume
 
 
 def check_volume(file_server: FileServer) -> List[str]:

@@ -35,6 +35,7 @@ from __future__ import annotations
 import contextlib
 from typing import Dict, Iterator, List, Optional
 
+from repro.analysis import monitor as _monitor
 from repro.common.clock import SimClock
 
 #: Active frame stacks, keyed by ``id(clock)``.  The simulation is
@@ -146,24 +147,38 @@ class FrameFork:
     serialize while branches on different disks overlap.
     """
 
-    __slots__ = ("frame", "start_us", "end_us")
+    __slots__ = ("frame", "start_us", "end_us", "_branch_tasks")
 
     def __init__(self, clock: SimClock) -> None:
         self.frame = active_frame(clock)
         self.start_us = self.frame.cursor_us if self.frame is not None else 0
         self.end_us = self.start_us
+        self._branch_tasks: List[int] = []
 
     @contextlib.contextmanager
     def branch(self) -> Iterator[None]:
         if self.frame is None:
+            # Passthrough: blocking mode runs branches sequentially, so
+            # program order already covers them — no monitor task.
             yield
             return
         self.frame.cursor_us = self.start_us
+        mon = _monitor.active()
+        tid = mon.open_task("fork.branch") if mon.enabled else 0
         try:
             yield
         finally:
+            if mon.enabled:
+                mon.close_task()
+                self._branch_tasks.append(tid)
             self.end_us = max(self.end_us, self.frame.cursor_us)
 
     def join(self) -> None:
         if self.frame is not None:
             self.frame.cursor_us = max(self.end_us, self.frame.cursor_us)
+            mon = _monitor.active()
+            if mon.enabled and self._branch_tasks:
+                # The joiner sees every branch's effects; branches stay
+                # mutually unordered (that is the fork's whole point).
+                mon.rejoin("fork.join", after=tuple(self._branch_tasks))
+                self._branch_tasks = []

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterator, Tuple
 
+from repro.analysis import monitor as _monitor
 from repro.common.errors import BadAddressError
 from repro.disk_service.addresses import Extent
 
@@ -42,11 +43,17 @@ class FragmentBitmap:
     def is_free_run(self, extent: Extent) -> bool:
         """True if every fragment of ``extent`` is free."""
         self._check(extent.end - 1)
+        _monitor.active().read(
+            self, extent.start, extent.end, site="bitmap.is_free_run"
+        )
         return all(self.is_free(fragment) for fragment in extent.fragments())
 
     def is_allocated_run(self, extent: Extent) -> bool:
         """True if every fragment of ``extent`` is allocated."""
         self._check(extent.end - 1)
+        _monitor.active().read(
+            self, extent.start, extent.end, site="bitmap.is_allocated_run"
+        )
         return not any(self.is_free(fragment) for fragment in extent.fragments())
 
     @property
@@ -107,6 +114,7 @@ class FragmentBitmap:
         bytes without touching individual bits, so full-disk scans of
         large volumes stay cheap.
         """
+        _monitor.active().read_all(self, site="bitmap.free_runs")
         n = self.n_fragments
         bits = self._bits
         start = None
@@ -158,6 +166,9 @@ class FragmentBitmap:
     def mark_allocated(self, extent: Extent) -> None:
         """Clear the bits of ``extent``; every fragment must be free."""
         self._check(extent.end - 1)
+        _monitor.active().write(
+            self, extent.start, extent.end, site="bitmap.mark_allocated"
+        )
         for fragment in extent.fragments():
             if not self.is_free(fragment):
                 raise BadAddressError(f"fragment {fragment} already allocated")
@@ -167,6 +178,9 @@ class FragmentBitmap:
     def mark_free(self, extent: Extent) -> None:
         """Set the bits of ``extent``; every fragment must be allocated."""
         self._check(extent.end - 1)
+        _monitor.active().write(
+            self, extent.start, extent.end, site="bitmap.mark_free"
+        )
         for fragment in extent.fragments():
             if self.is_free(fragment):
                 raise BadAddressError(f"fragment {fragment} already free")
@@ -177,6 +191,7 @@ class FragmentBitmap:
 
     def to_bytes(self) -> bytes:
         """Serialise for storage on stable storage."""
+        _monitor.active().read_all(self, site="bitmap.to_bytes")
         return bytes(self._bits)
 
     @classmethod
@@ -185,6 +200,7 @@ class FragmentBitmap:
         expected = -(-n_fragments // 8)
         if len(data) != expected:
             raise ValueError(f"bitmap blob is {len(data)} bytes, expected {expected}")
+        # repro-lint: allow[shared-state-discipline] factory filling its own fresh instance
         bitmap._bits = bytearray(data)
         bitmap._free_count = sum(
             1 for fragment in range(n_fragments) if bitmap.is_free(fragment)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.analysis import monitor as _monitor
 from repro.common.errors import SectorAlignmentError
 from repro.common.metrics import Metrics
 from repro.common.trace import NULL_TRACER, Tracer
@@ -67,6 +68,7 @@ class TrackCache:
         readahead on, the remainder of the last track is captured in
         passing and cached.
         """
+        _monitor.active().read(self, start, start + n_sectors, site="cache.read")
         if self._all_cached(start, n_sectors):
             self.metrics.add(f"{self.name}.hits")
             self.tracer.annotate("track_cache", "hit")
@@ -96,6 +98,9 @@ class TrackCache:
                 f"{self.name}: write of {len(data)} bytes at sector {start} "
                 f"is not a positive multiple of the {size}-byte sector size"
             )
+        _monitor.active().write(
+            self, start, start + len(data) // size, site="cache.write_through"
+        )
         self.disk.write_sectors(start, data)
         for index in range(len(data) // size):
             sector = start + index
@@ -106,6 +111,7 @@ class TrackCache:
 
     def invalidate(self) -> None:
         """Drop every cached sector (e.g. after disk recovery)."""
+        _monitor.active().write_all(self, site="cache.invalidate")
         self._tracks.clear()
 
     def drop_sectors(self, start: int, n_sectors: int) -> int:
@@ -117,6 +123,9 @@ class TrackCache:
         miss-path read may already have stored them.  Returns how many
         cached sectors were dropped.
         """
+        _monitor.active().write(
+            self, start, start + n_sectors, site="cache.drop_sectors"
+        )
         dropped = 0
         for sector in range(start, start + n_sectors):
             track = self.disk.track_of(sector)
@@ -159,6 +168,9 @@ class TrackCache:
 
     def _store(self, start: int, data: bytes) -> None:
         size = self.disk.geometry.sector_size
+        _monitor.active().write(
+            self, start, start + len(data) // size, site="cache.store"
+        )
         for index in range(len(data) // size):
             sector = start + index
             track = self.disk.track_of(sector)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis import monitor as _monitor
 from repro.disk_service.addresses import Extent
 from repro.disk_service.bitmap import FragmentBitmap
 
@@ -52,6 +53,7 @@ class FreeExtentTable:
         """Index a maximal free run; returns False if its row is full."""
         if run_length < 1:
             raise ValueError("run length must be >= 1")
+        _monitor.active().write(self, start, site="extent_table.insert_run")
         if start in self._row_of:
             self.remove_run(start)
         row = self._row_index(run_length)
@@ -63,6 +65,7 @@ class FreeExtentTable:
 
     def remove_run(self, start: int) -> bool:
         """Drop the entry whose run begins at ``start`` (if indexed)."""
+        _monitor.active().write(self, start, site="extent_table.remove_run")
         row = self._row_of.pop(start, None)
         if row is None:
             return False
@@ -98,6 +101,7 @@ class FreeExtentTable:
         """
         if n_fragments < 1:
             raise ValueError("must request at least one fragment")
+        _monitor.active().read_all(self, site="extent_table.take_run")
         first_row = self._row_index(n_fragments)
         for row in range(first_row, self.rows):
             if not self._rows[row]:
@@ -131,6 +135,7 @@ class FreeExtentTable:
 
     def take_largest(self, bitmap: FragmentBitmap) -> Optional[Extent]:
         """Pop the largest indexed run (used by non-contiguous gathering)."""
+        _monitor.active().read_all(self, site="extent_table.take_largest")
         for row in range(self.rows - 1, -1, -1):
             if not self._rows[row]:
                 continue
@@ -144,6 +149,7 @@ class FreeExtentTable:
 
     def has_run(self, n_fragments: int) -> bool:
         """The paper's quick availability check: any indexed run adequate?"""
+        _monitor.active().read_all(self, site="extent_table.has_run")
         first_row = self._row_index(n_fragments)
         return any(self._rows[row] for row in range(first_row, self.rows))
 
@@ -159,6 +165,7 @@ class FreeExtentTable:
         return indexed
 
     def clear(self) -> None:
+        _monitor.active().write_all(self, site="extent_table.clear")
         for row in self._rows:
             row.clear()
         self._row_of.clear()

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.analysis import monitor as _monitor
 from repro.disk_service.addresses import Extent
 from repro.disk_service.queue import DiskRequest, RequestQueue
 from repro.disk_service.scheduler import DiskScheduler, FcfsScheduler
@@ -100,6 +101,11 @@ class DiskPipeline:
         self._in_service = False
         self._disk_prefix = f"disk.{server.disk.disk_id}"
         self._server_prefix = f"disk_server.{server.disk.disk_id}"
+        # Analysis-monitor bookkeeping (idle outside analysis runs):
+        # the previous service batch's task (scheduler dequeue-order
+        # chain) and the finish tasks drain() must rejoin against.
+        self._last_batch_task = 0
+        self._finish_tasks: List[int] = []
         server.pipeline = self
 
     # ----------------------------------------------------- submission
@@ -164,6 +170,11 @@ class DiskPipeline:
     def drain(self) -> None:
         """Run the loop until this pipeline is fully idle (test helper)."""
         self.loop.run_until(lambda: not self.queue and not self._in_service)
+        mon = _monitor.active()
+        if mon.enabled and self._finish_tasks:
+            # The drainer sees every batch this pipeline finished.
+            mon.rejoin("pipeline.drain", after=tuple(self._finish_tasks))
+            self._finish_tasks = []
 
     # ------------------------------------------------------- internal
 
@@ -190,27 +201,49 @@ class DiskPipeline:
         view = foreground if foreground else _PriorityView(
             self.queue, low_priority=True
         )
-        batch = self.scheduler.take(
-            view,
-            head_cylinder=disk.head_cylinder,
-            now_us=self.clock.now_us,
-            cylinder_of=disk.geometry.cylinder_of,
-        )
-        self.metrics.gauge(f"{self._disk_prefix}.queue_depth", len(self.queue))
-        now_us = self.clock.now_us
-        for request in batch:
-            self.metrics.observe(
-                "disk_service.queue_wait_us", request.wait_us(now_us)
+        mon = _monitor.active()
+        if mon.enabled:
+            # Submit -> drain: the batch is ordered after every pending
+            # submitter (the scheduler observes their queue entries) and
+            # after the previous batch (dequeue order is a promise), but
+            # NOT after the stack frame that happened to pump — bind is
+            # False so a settle-time re-pump stays concurrent with
+            # whatever its callbacks did.
+            afters = {request.submit_task for request in self.queue.pending()}
+            if self._last_batch_task:
+                afters.add(self._last_batch_task)
+            self._last_batch_task = mon.open_task(
+                f"{self._server_prefix}.batch",
+                after=sorted(afters),
+                bind=False,
             )
-        if len(batch) > 1:
-            self.metrics.add(
-                f"{self._server_prefix}.coalesced_requests", len(batch) - 1
+        try:
+            batch = self.scheduler.take(
+                view,
+                head_cylinder=disk.head_cylinder,
+                now_us=self.clock.now_us,
+                cylinder_of=disk.geometry.cylinder_of,
             )
-        self._in_service = True
-        with service_frame(self.clock) as frame:
-            outcomes = self._execute(batch)
-            end_us = max(frame.cursor_us, now_us)
-        self.loop.call_at(end_us, lambda: self._finish(batch, outcomes))
+            self.metrics.gauge(
+                f"{self._disk_prefix}.queue_depth", len(self.queue)
+            )
+            now_us = self.clock.now_us
+            for request in batch:
+                self.metrics.observe(
+                    "disk_service.queue_wait_us", request.wait_us(now_us)
+                )
+            if len(batch) > 1:
+                self.metrics.add(
+                    f"{self._server_prefix}.coalesced_requests", len(batch) - 1
+                )
+            self._in_service = True
+            with service_frame(self.clock) as frame:
+                outcomes = self._execute(batch)
+                end_us = max(frame.cursor_us, now_us)
+            self.loop.call_at(end_us, lambda: self._finish(batch, outcomes))
+        finally:
+            if mon.enabled:
+                mon.close_task()
 
     def _execute(self, batch: List[DiskRequest]) -> List[Outcome]:
         """Serve a batch as one disk reference; outcomes align to batch."""
@@ -264,6 +297,9 @@ class DiskPipeline:
             return [("error", error) for _ in batch]
 
     def _finish(self, batch: List[DiskRequest], outcomes: List[Outcome]) -> None:
+        mon = _monitor.active()
+        if mon.enabled:
+            self._finish_tasks.append(mon.current())
         # Completions settle in ascending sequence order while the
         # pipeline still reads busy, so a callback that immediately
         # resubmits only enqueues; one pump then picks the next batch.

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.analysis import monitor as _monitor
 from repro.disk_service.addresses import Extent
 from repro.disk_service.server import Source, Stability, SyncMode
 from repro.simkernel.future import Completion
@@ -40,6 +41,9 @@ class DiskRequest:
         low_priority: background work (the scrubber's reads) — served
             only while no foreground request is pending, and never
             coalesced into a foreground batch.
+        submit_task: analysis-monitor task that pushed the request
+            (0 outside analysis runs); the pipeline's service batch is
+            happens-before-ordered after every pending submitter.
     """
 
     seq: int
@@ -53,6 +57,7 @@ class DiskRequest:
     stability: Stability = Stability.ORIGINAL_ONLY
     sync: SyncMode = SyncMode.AFTER_STABLE
     low_priority: bool = False
+    submit_task: int = 0
 
     def coalescable(self) -> bool:
         """Whether this request may legally merge with an adjacent one.
@@ -80,9 +85,13 @@ class RequestQueue:
         self._pending: List[DiskRequest] = []
 
     def push(self, request: DiskRequest) -> None:
+        mon = _monitor.active()
+        request.submit_task = mon.current()
+        mon.write(self, request.seq, site="queue.push")
         self._pending.append(request)
 
     def remove(self, request: DiskRequest) -> None:
+        _monitor.active().write(self, request.seq, site="queue.remove")
         self._pending.remove(request)
 
     def pending(self) -> Tuple[DiskRequest, ...]:

@@ -159,7 +159,7 @@ class Scrubber:
 
     def _verify_fragment(self, fragment: int) -> Optional[ScrubFinding]:
         server = self.server
-        if server.bitmap.is_free(fragment):
+        if server.is_fragment_free(fragment):
             return None
         if not server.has_checksum(fragment):
             return None

@@ -32,6 +32,7 @@ import struct
 import zlib
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis import monitor as _monitor
 from repro.common.clock import SimClock
 from repro.common.errors import (
     BadAddressError,
@@ -200,6 +201,18 @@ class DiskServer:
         # Set by DiskPipeline when the overlapped request path is wired.
         self.pipeline: Optional[object] = None
 
+    def _serial(self) -> None:
+        """Happens-before: the disk server is one serial process.
+
+        The paper's disk server is a single process per disk; every
+        entry-point invocation is a message it handles in order, so
+        consecutive invocations are chained.  Batch *bodies* are not an
+        invocation (their mutual order is the scheduler's dequeue
+        chain, recorded by the pipeline) — only the entry points a
+        batch calls internally (checkpoints, repairs) join the chain.
+        """
+        _monitor.active().chain(self)
+
     # ------------------------------------------------------ allocate
 
     def allocate(
@@ -224,6 +237,7 @@ class DiskServer:
         """
         if n_fragments < 1:
             raise BadAddressError("must allocate at least one fragment")
+        self._serial()
         self.metrics.add(f"{self._prefix}.allocations")
         if contiguous:
             return self._allocate_contiguous(n_fragments, prefer_high=scratch)
@@ -233,6 +247,7 @@ class DiskServer:
         """Allocate ``n_blocks`` contiguous 8 KB blocks (paper: allocate-block)."""
         if n_blocks < 1:
             raise BadAddressError("must allocate at least one block")
+        self._serial()
         return self._allocate_contiguous(
             n_blocks * FRAGMENTS_PER_BLOCK, prefer_high=scratch
         )
@@ -247,6 +262,7 @@ class DiskServer:
         """
         if start < 0 or start + n_fragments > self.n_fragments or n_fragments < 1:
             return None
+        self._serial()
         extent = Extent(start, n_fragments)
         if not self.bitmap.is_free_run(extent):
             return None
@@ -271,12 +287,17 @@ class DiskServer:
         "generally, several contiguous blocks and fragments are
         allocated or freed simultaneously" (paper section 4).
         """
+        self._serial()
         self.bitmap.mark_free(extent)
         self._bitmap_dirty = True
         self.metrics.add(f"{self._prefix}.frees")
         # Freed fragments carry no protection: their recorded checksums
         # describe content that no longer exists, and verifying a later
         # reallocation against them would reject legitimate new data.
+        _monitor.active().write(
+            self, extent.start, extent.end, name="protection",
+            site="server.free",
+        )
         for fragment in range(extent.start, extent.end):
             self._checksums.pop(fragment, None)
             self._unreconciled.discard(fragment)
@@ -305,6 +326,7 @@ class DiskServer:
         ``source=Source.STABLE`` retrieves the stable-storage copy that
         a prior ``put(..., stability=STABLE_ONLY or BOTH)`` saved.
         """
+        self._serial()
         return self._do_get(extent, source=source, use_cache=use_cache)
 
     def put(
@@ -322,6 +344,7 @@ class DiskServer:
         the next ``flush`` or stable read — a crash first loses it,
         which is the semantics the caller signed up for).
         """
+        self._serial()
         self._do_put(extent, data, stability=stability, sync=sync)
 
     def submit_get(
@@ -437,11 +460,20 @@ class DiskServer:
                     if mirror:
                         self._mark_mirrored(extent)
                 else:
+                    _monitor.active().key_write(
+                        self, key, name="pending_stable",
+                        site="server.defer_stable",
+                    )
                     self._pending_stable.append((key, data, mirror))
                     self.metrics.add(f"{self._prefix}.deferred_stable_puts")
 
     def release_stable(self, extent: Extent) -> None:
         """Drop the stable-storage copy of an extent (e.g. committed shadow)."""
+        self._serial()
+        _monitor.active().key_write(
+            self, _stable_key(extent), name="pending_stable",
+            site="server.release_stable",
+        )
         self._pending_stable = [
             entry
             for entry in self._pending_stable
@@ -457,6 +489,7 @@ class DiskServer:
         returns, everything the server promised to stable storage is
         there, including the bitmap.
         """
+        self._serial()
         self._drain_pending()
         self.checkpoint_free_space()
         self.checkpoint_protection()
@@ -466,6 +499,7 @@ class DiskServer:
 
     def checkpoint_free_space(self) -> None:
         """Save the bitmap to stable storage (vital structural information)."""
+        self._serial()
         self._bitmap_dirty = False
         self.metrics.gauge(f"{self._prefix}.free_fragments", self.bitmap.free_count)
         self.stable.put("bitmap", self.bitmap.to_bytes())
@@ -477,6 +511,10 @@ class DiskServer:
         server knows which fragments carry checksums and which extents
         it may repair from their stable copy.
         """
+        self._serial()
+        _monitor.active().read_all(
+            self, name="protection", site="server.checkpoint_protection"
+        )
         self.metrics.gauge(
             f"{self._prefix}.checksummed_fragments", len(self._checksums)
         )
@@ -496,6 +534,10 @@ class DiskServer:
         :meth:`_verify_extent`).  Mirrored entries whose stable record
         vanished (released mid-crash) are pruned.
         """
+        self._serial()
+        _monitor.active().write_all(
+            self, name="protection", site="server.recover"
+        )
         try:
             blob = self.stable.get("bitmap")
             self.bitmap = FragmentBitmap.from_bytes(blob, self.n_fragments)
@@ -540,6 +582,7 @@ class DiskServer:
         :class:`~repro.common.errors.StableKeyError` if no stable copy
         exists.
         """
+        self._serial()
         expected = self.stable.get(_stable_key(extent))
         self._do_put(extent, expected, stability=Stability.ORIGINAL_ONLY)
         self._mark_mirrored(extent)
@@ -552,16 +595,41 @@ class DiskServer:
     def free_fragments(self) -> int:
         return self.bitmap.free_count
 
+    def is_fragment_free(self, fragment: int) -> bool:
+        """Whether ``fragment`` is currently free.
+
+        The scrubber's guard: background verification must consult the
+        server (the bitmap's serial owner) rather than reach into the
+        bitmap directly, so the access is ordered with allocations.
+        """
+        self._serial()
+        _monitor.active().read(
+            self.bitmap, fragment, site="server.is_fragment_free"
+        )
+        return self.bitmap.is_free(fragment)
+
     def has_checksum(self, fragment: int) -> bool:
         """Whether a CRC is recorded for ``fragment``."""
+        self._serial()
+        _monitor.active().read(
+            self, fragment, name="protection", site="server.has_checksum"
+        )
         return fragment in self._checksums
 
     def checksummed_fragments(self) -> List[int]:
         """Fragments with a recorded CRC, sorted (scrub walk order)."""
+        self._serial()
+        _monitor.active().read_all(
+            self, name="protection", site="server.checksummed_fragments"
+        )
         return sorted(self._checksums)
 
     def recorded_checksum(self, fragment: int) -> Optional[int]:
         """The recorded CRC of ``fragment``, or None (fsck's view)."""
+        self._serial()
+        _monitor.active().read(
+            self, fragment, name="protection", site="server.recorded_checksum"
+        )
         return self._checksums.get(fragment)
 
     def is_unreconciled(self, fragment: int) -> bool:
@@ -572,14 +640,26 @@ class DiskServer:
         in-flux write, so a raw recompute (fsck) cannot treat a
         mismatch as rot yet.
         """
+        self._serial()
+        _monitor.active().read(
+            self, fragment, name="protection", site="server.is_unreconciled"
+        )
         return fragment in self._unreconciled
 
     def mirrored_extents(self) -> List[Tuple[int, int]]:
         """(start, length) of every mirrored extent, sorted."""
+        self._serial()
+        _monitor.active().read_all(
+            self, name="protection", site="server.mirrored_extents"
+        )
         return sorted(self._mirrored)
 
     def is_mirrored_fragment(self, fragment: int) -> bool:
         """Whether ``fragment`` lies inside a mirrored extent."""
+        self._serial()
+        _monitor.active().read(
+            self, fragment, name="protection", site="server.is_mirrored_fragment"
+        )
         return fragment in self._mirrored_fragments
 
     @property
@@ -675,6 +755,9 @@ class DiskServer:
                 handle.span.start_us = min(queued_since, handle.span.start_us)
 
     def _drain_pending(self) -> None:
+        _monitor.active().write_all(
+            self, name="pending_stable", site="server.drain_pending"
+        )
         pending, self._pending_stable = self._pending_stable, []
         for key, data, mirror in pending:
             self.stable.put(key, data)
@@ -685,6 +768,10 @@ class DiskServer:
                 self._mark_mirrored(Extent(int(start), int(length)))
 
     def _record_checksums(self, extent: Extent, data: bytes) -> None:
+        _monitor.active().write(
+            self, extent.start, extent.end, name="protection",
+            site="server.record_checksums",
+        )
         for index in range(extent.length):
             fragment = extent.start + index
             self._checksums[fragment] = zlib.crc32(
@@ -719,6 +806,10 @@ class DiskServer:
         :class:`~repro.common.errors.ChecksumError` is raised — corrupt
         bytes never reach a caller or linger in the cache.
         """
+        _monitor.active().read(
+            self, extent.start, extent.end, name="protection",
+            site="server.verify_extent",
+        )
         if not self._checksums:
             return data
         buffer = data
@@ -809,6 +900,10 @@ class DiskServer:
         return bytes(patched)
 
     def _mark_mirrored(self, extent: Extent) -> None:
+        _monitor.active().write(
+            self, extent.start, extent.end, name="protection",
+            site="server.mark_mirrored",
+        )
         self._mirrored.add((extent.start, extent.length))
         self._mirrored_fragments.update(range(extent.start, extent.end))
 
@@ -819,6 +914,10 @@ class DiskServer:
         rewritten, main and stable may diverge, and a scrub repair from
         the stale stable copy would *undo* the write.
         """
+        _monitor.active().write(
+            self, extent.start, extent.end, name="protection",
+            site="server.unmark_mirrored",
+        )
         if not self._mirrored_fragments.intersection(
             range(extent.start, extent.end)
         ):

@@ -18,6 +18,7 @@ from repro.lint.framework import (
     DEFAULT_BASELINE_NAME,
     all_rules,
     lint_paths,
+    load_baseline,
     repo_root,
     save_baseline,
 )
@@ -47,6 +48,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="grandfather the current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail (exit 1) when the baseline holds orphaned entries "
+        "nothing in the tree matches any more (CI keeps it shrinking)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -107,4 +113,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "(shrink the baseline)"
             )
         print(summary)
+
+    if args.check_baseline:
+        # A baseline entry is orphaned when no current finding matches
+        # it — the violation was fixed but the grandfather entry kept
+        # its amnesty slot.  Under --strict nothing is subtracted, so
+        # staleness is recomputed against the full finding set.
+        matched = {f.key() for f in result.findings + result.baselined}
+        orphaned = [
+            entry for entry in load_baseline(baseline) if entry not in matched
+        ]
+        for path, rule, message in orphaned:
+            print(
+                f"baseline: orphaned entry {path} [{rule}] {message}",
+                file=sys.stderr,
+            )
+        if orphaned:
+            print(
+                f"baseline: {len(orphaned)} orphaned entr"
+                f"{'y' if len(orphaned) == 1 else 'ies'}; regenerate with "
+                "--write-baseline",
+                file=sys.stderr,
+            )
+            return 1
+
     return 1 if result.findings else 0

@@ -7,11 +7,14 @@ chasing code.
 """
 
 from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    callback_purity,
     clock_advance,
     crashpoint,
+    frame_discipline,
     layering,
     metrics_names,
     randomness,
+    shared_state,
     taxonomy,
     wallclock,
 )

@@ -1,0 +1,125 @@
+"""Rule ``completion-callback-purity``: done-callbacks are notifications.
+
+A :class:`~repro.simkernel.future.Completion` delivers its callbacks
+inside whatever task settles it — usually the pipeline's finish event.
+The happens-before model (DESIGN.md §12) orders that delivery after
+the service batch and before any ``wait`` that rejoins on it, and
+*nothing else*: a callback that does real work smuggles that work into
+a context no other task promised to follow.  The racecheck tool's
+``plant`` scenario is exactly such a callback, kept as a negative
+control.
+
+Banned inside a callback handed to ``add_done_callback``:
+
+* **clock movement** (``advance_us``/``advance_to``) — re-serializes
+  the world from a delivery context;
+* **raw disk primitives** (``read_sectors``/``write_sectors``/
+  ``read_in_passing``/``write_through``) — unscheduled device work the
+  pipeline never queued;
+* **blocking waits** (``wait``/``wait_all``/``run_until``/
+  ``run_until_idle``) — re-entering the loop from inside delivery;
+* **private reach-through** (``obj._anything(...)`` on a non-self
+  base) — mutating another object's state outside its entry points.
+
+The rule inspects lambdas inline and resolves plain-name references to
+functions defined in the same module; callbacks imported from
+elsewhere are that module's responsibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Optional
+
+from repro.lint.framework import Finding, ParsedModule, Rule, register
+
+#: The registration method under discipline.
+REGISTER_CALL = "add_done_callback"
+
+ADVANCE_CALLS: FrozenSet[str] = frozenset({"advance_us", "advance_to"})
+DISK_PRIMITIVES: FrozenSet[str] = frozenset(
+    {"read_sectors", "write_sectors", "read_in_passing", "write_through"}
+)
+BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {"wait", "wait_all", "run_until", "run_until_idle"}
+)
+
+
+@register
+class CallbackPurityRule(Rule):
+    """Side effects inside a completion done-callback."""
+
+    rule_id = "completion-callback-purity"
+    hint = (
+        "a done-callback runs inside the settling task; move the work "
+        "to the waiter (after wait()/drain rejoins the happens-before "
+        "graph) or submit it through an entry point the monitor chains"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        local_defs = _module_functions(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == REGISTER_CALL
+                and node.args
+            ):
+                continue
+            callback = _resolve_callback(node.args[0], local_defs)
+            if callback is None:
+                continue
+            for offence, what in _impurities(callback):
+                yield module.finding(
+                    offence, self.rule_id,
+                    f"done-callback {what}",
+                    self.hint,
+                )
+
+
+def _module_functions(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Top-level (and class-level) function defs by bare name."""
+    defs: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+    return defs
+
+
+def _resolve_callback(
+    arg: ast.expr, local_defs: Dict[str, ast.AST]
+) -> Optional[ast.AST]:
+    if isinstance(arg, ast.Lambda):
+        return arg
+    if isinstance(arg, ast.Name):
+        return local_defs.get(arg.id)
+    return None
+
+
+def _impurities(callback: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    target = callback.body if isinstance(callback, ast.Lambda) else callback
+    for node in ast.walk(target):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in BLOCKING_CALLS:
+            yield node, f"blocks via {func.id}()"
+        elif isinstance(func, ast.Attribute):
+            if func.attr in ADVANCE_CALLS:
+                yield node, f"moves the clock via {func.attr}()"
+            elif func.attr in DISK_PRIMITIVES:
+                yield node, f"issues a raw disk reference via {func.attr}()"
+            elif func.attr in BLOCKING_CALLS:
+                yield node, f"blocks via {func.attr}()"
+            elif (
+                func.attr.startswith("_")
+                and not func.attr.startswith("__")
+                and not (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                )
+            ):
+                yield node, (
+                    f"reaches into another object's private "
+                    f"{func.attr}()"
+                )

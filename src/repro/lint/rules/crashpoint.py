@@ -34,7 +34,12 @@ SCOPE: FrozenSet[str] = frozenset({"simdisk", "disk_service"})
 RAW_STORE_ATTR = "_sectors"
 
 #: Call attributes that are physical write primitives.
-WRITE_PRIMITIVES: FrozenSet[str] = frozenset({"write_sectors", "write_through"})
+#: ``repair_from_stable`` counts: a scrub repair rewrites the platter
+#: through the put machinery, so every caller is issuing crash points
+#: and must be reviewed like any other writer.
+WRITE_PRIMITIVES: FrozenSet[str] = frozenset(
+    {"write_sectors", "write_through", "repair_from_stable"}
+)
 
 #: The hook every raw mutation must be guarded by.
 HOOK_ATTR = "note_write"
@@ -55,6 +60,12 @@ REGISTERED_WRITE_SITES: FrozenSet[Tuple[str, str]] = frozenset(
         # behind both the blocking wrapper and the queued pipeline, so
         # crash points keep firing at queue-drain time)
         ("repro.disk_service.server", "DiskServer._do_put"),
+        # the scrubber's repair write: mirrored extent rewritten from
+        # its stable copy (DESIGN.md §11; the scrub-repair sweep
+        # workload crashes inside it)
+        ("repro.disk_service.scrub", "Scrubber._repair_mirrored"),
+        # mid-read rollback of a torn mirrored extent to stable
+        ("repro.disk_service.server", "DiskServer._read_repair"),
     }
 )
 

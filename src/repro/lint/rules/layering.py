@@ -25,16 +25,20 @@ from repro.lint.framework import Finding, ParsedModule, Rule, register
 #: a reviewed architectural decision — never to silence a finding.
 LAYER_DEPS: Dict[str, Set[str]] = {
     # substrates
-    "common": set(),
-    "simkernel": {"common"},
-    "simdisk": {"common"},
+    # concurrency-correctness monitor (PR 7): stdlib-only access/HB
+    # recording the substrates report into; sits below everything so
+    # even common.frames can instrument itself
+    "analysis": set(),
+    "common": {"analysis"},
+    "simkernel": {"common", "analysis"},
+    "simdisk": {"common", "analysis"},
     "rpc": {"common"},
     # failure detection and crash/restart scheduling (PR 4): pure
     # policy over common types, consulted by replication and cluster
     "recovery": {"common"},
     # the disk service (paper section 4); simkernel carries the request
     # pipeline's completions and queue-drain events (PR 5)
-    "disk_service": {"common", "simdisk", "simkernel"},
+    "disk_service": {"common", "simdisk", "simkernel", "analysis"},
     # the basic file service (paper section 5)
     "file_service": {"common", "disk_service"},
     # the service triple above it (paper sections 6-8)
@@ -44,20 +48,27 @@ LAYER_DEPS: Dict[str, Set[str]] = {
         "naming",
     },
     "replication": {"common", "file_service", "naming", "recovery"},
+    # offline integrity verification (fsck): below tools AND chaos so
+    # both can consume it without a chaos -> tools edge
+    "verify": {"common", "disk_service", "file_service", "replication"},
     # client-visible agents, assembly, and tooling
     "agents": {"common", "rpc", "file_service", "naming"},
-    "tools": {"common", "disk_service", "file_service", "naming",
-              "replication"},
+    # tools sits at the very top: racecheck drives the cluster's
+    # concurrent driver and the chaos sweeps under the monitor
+    "tools": {
+        "common", "simkernel", "simdisk", "disk_service", "file_service",
+        "naming", "replication", "analysis", "verify", "cluster", "chaos",
+    },
     "workloads": {"common", "file_service", "naming", "transactions"},
     "chaos": {
         "common", "simkernel", "simdisk", "rpc", "disk_service",
         "file_service", "naming", "transactions", "replication",
-        "recovery", "cluster", "tools",
+        "recovery", "cluster", "verify",
     },
     "cluster": {
         "common", "simkernel", "simdisk", "rpc", "disk_service",
         "file_service", "naming", "transactions", "replication",
-        "recovery", "agents",
+        "recovery", "agents", "analysis",
     },
     # the linter itself: stdlib-only by charter
     "lint": set(),

@@ -26,6 +26,7 @@ import struct
 import zlib
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.analysis import monitor as _monitor
 from repro.common.errors import (
     BadAddressError,
     DiskCrashedError,
@@ -73,6 +74,7 @@ class StableStore:
         the record is still recoverable from the surviving copy via
         :meth:`recover` + :meth:`get`.
         """
+        _monitor.active().key_write(self, key, name="directory", site="stable.put")
         slot = self._slot_for(key, len(payload))
         version = self._versions.get(key, 0) + 1
         record = self._encode(key, payload, version)
@@ -98,6 +100,7 @@ class StableStore:
         Raises :class:`StableKeyError` (a :class:`KeyError`) if the key
         is unknown, :class:`DiskError` if both copies are unreadable.
         """
+        _monitor.active().key_read(self, key, name="directory", site="stable.get")
         slot = self._directory.get(key)
         if slot is None:
             raise StableKeyError(key)
@@ -121,6 +124,9 @@ class StableStore:
         higher version — the deletion — must win.  The version counter
         also survives deletion so a later re-put stays monotonic.
         """
+        _monitor.active().key_write(
+            self, key, name="directory", site="stable.delete"
+        )
         slot = self._directory.pop(key, None)
         if slot is None:
             return
@@ -143,6 +149,9 @@ class StableStore:
         self._free.setdefault(slot[1], []).append(slot[0])
 
     def __contains__(self, key: str) -> bool:
+        _monitor.active().key_read(
+            self, key, name="directory", site="stable.contains"
+        )
         return key in self._directory
 
     def keys(self) -> Iterator[str]:
@@ -157,6 +166,7 @@ class StableStore:
         rewritten over the stale or corrupt one.  Both mirrors must be
         online (repaired) before calling.
         """
+        _monitor.active().write_all(self, name="directory", site="stable.recover")
         repaired = 0
         for key, (start, n_sectors) in list(self._directory.items()):
             old_slot = self._relocating.pop(key, None)
@@ -245,6 +255,9 @@ class StableStore:
         Used when the machine holding the in-memory state crashed; the
         mirrors themselves are the authority.  Returns records found.
         """
+        _monitor.active().write_all(
+            self, name="directory", site="stable.rebuild_directory"
+        )
         self._directory.clear()
         self._versions.clear()
         self._free.clear()

@@ -21,6 +21,7 @@ pipeline and driver, and adds the disk-specific busy-until resource.
 
 from __future__ import annotations
 
+from repro.analysis import monitor as _monitor
 from repro.common.clock import SimClock
 from repro.common.frames import (  # noqa: F401 - re-exported surface
     FrameFork,
@@ -67,6 +68,9 @@ class DiskTimeline:
         cursor moves; the global clock is left for the event loop to
         advance.
         """
+        # Reservation order is a real synchronization point: the disk
+        # head serves charges in the order they reserved the timeline.
+        _monitor.active().chain(self)
         busy = ceil_us(elapsed_us)
         frame = active_frame(self.clock)
         now = frame.cursor_us if frame is not None else self.clock.now_us

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Generic, Iterable, List, Optional, TypeVar
 
+from repro.analysis import monitor as _monitor
 from repro.simkernel.loop import EventLoop
 
 T = TypeVar("T")
@@ -48,6 +49,9 @@ class Completion(Generic[T]):
         self._done = True
         self._value = value
         self._error = error
+        # Resolve -> callback delivery: callbacks run inline here, in
+        # the settling task; waiters rejoin against that task (wait()).
+        _monitor.active().note_settled(self)
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
@@ -103,6 +107,12 @@ def wait(loop: EventLoop, completion: Completion[T]) -> T:
     is still pending (a lost wakeup — always a bug).
     """
     loop.run_until(lambda: completion.done)
+    mon = _monitor.active()
+    if mon.enabled:
+        # The waiter is ordered after the settling task and ONLY it —
+        # other events that happened to run meanwhile made no promise.
+        settled = mon.settled_task(completion)
+        mon.rejoin("wait", after=() if settled is None else (settled,))
     return completion.result()
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Tuple
 
+from repro.analysis import monitor as _monitor
 from repro.common.clock import SimClock
 
 
@@ -19,20 +20,28 @@ class EventLoop:
 
     def __init__(self, clock: SimClock) -> None:
         self.clock = clock
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[int, int, Callable[[], None], int]] = []
         self._seq = 0
         # _pending tracks handles still in the heap; _cancelled is always
         # a subset of it, so neither set can outgrow the heap no matter
         # how callers cancel (late, twice, or with made-up handles).
         self._pending: set[int] = set()
         self._cancelled: set[int] = set()
+        # Monitor task ids of callbacks run while an analysis monitor is
+        # installed; run_until_idle's full-barrier rejoin consumes them.
+        # Stays empty (zero growth) in normal operation.
+        self._ran_tasks: List[int] = []
 
     def call_at(self, when_us: int, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` for absolute time ``when_us``; returns a handle."""
         if when_us < self.clock.now_us:
             when_us = self.clock.now_us
         self._seq += 1
-        heapq.heappush(self._heap, (int(when_us), self._seq, callback))
+        # The spawning task is the happens-before source of the event:
+        # the callback is ordered after its scheduler, never after
+        # whichever stack frame happens to pump the loop.
+        spawn = _monitor.active().current()
+        heapq.heappush(self._heap, (int(when_us), self._seq, callback, spawn))
         self._pending.add(self._seq)
         return self._seq
 
@@ -59,20 +68,36 @@ class EventLoop:
             self._drop_cancelled()
             if not self._heap or self._heap[0][0] > self.clock.now_us:
                 return ran
-            _, seq, callback = heapq.heappop(self._heap)
+            when, seq, callback, spawn = heapq.heappop(self._heap)
             self._pending.discard(seq)
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
-            callback()
+            mon = _monitor.active()
+            if mon.enabled:
+                # bind=False: only the spawn edge orders the event task —
+                # the pumping stack frame is incidental execution order.
+                with mon.task(
+                    f"event#{seq}@{when}us", after=(spawn,), bind=False
+                ) as tid:
+                    callback()
+                self._ran_tasks.append(tid)
+            else:
+                callback()
             ran += 1
 
     def run_until_idle(self, *, max_events: int = 1_000_000) -> int:
         """Advance time event-to-event until no events remain; returns count run."""
         ran = 0
+        mark = len(self._ran_tasks)
         while ran < max_events:
             when = self.next_event_time()
             if when is None:
+                mon = _monitor.active()
+                if mon.enabled and len(self._ran_tasks) > mark:
+                    # Full-barrier contract: code after run_until_idle
+                    # sees the effects of every event it drained.
+                    mon.rejoin("loop.idle", after=tuple(self._ran_tasks[mark:]))
                 return ran
             self.clock.advance_to(when)
             ran += self.run_due()
@@ -104,6 +129,6 @@ class EventLoop:
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][1] in self._cancelled:
-            _, seq, _ = heapq.heappop(self._heap)
+            _, seq, _, _ = heapq.heappop(self._heap)
             self._pending.discard(seq)
             self._cancelled.discard(seq)

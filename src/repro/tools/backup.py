@@ -30,7 +30,7 @@ from repro.common.errors import FileServiceError
 from repro.common.ids import SystemName
 from repro.file_service.attributes import LockingLevel, ServiceType
 from repro.file_service.server import FileServer
-from repro.tools.fsck import _plausible_fit
+from repro.verify.fsck import _plausible_fit
 from repro.disk_service.addresses import Extent
 from repro.file_service.fit import FileIndexTable
 

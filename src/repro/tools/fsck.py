@@ -1,315 +1,23 @@
-"""fsck for a RHODOS volume.
+"""Operator-facing surface of the volume checker.
 
-The checker works the way a real fsck must: it takes nothing on faith
-from the in-memory file server.  It scans every allocated fragment for
-file index tables (the FIT magic plus structural sanity checks), walks
-each FIT's direct and indirect block maps, and reconciles the result
-against the allocation bitmap:
-
-* **cross-linked blocks** — two files claiming the same disk block;
-* **lost blocks** — referenced by a FIT but free in the bitmap;
-* **orphaned fragments** — allocated in the bitmap but referenced by
-  no FIT (space leaks);
-* **stale contiguity counts** — a stored count field disagreeing with
-  the actual layout (would make reads fetch wrong runs);
-* **size anomalies** — a recorded file size beyond the mapped blocks;
-* **latent corruption** (optional pass, ``verify_media=True``) — every
-  recorded fragment checksum recomputed against the raw sectors; a
-  mismatch or unreadable sector is *reported, never repaired* — repair
-  is the scrubber's job (:mod:`repro.disk_service.scrub`).
-
-The report distinguishes *errors* (integrity broken) from *warnings*
-(suboptimal but safe).
+The implementation moved to :mod:`repro.verify.fsck` so the chaos
+harness can consume it without a ``chaos`` → ``tools`` layer edge (the
+racecheck tool in this package imports ``chaos``, which would close a
+cycle).  This module is a stable re-export: every historical import of
+``repro.tools.fsck`` keeps working unchanged.
 """
 
-from __future__ import annotations
-
-import struct
-import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
-
-from repro.common.errors import FileSizeError, MediaError
-from repro.common.units import BLOCK_SIZE, FRAGMENTS_PER_BLOCK
-from repro.disk_service.server import DiskServer
-from repro.disk_service.addresses import Extent
-from repro.file_service.fit import (
-    DIRECT_DESCRIPTORS,
-    BlockDescriptor,
-    FileIndexTable,
-    decode_indirect_block,
-    recompute_counts,
+from repro.verify.fsck import (  # noqa: F401 - re-exported surface
+    FsckReport,
+    _plausible_fit,
+    fsck_volume,
+    sweep_replication_orphans,
+    verify_checksums,
 )
-from repro.file_service.server import FileServer
-from repro.replication.service import ReplicationService
 
-
-@dataclass
-class FsckReport:
-    """Everything the checker found on one volume."""
-
-    volume_id: int
-    files_found: int = 0
-    blocks_referenced: int = 0
-    errors: List[str] = field(default_factory=list)
-    warnings: List[str] = field(default_factory=list)
-    orphaned_fragments: int = 0
-
-    @property
-    def clean(self) -> bool:
-        return not self.errors
-
-    def summary(self) -> str:
-        status = "CLEAN" if self.clean else f"{len(self.errors)} ERROR(S)"
-        return (
-            f"volume {self.volume_id}: {status} — {self.files_found} files, "
-            f"{self.blocks_referenced} data blocks, "
-            f"{self.orphaned_fragments} orphaned fragments, "
-            f"{len(self.warnings)} warning(s)"
-        )
-
-
-def _plausible_fit(fit: FileIndexTable, n_fragments: int) -> bool:
-    """Weed out data blocks that merely contain FIT-like bytes."""
-    attrs = fit.attributes
-    if attrs.generation <= 0:
-        return False
-    if attrs.file_size > n_fragments * 2048:
-        return False
-    for desc in fit.direct:
-        if desc is not None and desc.address >= n_fragments:
-            return False
-    for address in fit.single_indirect + fit.double_indirect:
-        if address is not None and address >= n_fragments:
-            return False
-    return True
-
-
-def fsck_volume(server: FileServer, *, verify_media: bool = False) -> FsckReport:
-    """Check one volume; purely read-only (uses raw disk reads).
-
-    With ``verify_media=True`` a fourth pass recomputes every recorded
-    fragment checksum from the raw sectors and reports mismatches as
-    errors (see :func:`verify_checksums`).
-    """
-    disk = server.disk
-    report = FsckReport(volume_id=server.volume_id)
-    n_fragments = disk.n_fragments
-    bitmap = disk.bitmap
-
-    # Pass 1: find the FITs by scanning allocated fragments.
-    fits: Dict[int, FileIndexTable] = {}
-    for fragment in range(n_fragments):
-        if bitmap.is_free(fragment):
-            continue
-        try:
-            blob = disk.get(Extent(fragment, 1))
-        except MediaError as exc:
-            # An unreadable or rotten fragment cannot hold a live FIT
-            # candidate; the media pass (or the scrubber) names it.
-            report.warnings.append(f"fragment {fragment}: unreadable ({exc})")
-            continue
-        if blob[:4] != b"RFIT":
-            continue
-        try:
-            fit = FileIndexTable.decode(blob)
-        except (FileSizeError, ValueError, struct.error):
-            # The concrete decode taxonomy: structural corruption
-            # (FileSizeError), malformed field values (ValueError), or
-            # a truncated layout (struct.error).  Anything else is a
-            # checker bug and must surface, not be swallowed.
-            report.warnings.append(
-                f"fragment {fragment}: FIT magic but undecodable (torn write?)"
-            )
-            continue
-        if _plausible_fit(fit, n_fragments):
-            fits[fragment] = fit
-    report.files_found = len(fits)
-
-    # Pass 2: walk each FIT's block map.
-    owner_of: Dict[int, int] = {}  # block start fragment -> owning FIT
-    referenced: Set[int] = set(fits)  # fragments accounted for
-    for fit_address, fit in fits.items():
-        from repro.file_service.fit import DESCRIPTORS_PER_INDIRECT
-
-        block_map: List[BlockDescriptor | None] = list(fit.direct)
-        for slot, address in enumerate(fit.single_indirect):
-            if address is None:
-                block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
-                continue
-            referenced.update(range(address, address + FRAGMENTS_PER_BLOCK))
-            if bitmap.is_free(address):
-                report.errors.append(
-                    f"FIT {fit_address}: indirect block {address} is free"
-                )
-                block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
-                continue
-            try:
-                block_map.extend(
-                    decode_indirect_block(
-                        disk.get(Extent.for_block_run(address, 1))
-                    )
-                )
-            except MediaError as exc:
-                report.errors.append(
-                    f"FIT {fit_address}: indirect block {address} "
-                    f"unreadable ({exc})"
-                )
-                block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
-        for address in fit.double_indirect:
-            if address is None:
-                block_map.extend(
-                    [None] * (DESCRIPTORS_PER_INDIRECT * DESCRIPTORS_PER_INDIRECT)
-                )
-                continue
-            referenced.update(range(address, address + FRAGMENTS_PER_BLOCK))
-            if bitmap.is_free(address):
-                report.errors.append(
-                    f"FIT {fit_address}: double-indirect pointer block "
-                    f"{address} is free"
-                )
-                continue
-            try:
-                pointers = decode_indirect_block(
-                    disk.get(Extent.for_block_run(address, 1))
-                )
-            except MediaError as exc:
-                report.errors.append(
-                    f"FIT {fit_address}: double-indirect pointer block "
-                    f"{address} unreadable ({exc})"
-                )
-                continue
-            for pointer in pointers:
-                if pointer is None:
-                    block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
-                    continue
-                referenced.update(
-                    range(pointer.address, pointer.address + FRAGMENTS_PER_BLOCK)
-                )
-                if bitmap.is_free(pointer.address):
-                    report.errors.append(
-                        f"FIT {fit_address}: inner indirect block "
-                        f"{pointer.address} is free"
-                    )
-                    block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
-                    continue
-                try:
-                    block_map.extend(
-                        decode_indirect_block(
-                            disk.get(Extent.for_block_run(pointer.address, 1))
-                        )
-                    )
-                except MediaError as exc:
-                    report.errors.append(
-                        f"FIT {fit_address}: inner indirect block "
-                        f"{pointer.address} unreadable ({exc})"
-                    )
-                    block_map.extend([None] * DESCRIPTORS_PER_INDIRECT)
-        while block_map and block_map[-1] is None:
-            block_map.pop()
-        mapped = 0
-        for index, desc in enumerate(block_map):
-            if desc is None:
-                continue
-            mapped += 1
-            report.blocks_referenced += 1
-            block_fragments = range(
-                desc.address, desc.address + FRAGMENTS_PER_BLOCK
-            )
-            referenced.update(block_fragments)
-            if any(bitmap.is_free(f) for f in block_fragments):
-                report.errors.append(
-                    f"FIT {fit_address}: block {index} at {desc.address} "
-                    f"overlaps free space (lost block)"
-                )
-            previous_owner = owner_of.get(desc.address)
-            if previous_owner is not None and previous_owner != fit_address:
-                report.errors.append(
-                    f"block at {desc.address} cross-linked between FITs "
-                    f"{previous_owner} and {fit_address}"
-                )
-            owner_of[desc.address] = fit_address
-        # Contiguity counts must match the layout.
-        expected = recompute_counts(block_map)
-        for index, (stored, fresh) in enumerate(zip(block_map, expected)):
-            if stored is not None and fresh is not None and stored.count != fresh.count:
-                report.warnings.append(
-                    f"FIT {fit_address}: block {index} count {stored.count} "
-                    f"should be {fresh.count} (stale contiguity count)"
-                )
-        # Size within the mapped area (holes allowed; beyond-map is not).
-        size = fit.attributes.file_size
-        highest = -1
-        for index, desc in enumerate(block_map):
-            if desc is not None:
-                highest = index
-        if size > (highest + 1) * BLOCK_SIZE:
-            report.errors.append(
-                f"FIT {fit_address}: recorded size {size} exceeds the "
-                f"mapped area ({(highest + 1) * BLOCK_SIZE} bytes)"
-            )
-
-    # Pass 3: orphaned space (allocated, but referenced by nothing).
-    for fragment in range(n_fragments):
-        if not bitmap.is_free(fragment) and fragment not in referenced:
-            report.orphaned_fragments += 1
-    if report.orphaned_fragments:
-        report.warnings.append(
-            f"{report.orphaned_fragments} allocated fragments are referenced "
-            f"by no FIT (leaked space — or non-file data such as scratch "
-            f"extents of in-flight transactions)"
-        )
-
-    # Pass 4 (optional): recompute fragment checksums against raw sectors.
-    if verify_media:
-        report.errors.extend(verify_checksums(disk))
-    return report
-
-
-def verify_checksums(disk: DiskServer) -> List[str]:
-    """Recompute every recorded fragment checksum from raw sectors.
-
-    Purely a *reporting* pass: sectors are read below the track cache
-    and below the server's verify-on-read path, so nothing is
-    reconciled, read-repaired, or cached as a side effect — a finding
-    here is latent corruption an administrator (or the scrubber) still
-    has to act on.  Unreconciled checksums — entries reloaded from the
-    last checkpoint that no read or write has confirmed since a crash —
-    are skipped: their recorded CRC may simply lag an in-flux write, so
-    a raw recompute cannot call a mismatch rot yet.
-    """
-    findings: List[str] = []
-    for fragment in disk.checksummed_fragments():
-        if disk.is_unreconciled(fragment):
-            continue
-        expected = disk.recorded_checksum(fragment)
-        extent = Extent(fragment, 1)
-        try:
-            blob = disk.disk.read_sectors(extent.first_sector, extent.n_sectors)
-        except MediaError as exc:
-            findings.append(f"fragment {fragment}: unreadable ({exc})")
-            continue
-        actual = zlib.crc32(blob)
-        if actual != expected:
-            findings.append(
-                f"fragment {fragment}: checksum mismatch (recorded "
-                f"0x{expected:08x}, computed 0x{actual:08x} — latent rot)"
-            )
-    return findings
-
-
-def sweep_replication_orphans(
-    replication: ReplicationService, *, volume_id: Optional[int] = None
-) -> Tuple[int, int]:
-    """Reclaim replicas leaked by failed replicated deletes.
-
-    A replicated delete unbinds the name even when a replica's volume
-    is unreachable; the unreachable replica is recorded by the
-    replication service instead of being silently leaked.  The service
-    sweeps these automatically when the volume's recovery event fires;
-    this is the administrative entry point for the same sweep (an fsck
-    run over volumes that never emitted a recovery event).  Returns
-    ``(swept, still_orphaned)``.
-    """
-    swept = replication.sweep_orphans(volume_id)
-    return swept, len(replication.orphans())
+__all__ = [
+    "FsckReport",
+    "fsck_volume",
+    "sweep_replication_orphans",
+    "verify_checksums",
+]

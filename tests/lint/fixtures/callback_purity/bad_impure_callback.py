@@ -1,0 +1,22 @@
+# lint-fixture-module: repro.simkernel.fake_callbacks
+"""Fixture: done-callbacks doing real work inside the settling task."""
+
+
+def _patch_protection(server, extent, data) -> None:
+    server._record_checksums(extent, data)  # lint-expect: completion-callback-purity
+
+
+def plant(completion, server, extent, data, clock, disk, loop) -> None:
+    completion.add_done_callback(
+        lambda _c: server._record_checksums(extent, data)  # lint-expect: completion-callback-purity
+    )
+    completion.add_done_callback(
+        lambda _c: clock.advance_us(10)  # lint-expect: completion-callback-purity, clock-advance-discipline
+    )
+    completion.add_done_callback(
+        lambda _c: disk.write_sectors(0, b"x")  # lint-expect: completion-callback-purity
+    )
+    completion.add_done_callback(
+        lambda _c: loop.run_until_idle()  # lint-expect: completion-callback-purity
+    )
+    completion.add_done_callback(_patch_protection)

@@ -1,0 +1,12 @@
+# lint-fixture-module: repro.simkernel.fake_pure_callbacks
+"""Fixture: done-callbacks that only note the result."""
+
+
+def plant(completion, results, metrics) -> None:
+    completion.add_done_callback(lambda c: results.append(c))
+    completion.add_done_callback(lambda _c: metrics.add("requests.settled"))
+
+    def note(c) -> None:
+        results.append(c.result())
+
+    completion.add_done_callback(note)

@@ -1,0 +1,14 @@
+# lint-fixture-module: repro.disk_service.fake_repairer
+"""Fixture: scrub-repair writes issued from an unreviewed site."""
+
+
+class RogueHealer:
+    def __init__(self, server) -> None:
+        self.server = server
+
+    def heal(self, extent) -> bytes:
+        return self.server.repair_from_stable(extent)  # lint-expect: crash-point-discipline
+
+
+def quick_fix(server, extent) -> None:
+    server.repair_from_stable(extent)  # lint-expect: crash-point-discipline

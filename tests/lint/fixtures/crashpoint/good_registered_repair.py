@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.disk_service.scrub
+"""Fixture: the reviewed repair site, under its registered name."""
+
+
+class Scrubber:
+    def __init__(self, server) -> None:
+        self.server = server
+
+    def _repair_mirrored(self, extent, expected) -> bool:
+        written = self.server.repair_from_stable(extent)
+        return expected is None or written == expected

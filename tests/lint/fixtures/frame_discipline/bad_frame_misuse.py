@@ -1,0 +1,24 @@
+# lint-fixture-module: repro.replication.fake_frames
+"""Fixture: unjoined forks, unscoped branches, cursor pokes."""
+
+
+def fan_out_without_join(clock, replicas) -> None:
+    fork = FrameFork(clock)  # lint-expect: frame-discipline
+    for replica in replicas:
+        with fork.branch():
+            replica.write(b"x")
+
+
+def branch_without_with(fork, replica) -> None:
+    fork.branch()  # lint-expect: frame-discipline
+    replica.write(b"x")
+    fork.join()
+
+
+def teleport(frame) -> None:
+    frame.cursor_us = 1_000_000  # lint-expect: frame-discipline
+
+
+class FakeService:
+    def serve(self, frame, delta_us: int) -> None:
+        frame.cursor_us += delta_us  # lint-expect: frame-discipline

@@ -1,0 +1,16 @@
+# lint-fixture-module: repro.replication.fake_frames_ok
+"""Fixture: forks joined, branches scoped, no inline charging."""
+
+
+def fan_out(clock, replicas) -> None:
+    fork = FrameFork(clock)
+    for replica in replicas:
+        with fork.branch():
+            replica.write(b"x")
+    fork.join()
+
+
+def serve(clock, timeline, n_sectors, think_us) -> None:
+    # pricing goes through the charging substrate, never the cursor
+    timeline.charge(n_sectors)
+    charge_elapsed(clock, think_us)

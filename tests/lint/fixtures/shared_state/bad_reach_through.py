@@ -1,0 +1,25 @@
+# lint-fixture-module: repro.disk_service.fake_meddler
+"""Fixture: mutating another object's shared structures directly."""
+
+
+class Meddler:
+    def __init__(self, server, cache, stable) -> None:
+        self.server = server
+        self.cache = cache
+        self.stable = stable
+
+    def forge_checksum(self, fragment: int, crc: int) -> None:
+        self.server._checksums[fragment] = crc  # lint-expect: shared-state-discipline
+
+    def forget_mirror(self, start: int, length: int) -> None:
+        self.server._mirrored.discard((start, length))  # lint-expect: shared-state-discipline
+
+    def flush_cache(self) -> None:
+        self.cache._tracks.clear()  # lint-expect: shared-state-discipline
+
+    def swap_directory(self) -> None:
+        self.stable._directory = {}  # lint-expect: shared-state-discipline
+
+
+def drop_pending(queue) -> None:
+    queue._pending.pop()  # lint-expect: shared-state-discipline

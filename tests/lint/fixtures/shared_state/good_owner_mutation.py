@@ -1,0 +1,23 @@
+# lint-fixture-module: repro.disk_service.fake_owner
+"""Fixture: owners mutate their own structures; outsiders only read."""
+
+
+class Owner:
+    def __init__(self) -> None:
+        self._checksums = {}
+        self._mirrored = set()
+        self._tracks = {}
+
+    def record(self, fragment: int, crc: int) -> None:
+        self._checksums[fragment] = crc
+
+    def mark(self, start: int, length: int) -> None:
+        self._mirrored.add((start, length))
+
+    def reset(self) -> None:
+        self._tracks.clear()
+
+
+def audit(owner) -> int:
+    # reads through a foreign reference are fine — only mutation is owned
+    return len(owner._checksums)

@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.simdisk.fake_platter
+"""Fixture: media failures raised outside the MediaError branch."""
+
+
+def read_sector(sector: int, rotted: bool, unreadable: bool) -> bytes:
+    if unreadable:
+        raise IOError(f"sector {sector} unreadable")  # lint-expect: error-taxonomy
+    if rotted:
+        raise ArithmeticError(f"sector {sector} failed its CRC")  # lint-expect: error-taxonomy
+    return b""

@@ -1,0 +1,18 @@
+# lint-fixture-module: repro.simdisk.fake_good_platter
+"""Fixture: media failures speak the MediaError branch of the taxonomy."""
+
+from repro.common.errors import BadSectorError, ChecksumError, MediaError
+
+
+class FakeRotError(MediaError):
+    """Locally-derived media errors are part of the branch too."""
+
+
+def read_sector(sector: int, rotted: bool, unreadable: bool) -> bytes:
+    if unreadable:
+        raise BadSectorError(f"sector {sector} unreadable")
+    if rotted:
+        raise ChecksumError(f"sector {sector} failed its CRC")
+    if sector < 0:
+        raise FakeRotError(f"sector {sector} decayed")
+    return b""

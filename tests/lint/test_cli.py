@@ -43,6 +43,9 @@ def _rule_of(path: Path) -> str:
         "crashpoint": "crash-point-discipline",
         "metrics": "metrics-naming",
         "clock_advance": "clock-advance-discipline",
+        "shared_state": "shared-state-discipline",
+        "callback_purity": "completion-callback-purity",
+        "frame_discipline": "frame-discipline",
     }[path.parent.name]
 
 
@@ -89,3 +92,46 @@ def test_write_baseline_then_default_run_passes(tmp_path, capsys):
     assert main(["--baseline", str(baseline), str(bad)]) == 0
     assert main(["--baseline", str(baseline), "--strict", str(bad)]) == 1
     capsys.readouterr()
+
+
+def test_list_rules_names_the_concurrency_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "shared-state-discipline", "completion-callback-purity",
+        "frame-discipline",
+    ):
+        assert rule_id in out
+
+
+def test_check_baseline_fails_on_orphaned_entries(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "findings": [{
+            "path": "src/repro/long_gone.py", "line": 1, "col": 0,
+            "rule": "layering", "message": "a finding nothing matches",
+            "hint": "",
+        }]
+    }))
+    clean = FIXTURES / "taxonomy" / "good_raise.py"
+    assert main(["--baseline", str(baseline), str(clean)]) == 0
+    assert main(
+        ["--check-baseline", "--baseline", str(baseline), str(clean)]
+    ) == 1
+    err = capsys.readouterr().err
+    assert "orphaned" in err and "long_gone" in err
+
+
+def test_check_baseline_passes_when_baseline_is_live(tmp_path, capsys):
+    bad = FIXTURES / "metrics" / "bad_metric_names.py"
+    baseline = tmp_path / "baseline.json"
+    assert main(["--baseline", str(baseline), "--write-baseline", str(bad)]) == 0
+    # every entry still matches a finding: the check passes in both modes
+    assert main(
+        ["--check-baseline", "--baseline", str(baseline), str(bad)]
+    ) == 0
+    assert main(
+        ["--check-baseline", "--strict", "--baseline", str(baseline), str(bad)]
+    ) == 1  # strict still fails on the findings themselves, not staleness
+    err = capsys.readouterr().err
+    assert "orphaned" not in err

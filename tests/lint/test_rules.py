@@ -48,6 +48,7 @@ def test_every_rule_has_a_bad_and_a_good_fixture():
     assert rules_covered == {
         "layering", "wallclock", "randomness",
         "taxonomy", "crashpoint", "metrics", "clock_advance",
+        "shared_state", "callback_purity", "frame_discipline",
     }
     assert {p.parent.name for p in GOOD_FIXTURES} == rules_covered
 
