@@ -26,7 +26,16 @@ from __future__ import annotations
 
 import contextlib
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+)
 
 if TYPE_CHECKING:
     from repro.common.clock import SimClock
@@ -58,6 +67,76 @@ def _nearest_rank(ordered: List[int], percentile: int) -> int:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+class Counter:
+    """Pre-bound handle to one counter: the name is resolved once.
+
+    Hot paths (a simulated disk charging every reference) used to build
+    an f-string metric name per call; a handle created at construction
+    time keeps the hot path to one dictionary update with a cached
+    string hash.  The handle writes into the registry's own counter
+    table, so every read path (:meth:`Metrics.get`, :meth:`Metrics.total`,
+    :meth:`Metrics.snapshot`, :meth:`Metrics.diff`, :meth:`Metrics.reset`)
+    observes handle increments exactly as if :meth:`Metrics.add` had
+    been called with the same name.
+    """
+
+    __slots__ = ("name", "_counters")
+
+    def __init__(self, name: str, counters: Dict[str, int]) -> None:
+        self.name = name
+        self._counters = counters
+
+    def add(self, amount: int = 1) -> None:
+        """Increment the bound counter by ``amount`` (may be negative)."""
+        self._counters[self.name] += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r})"
+
+
+class HistogramHandle:
+    """Pre-bound handle recording samples into one histogram."""
+
+    __slots__ = ("name", "_histograms")
+
+    def __init__(self, name: str, histograms: Dict[str, List[int]]) -> None:
+        self.name = name
+        self._histograms = histograms
+
+    def observe(self, value: int) -> None:
+        """Record one sample (floats truncate toward zero, as observe)."""
+        self._histograms[self.name].append(int(value))
+
+    def extend(self, values: Iterable[int]) -> None:
+        """Record many samples at once, in order.
+
+        Values must already be integers — this is the bulk drain used
+        by deferred-accounting flushes, which only ever batch values
+        :meth:`observe` would have recorded one at a time.
+        """
+        self._histograms[self.name].extend(values)
+
+    def __repr__(self) -> str:
+        return f"HistogramHandle({self.name!r})"
+
+
+class Gauge:
+    """Pre-bound handle setting one gauge (last write wins)."""
+
+    __slots__ = ("name", "_gauges")
+
+    def __init__(self, name: str, gauges: Dict[str, int]) -> None:
+        self.name = name
+        self._gauges = gauges
+
+    def set(self, value: int) -> None:
+        """Set the bound gauge to ``value``."""
+        self._gauges[self.name] = int(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r})"
+
+
 class Metrics:
     """A hierarchic bag of named integer counters, histograms and gauges.
 
@@ -75,6 +154,13 @@ class Metrics:
         self._counters: Dict[str, int] = defaultdict(int)
         self._histograms: Dict[str, List[int]] = defaultdict(list)
         self._gauges: Dict[str, int] = {}
+        # Histogram summaries keyed by name -> (sample count, summary).
+        # Samples only ever grow between resets, so the count is a
+        # complete staleness check even for handle-recorded samples.
+        self._summaries: Dict[str, tuple[int, Dict[str, int]]] = {}
+        # Deferred-accounting drains (see register_flush): every read
+        # entry point runs these before touching the tables.
+        self._flush_hooks: List[Callable[[], None]] = []
         if Metrics._live is not None:
             Metrics._live.append(self)
 
@@ -94,6 +180,50 @@ class Metrics:
         finally:
             cls._live = previous
 
+    # -------------------------------------------------- deferred flush
+
+    def register_flush(self, hook: Callable[[], None]) -> None:
+        """Register a deferred-accounting drain to run before any read.
+
+        Hot components (the simulated disk charging every reference)
+        batch their per-operation updates into plain attributes and
+        register a hook that drains the batch into the tables.  Every
+        read entry point (:meth:`get`, :meth:`snapshot`,
+        :meth:`histogram`, ...) calls :meth:`flush` first, so observers
+        see the registry exactly as if each update had been applied
+        immediately — same counter values, same per-name histogram
+        sample order, same last-write-wins gauge values.  Hooks must be
+        idempotent and cheap when their batch is empty.
+        """
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Drain every registered deferred-accounting batch now."""
+        for hook in self._flush_hooks:
+            hook()
+
+    # -------------------------------------------------------- handles
+
+    def counter(self, name: str) -> Counter:
+        """A pre-bound :class:`Counter` handle for ``name``.
+
+        Resolve the name once (typically at component construction) and
+        call ``handle.add(...)`` on the hot path; behaviour is identical
+        to :meth:`add` with the same name, minus the per-call string
+        formatting.  Prefix scans (:meth:`total`, :meth:`snapshot`) stay
+        lazy — handle increments cost one table update and nothing else
+        until an analysis read actually asks.
+        """
+        return Counter(name, self._counters)
+
+    def histogram_handle(self, name: str) -> HistogramHandle:
+        """A pre-bound :class:`HistogramHandle` for ``name`` (see counter)."""
+        return HistogramHandle(name, self._histograms)
+
+    def gauge_handle(self, name: str) -> Gauge:
+        """A pre-bound :class:`Gauge` handle for ``name`` (see counter)."""
+        return Gauge(name, self._gauges)
+
     # ------------------------------------------------------- counters
 
     def add(self, name: str, amount: int = 1) -> None:
@@ -102,6 +232,7 @@ class Metrics:
 
     def get(self, name: str) -> int:
         """Current value of ``name`` (0 if never incremented)."""
+        self.flush()
         return self._counters.get(name, 0)
 
     def total(self, prefix: str) -> int:
@@ -110,6 +241,7 @@ class Metrics:
         Matching is dot-segment aware: ``total("disk.1")`` covers
         ``disk.1`` and ``disk.1.*`` but never ``disk.10.*``.
         """
+        self.flush()
         return sum(
             value
             for name, value in self._counters.items()
@@ -121,6 +253,7 @@ class Metrics:
 
         Prefixes are matched dot-segment aware, like :meth:`total`.
         """
+        self.flush()
         if prefixes is None:
             return dict(self._counters)
         wanted = tuple(prefixes)
@@ -132,6 +265,7 @@ class Metrics:
 
     def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
         """Counters that changed since ``before`` (a prior snapshot)."""
+        self.flush()
         changed: Dict[str, int] = {}
         for name, value in self._counters.items():
             delta = value - before.get(name, 0)
@@ -176,10 +310,19 @@ class Metrics:
         empty or unknown histogram).  Quantiles use the nearest-rank
         rule over the sorted samples, so identical runs produce
         identical summaries.
+
+        Summaries are cached per sample count: repeated calls without
+        new samples reuse the computed summary instead of re-sorting
+        the full sample list (samples are append-only between resets,
+        so an unchanged count proves the summary is still current).
         """
+        self.flush()
         samples = self._histograms.get(name)
         if not samples:
             return {"count": 0, "min": 0, "max": 0, "sum": 0, "p50": 0, "p95": 0}
+        cached = self._summaries.get(name)
+        if cached is not None and cached[0] == len(samples):
+            return dict(cached[1])
         ordered = sorted(samples)
         summary = {
             "count": len(ordered),
@@ -189,14 +332,17 @@ class Metrics:
         }
         for percentile in HISTOGRAM_PERCENTILES:
             summary[f"p{percentile}"] = _nearest_rank(ordered, percentile)
-        return summary
+        self._summaries[name] = (len(ordered), summary)
+        return dict(summary)
 
     def histogram_names(self) -> List[str]:
         """Names of every histogram with at least one sample, sorted."""
+        self.flush()
         return sorted(name for name, samples in self._histograms.items() if samples)
 
     def histogram_samples(self, name: str) -> List[int]:
         """A copy of the raw samples of histogram ``name`` (merge-friendly)."""
+        self.flush()
         return list(self._histograms.get(name, ()))
 
     # --------------------------------------------------------- gauges
@@ -207,19 +353,29 @@ class Metrics:
 
     def get_gauge(self, name: str) -> int:
         """Current value of gauge ``name`` (0 if never set)."""
+        self.flush()
         return self._gauges.get(name, 0)
 
     def gauges(self) -> Dict[str, int]:
         """A copy of every gauge."""
+        self.flush()
         return dict(self._gauges)
 
     # ------------------------------------------------------ lifecycle
 
     def reset(self) -> None:
-        """Zero every counter, histogram and gauge (between bench runs)."""
+        """Zero every counter, histogram and gauge (between bench runs).
+
+        Tables are cleared in place, so pre-bound handles created before
+        the reset keep recording into this registry afterwards.
+        Deferred batches are drained first, so nothing recorded before
+        the reset can leak into the epoch after it.
+        """
+        self.flush()
         self._counters.clear()
         self._histograms.clear()
         self._gauges.clear()
+        self._summaries.clear()
 
     def __repr__(self) -> str:
         return (

@@ -132,6 +132,8 @@ class Tracer:
         enabled: start recording immediately.
     """
 
+    __slots__ = ("clock", "capacity", "enabled", "_next_span_id", "_open", "_done")
+
     def __init__(
         self,
         clock: Optional[SimClock] = None,
@@ -143,25 +145,24 @@ class Tracer:
             raise ValueError("an enabled tracer needs a clock")
         self.clock = clock
         self.capacity = max(1, capacity)
-        self._enabled = enabled
+        #: Plain attribute, deliberately not a property: hot paths guard
+        #: span construction on it (``if tracer.enabled:``) so disabled
+        #: tracing costs one attribute read — no kwargs dict, no call.
+        self.enabled = enabled
         self._next_span_id = 0
         self._open: List[Span] = []
         self._done: Deque[Span] = deque(maxlen=self.capacity)
 
     # ------------------------------------------------------- control
 
-    @property
-    def enabled(self) -> bool:
-        return self._enabled
-
     def enable(self) -> None:
         if self.clock is None:
             raise ValueError("cannot enable a tracer without a clock")
-        self._enabled = True
+        self.enabled = True
 
     def disable(self) -> None:
         """Stop recording; open spans still close, new spans are no-ops."""
-        self._enabled = False
+        self.enabled = False
 
     def reset(self) -> None:
         """Drop every recorded span (open-span stack included)."""
@@ -177,7 +178,7 @@ class Tracer:
         the synchronous call tree.  Disabled tracers return the shared
         :data:`NULL_SPAN` handle and allocate nothing.
         """
-        if not self._enabled:
+        if not self.enabled:
             return NULL_SPAN
         assert self.clock is not None  # guaranteed by enable()
         span_id = self._next_span_id
@@ -202,12 +203,12 @@ class Tracer:
         into it — e.g. the track cache marking the enclosing
         ``disk_service.get`` span hit or miss.
         """
-        if self._enabled and self._open:
+        if self.enabled and self._open:
             self._open[-1].annotations[key] = value
 
     def annotate_add(self, key: str, amount: int = 1) -> None:
         """Add ``amount`` to a numeric fact on the innermost open span."""
-        if self._enabled and self._open:
+        if self.enabled and self._open:
             annotations = self._open[-1].annotations
             annotations[key] = int(annotations.get(key, 0)) + amount  # type: ignore[arg-type]
 
@@ -276,7 +277,7 @@ class Tracer:
         return path
 
     def __repr__(self) -> str:
-        state = "enabled" if self._enabled else "disabled"
+        state = "enabled" if self.enabled else "disabled"
         return (
             f"Tracer({state}, {len(self._done)} done, "
             f"{len(self._open)} open, capacity={self.capacity})"

@@ -55,6 +55,8 @@ class TrackCache:
         self.capacity_tracks = max(1, capacity_tracks)
         self.readahead = readahead
         self.name = name
+        self._c_hits = metrics.counter(f"{name}.hits")
+        self._c_misses = metrics.counter(f"{name}.misses")
         # track -> {sector -> data}; OrderedDict gives LRU order.
         self._tracks: "OrderedDict[int, Dict[int, bytes]]" = OrderedDict()
 
@@ -70,12 +72,14 @@ class TrackCache:
         """
         _monitor.active().read(self, start, start + n_sectors, site="cache.read")
         if self._all_cached(start, n_sectors):
-            self.metrics.add(f"{self.name}.hits")
-            self.tracer.annotate("track_cache", "hit")
+            self._c_hits.add()
+            if self.tracer.enabled:
+                self.tracer.annotate("track_cache", "hit")
             self._touch(start, n_sectors)
             return self._assemble(start, n_sectors)
-        self.metrics.add(f"{self.name}.misses")
-        self.tracer.annotate("track_cache", "miss")
+        self._c_misses.add()
+        if self.tracer.enabled:
+            self.tracer.annotate("track_cache", "miss")
         data = self.disk.read_sectors(start, n_sectors)
         self._store(start, data)
         if self.readahead:

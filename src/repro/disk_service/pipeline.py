@@ -101,6 +101,20 @@ class DiskPipeline:
         self._in_service = False
         self._disk_prefix = f"disk.{server.disk.disk_id}"
         self._server_prefix = f"disk_server.{server.disk.disk_id}"
+        # Pre-bound instrument handles: submission and drain run once
+        # per request, so none of them may format metric names.
+        self._c_submissions = self.metrics.counter(
+            f"{self._server_prefix}.submissions"
+        )
+        self._c_coalesced_requests = self.metrics.counter(
+            f"{self._server_prefix}.coalesced_requests"
+        )
+        self._g_queue_depth = self.metrics.gauge_handle(
+            f"{self._disk_prefix}.queue_depth"
+        )
+        self._h_queue_wait_us = self.metrics.histogram_handle(
+            "disk_service.queue_wait_us"
+        )
         # Analysis-monitor bookkeeping (idle outside analysis runs):
         # the previous service batch's task (scheduler dequeue-order
         # chain) and the finish tasks drain() must rejoin against.
@@ -184,8 +198,8 @@ class DiskPipeline:
 
     def _submit(self, request: DiskRequest) -> Completion:
         self.queue.push(request)
-        self.metrics.add(f"{self._server_prefix}.submissions")
-        self.metrics.gauge(f"{self._disk_prefix}.queue_depth", len(self.queue))
+        self._c_submissions.add()
+        self._g_queue_depth.set(len(self.queue))
         self._pump()
         return request.completion
 
@@ -224,18 +238,12 @@ class DiskPipeline:
                 now_us=self.clock.now_us,
                 cylinder_of=disk.geometry.cylinder_of,
             )
-            self.metrics.gauge(
-                f"{self._disk_prefix}.queue_depth", len(self.queue)
-            )
+            self._g_queue_depth.set(len(self.queue))
             now_us = self.clock.now_us
             for request in batch:
-                self.metrics.observe(
-                    "disk_service.queue_wait_us", request.wait_us(now_us)
-                )
+                self._h_queue_wait_us.observe(request.wait_us(now_us))
             if len(batch) > 1:
-                self.metrics.add(
-                    f"{self._server_prefix}.coalesced_requests", len(batch) - 1
-                )
+                self._c_coalesced_requests.add(len(batch) - 1)
             self._in_service = True
             with service_frame(self.clock) as frame:
                 outcomes = self._execute(batch)

@@ -81,6 +81,8 @@ class DiskRequest:
 class RequestQueue:
     """Arrival-ordered pending requests of one disk server."""
 
+    __slots__ = ("_pending",)
+
     def __init__(self) -> None:
         self._pending: List[DiskRequest] = []
 

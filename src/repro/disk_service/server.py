@@ -40,6 +40,7 @@ from repro.common.errors import (
     DiskError,
     DiskFullError,
 )
+from repro.common.frames import frame_now
 from repro.common.metrics import Metrics
 from repro.common.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.common.units import FRAGMENTS_PER_BLOCK
@@ -198,6 +199,13 @@ class DiskServer:
         # again (the crash sweep proves this ordering).
         self._bitmap_dirty = False
         self._prefix = f"disk_server.{disk.disk_id}"
+        # Pre-bound instrument handles for the two service entry points
+        # every request passes through; colder sites (recoveries,
+        # checkpoints, flushes) keep the formatted-name convenience API.
+        self._c_gets = self.metrics.counter(f"{self._prefix}.gets")
+        self._c_puts = self.metrics.counter(f"{self._prefix}.puts")
+        self._h_get_us = self.metrics.histogram_handle(f"{self._prefix}.get_us")
+        self._h_put_us = self.metrics.histogram_handle(f"{self._prefix}.put_us")
         # Set by DiskPipeline when the overlapped request path is wired.
         self.pipeline: Optional[object] = None
 
@@ -391,26 +399,45 @@ class DiskServer:
         use_cache: bool = True,
         queued_since: Optional[int] = None,
     ) -> bytes:
-        with self.tracer.span(
+        tracer = self.tracer
+        span = tracer.span(
             "disk_service",
             "get",
             disk=self.disk.disk_id,
             fragment=extent.start,
             n_fragments=extent.length,
             source=source.value,
-        ), self.metrics.timer(f"{self._prefix}.get_us", self.clock):
-            self._note_queue_wait(queued_since)
-            self._check_extent(extent)
-            self.metrics.add(f"{self._prefix}.gets")
-            if source is Source.STABLE:
-                self._drain_pending()
-                return self.stable.get(_stable_key(extent))
-            if self._cache is not None and use_cache:
-                data = self._cache.read(extent.first_sector, extent.n_sectors)
-            else:
-                self.tracer.annotate("track_cache", "bypassed")
-                data = self.disk.read_sectors(extent.first_sector, extent.n_sectors)
-            return self._verify_extent(extent, data)
+        ) if tracer.enabled else NULL_SPAN
+        with span:
+            # Inlined metrics.timer: same exception-inclusive frame-time
+            # semantics, no contextmanager machinery on the hot path.
+            started = frame_now(self.clock)
+            try:
+                return self._get_body(
+                    extent, source, use_cache, queued_since
+                )
+            finally:
+                self._h_get_us.observe(frame_now(self.clock) - started)
+
+    def _get_body(
+        self,
+        extent: Extent,
+        source: Source,
+        use_cache: bool,
+        queued_since: Optional[int],
+    ) -> bytes:
+        self._note_queue_wait(queued_since)
+        self._check_extent(extent)
+        self._c_gets.add()
+        if source is Source.STABLE:
+            self._drain_pending()
+            return self.stable.get(_stable_key(extent))
+        if self._cache is not None and use_cache:
+            data = self._cache.read(extent.first_sector, extent.n_sectors)
+        else:
+            self.tracer.annotate("track_cache", "bypassed")
+            data = self.disk.read_sectors(extent.first_sector, extent.n_sectors)
+        return self._verify_extent(extent, data)
 
     def _do_put(
         self,
@@ -421,51 +448,67 @@ class DiskServer:
         sync: SyncMode = SyncMode.AFTER_STABLE,
         queued_since: Optional[int] = None,
     ) -> None:
-        with self.tracer.span(
+        tracer = self.tracer
+        span = tracer.span(
             "disk_service",
             "put",
             disk=self.disk.disk_id,
             fragment=extent.start,
             n_fragments=extent.length,
             stability=stability.value,
-        ), self.metrics.timer(f"{self._prefix}.put_us", self.clock):
-            self._note_queue_wait(queued_since)
-            self._check_extent(extent)
-            if len(data) != extent.byte_size:
-                raise BadAddressError(
-                    f"payload is {len(data)} bytes but extent {extent} holds "
-                    f"{extent.byte_size}"
+        ) if tracer.enabled else NULL_SPAN
+        with span:
+            started = frame_now(self.clock)
+            try:
+                self._put_body(extent, data, stability, sync, queued_since)
+            finally:
+                self._h_put_us.observe(frame_now(self.clock) - started)
+
+    def _put_body(
+        self,
+        extent: Extent,
+        data: bytes,
+        stability: Stability,
+        sync: SyncMode,
+        queued_since: Optional[int],
+    ) -> None:
+        self._note_queue_wait(queued_since)
+        self._check_extent(extent)
+        if len(data) != extent.byte_size:
+            raise BadAddressError(
+                f"payload is {len(data)} bytes but extent {extent} holds "
+                f"{extent.byte_size}"
+            )
+        self._c_puts.add()
+        if stability is not Stability.ORIGINAL_ONLY and self._bitmap_dirty:
+            # Bitmap first, then the structure referencing the newly
+            # allocated fragments.  A crash in between leaks orphans
+            # (an fsck warning), never lost blocks (an fsck error).
+            self.checkpoint_free_space()
+        if stability in (Stability.ORIGINAL_ONLY, Stability.BOTH):
+            if self._cache is not None:
+                self._cache.write_through(extent.first_sector, data)
+            else:
+                self.disk.write_sectors(extent.first_sector, data)
+            self._record_checksums(extent, data)
+        # Any overwrite ends the extent's mirrored status until its
+        # stable copy is (re)confirmed equal to main below; a
+        # STABLE_ONLY put (shadow page) ends it outright.
+        self._unmark_mirrored(extent)
+        if stability in (Stability.STABLE_ONLY, Stability.BOTH):
+            key = _stable_key(extent)
+            mirror = stability is Stability.BOTH
+            if sync is SyncMode.AFTER_STABLE:
+                self.stable.put(key, data)
+                if mirror:
+                    self._mark_mirrored(extent)
+            else:
+                _monitor.active().key_write(
+                    self, key, name="pending_stable",
+                    site="server.defer_stable",
                 )
-            self.metrics.add(f"{self._prefix}.puts")
-            if stability is not Stability.ORIGINAL_ONLY and self._bitmap_dirty:
-                # Bitmap first, then the structure referencing the newly
-                # allocated fragments.  A crash in between leaks orphans
-                # (an fsck warning), never lost blocks (an fsck error).
-                self.checkpoint_free_space()
-            if stability in (Stability.ORIGINAL_ONLY, Stability.BOTH):
-                if self._cache is not None:
-                    self._cache.write_through(extent.first_sector, data)
-                else:
-                    self.disk.write_sectors(extent.first_sector, data)
-                self._record_checksums(extent, data)
-            # Any overwrite ends the extent's mirrored status until its
-            # stable copy is (re)confirmed equal to main below; a
-            # STABLE_ONLY put (shadow page) ends it outright.
-            self._unmark_mirrored(extent)
-            if stability in (Stability.STABLE_ONLY, Stability.BOTH):
-                key = _stable_key(extent)
-                mirror = stability is Stability.BOTH
-                if sync is SyncMode.AFTER_STABLE:
-                    self.stable.put(key, data)
-                    if mirror:
-                        self._mark_mirrored(extent)
-                else:
-                    _monitor.active().key_write(
-                        self, key, name="pending_stable",
-                        site="server.defer_stable",
-                    )
-                    self._pending_stable.append((key, data, mirror))
-                    self.metrics.add(f"{self._prefix}.deferred_stable_puts")
+                self._pending_stable.append((key, data, mirror))
+                self.metrics.add(f"{self._prefix}.deferred_stable_puts")
 
     def release_stable(self, extent: Extent) -> None:
         """Drop the stable-storage copy of an extent (e.g. committed shadow)."""
@@ -748,11 +791,10 @@ class DiskServer:
         queue → simdisk and the queue span's duration *is* the wait.
         Direct (non-pipelined) calls pass None and trace nothing.
         """
-        if queued_since is None:
+        if queued_since is None or not self.tracer.enabled:
             return
         with self.tracer.span("queue", "wait", disk=self.disk.disk_id) as handle:
-            if handle is not NULL_SPAN:
-                handle.span.start_us = min(queued_since, handle.span.start_us)
+            handle.span.start_us = min(queued_since, handle.span.start_us)
 
     def _drain_pending(self) -> None:
         _monitor.active().write_all(

@@ -257,9 +257,14 @@ class FileServer:
         Short reads happen at end of file; reads inside holes return
         zero bytes ('\\x00'), matching sparse-file convention.
         """
-        with self.tracer.span(
+        tracer = self.tracer
+        with tracer.span(
             "file_service", "read", volume=self.volume_id, offset=offset
         ) as span, self.metrics.timer(f"{self.name}.read_us", self.clock):
+            if not tracer.enabled:
+                return self._do_read(name, offset, n_bytes)
+            # The reference delta is trace-only colour; the counter
+            # reads that compute it are skipped when nobody records it.
             refs_before = self.metrics.get(self._refs_counter)
             data = self._do_read(name, offset, n_bytes)
             span.annotate(
@@ -306,9 +311,12 @@ class FileServer:
         (cached dirty) for basic files, write-through for transaction
         files.  Returns the number of bytes written.
         """
-        with self.tracer.span(
+        tracer = self.tracer
+        with tracer.span(
             "file_service", "write", volume=self.volume_id, offset=offset
         ) as span, self.metrics.timer(f"{self.name}.write_us", self.clock):
+            if not tracer.enabled:
+                return self._do_write(name, offset, data)
             refs_before = self.metrics.get(self._refs_counter)
             written = self._do_write(name, offset, data)
             span.annotate(

@@ -44,6 +44,17 @@ WRITE_PRIMITIVES: FrozenSet[str] = frozenset(
 #: The hook every raw mutation must be guarded by.
 HOOK_ATTR = "note_write"
 
+#: Method calls on the raw store that mutate platter state.  Covers the
+#: legacy per-sector dict surface (pop/update/...) and the chunked
+#: :class:`~repro.simdisk.store.SectorStore` mutators, so swapping the
+#: store implementation cannot silently drop the discipline.
+STORE_MUTATORS: FrozenSet[str] = frozenset(
+    {
+        "pop", "update", "clear", "setdefault", "popitem", "__setitem__",
+        "write_range", "xor_byte",
+    }
+)
+
 #: (module, qualified function) pairs reviewed as legitimate issuers of
 #: physical writes.  DESIGN.md §7 documents each.
 REGISTERED_WRITE_SITES: FrozenSet[Tuple[str, str]] = frozenset(
@@ -58,8 +69,9 @@ REGISTERED_WRITE_SITES: FrozenSet[Tuple[str, str]] = frozenset(
         ("repro.disk_service.cache", "TrackCache.write_through"),
         # put-block's direct path when the cache is disabled (the body
         # behind both the blocking wrapper and the queued pipeline, so
-        # crash points keep firing at queue-drain time)
-        ("repro.disk_service.server", "DiskServer._do_put"),
+        # crash points keep firing at queue-drain time; _do_put is the
+        # span/timer shell around it)
+        ("repro.disk_service.server", "DiskServer._put_body"),
         # the scrubber's repair write: mirrored extent rewritten from
         # its stable copy (DESIGN.md §11; the scrub-repair sweep
         # workload crashes inside it)
@@ -154,9 +166,7 @@ def _raw_mutation(node: ast.AST) -> ast.AST | None:
         if isinstance(target, ast.Subscript) and _is_raw_store(target.value):
             return node
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-        if node.func.attr in {
-            "pop", "update", "clear", "setdefault", "popitem", "__setitem__"
-        } and _is_raw_store(node.func.value):
+        if node.func.attr in STORE_MUTATORS and _is_raw_store(node.func.value):
             return node
     return None
 

@@ -34,6 +34,10 @@ ALLOWED_CURSOR_MODULES: FrozenSet[str] = frozenset(
         "repro.common.frames",
         # per-disk busy-until reservations advance the frame they serve
         "repro.simdisk.timeline",
+        # the disk's reference paths inline DiskTimeline.charge_ceiled
+        # operation for operation (DESIGN.md §13) and therefore move
+        # the cursor exactly where the timeline would
+        "repro.simdisk.disk",
     }
 )
 

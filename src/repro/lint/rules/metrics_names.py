@@ -29,9 +29,14 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
 
 #: Metrics methods whose first argument is an instrument name (counters,
-#: histograms via observe/timer/histogram, gauges) or a prefix.
+#: histograms via observe/timer/histogram, gauges) or a prefix.  The
+#: pre-bound handle constructors resolve a name exactly once, so they
+#: are name sites too — the only ones hot paths still format.
 NAME_METHODS = frozenset(
-    {"add", "get", "observe", "timer", "histogram", "gauge", "get_gauge"}
+    {
+        "add", "get", "observe", "timer", "histogram", "gauge", "get_gauge",
+        "counter", "histogram_handle", "gauge_handle",
+    }
 )
 PREFIX_METHODS = frozenset({"total"})
 

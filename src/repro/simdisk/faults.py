@@ -48,6 +48,19 @@ class WriteMonitor(Protocol):
 class FaultInjector:
     """Per-disk fault state, consulted by :class:`~repro.simdisk.disk.SimDisk`."""
 
+    __slots__ = (
+        "seed",
+        "_rng",
+        "crashed",
+        "bad_sectors",
+        "_media_errors",
+        "_crash_after_writes",
+        "_writes_seen",
+        "torn_write_fraction",
+        "monitor",
+        "last_crash_note",
+    )
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._rng = random.Random(seed)
@@ -73,10 +86,17 @@ class FaultInjector:
         self.crashed = True
 
     def repair(self) -> None:
-        """Bring a crashed disk back (its contents persist)."""
+        """Bring a crashed disk back (its contents persist).
+
+        Clears :attr:`last_crash_note` too: the note is a reproduction
+        hint for the crash that just happened, and letting it survive a
+        repair means a *later* crash can append a stale hint naming the
+        wrong crash point.
+        """
         self.crashed = False
         self._crash_after_writes = None
         self._writes_seen = 0
+        self.last_crash_note = None
 
     def crash_after_writes(self, n: int) -> None:
         """Schedule a crash during the n-th write from now (1-based).
@@ -130,6 +150,8 @@ class FaultInjector:
         disturbing :attr:`_rng` (whose draw sequence the torn-write
         schedule depends on).
         """
+        if count < 0:
+            raise ValueError(f"cannot pick {count} fault targets")
         if count >= len(population):
             return sorted(population)
         rng = random.Random((self.seed + 1) * _SCATTER + salt)
@@ -147,13 +169,29 @@ class FaultInjector:
         the disk.  A shared :attr:`monitor` is consulted first, then the
         per-disk crash-after-writes schedule.
         """
+        if self.monitor is None and self._crash_after_writes is None:
+            # Fault-free fast path: a healthy unmonitored disk pays two
+            # attribute reads per write, nothing else.
+            return 0 if self.crashed else None
         if self.crashed:
             return 0
         if self.monitor is not None:
+            note_before = self.last_crash_note
             survivors = self.monitor.on_write(self, disk_id, start, n_sectors)
             if survivors is not None:
                 self.crashed = True
-                return min(survivors, n_sectors)
+                if self.last_crash_note is note_before:
+                    # The monitor crashed us without leaving its own
+                    # repro hint — without this, the DiskCrashedError
+                    # would append a *stale* note from an earlier
+                    # scheduled crash instead.
+                    self.last_crash_note = (
+                        f"monitor crash during write to {disk_id} at sector "
+                        f"{start} (faults seed={self.seed})"
+                    )
+                # A buggy monitor returning a negative survivor count
+                # must not drive sector accounting negative downstream.
+                return min(max(survivors, 0), n_sectors)
         if self._crash_after_writes is None:
             return None
         self._writes_seen += 1

@@ -8,7 +8,7 @@ which sectors share a track and where track boundaries fall.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import BadAddressError
 from repro.common.units import SECTOR_SIZE
@@ -22,6 +22,12 @@ class DiskGeometry:
     order: all sectors of cylinder 0 (head 0's track, then head 1's,
     ...), then cylinder 1, and so on.
 
+    The derived sizes (``total_sectors`` etc.) are precomputed plain
+    attributes, not properties: the timing model and the disk's bounds
+    checks read them on every reference, and a geometry is immutable,
+    so recomputing ``cylinders * heads * sectors_per_track`` per read
+    was pure hot-path waste.
+
     Attributes:
         cylinders: number of cylinders (seek positions).
         heads: tracks per cylinder (number of recording surfaces).
@@ -33,30 +39,24 @@ class DiskGeometry:
     heads: int
     sectors_per_track: int
     sector_size: int = SECTOR_SIZE
+    # ------------------------------------------------- derived sizes
+    sectors_per_cylinder: int = field(init=False, repr=False, compare=False)
+    total_sectors: int = field(init=False, repr=False, compare=False)
+    capacity_bytes: int = field(init=False, repr=False, compare=False)
+    total_tracks: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.cylinders <= 0 or self.heads <= 0 or self.sectors_per_track <= 0:
             raise ValueError("geometry dimensions must be positive")
         if self.sector_size != SECTOR_SIZE:
             raise ValueError(f"sector size is fixed at {SECTOR_SIZE} bytes")
-
-    # ---------------------------------------------------------- sizes
-
-    @property
-    def sectors_per_cylinder(self) -> int:
-        return self.heads * self.sectors_per_track
-
-    @property
-    def total_sectors(self) -> int:
-        return self.cylinders * self.sectors_per_cylinder
-
-    @property
-    def capacity_bytes(self) -> int:
-        return self.total_sectors * self.sector_size
-
-    @property
-    def total_tracks(self) -> int:
-        return self.cylinders * self.heads
+        per_cylinder = self.heads * self.sectors_per_track
+        object.__setattr__(self, "sectors_per_cylinder", per_cylinder)
+        object.__setattr__(self, "total_sectors", self.cylinders * per_cylinder)
+        object.__setattr__(
+            self, "capacity_bytes", self.cylinders * per_cylinder * self.sector_size
+        )
+        object.__setattr__(self, "total_tracks", self.cylinders * self.heads)
 
     # ------------------------------------------------------- mappings
 

@@ -68,10 +68,21 @@ class DiskTimeline:
         cursor moves; the global clock is left for the event loop to
         advance.
         """
+        return self.charge_ceiled(ceil_us(elapsed_us))
+
+    def charge_ceiled(self, busy: int) -> tuple[int, int]:
+        """:meth:`charge` for a service time already in whole us.
+
+        The disk's service-time memo caches the ceiled integer next to
+        the raw float, so repeat references skip the rounding too.
+        """
         # Reservation order is a real synchronization point: the disk
         # head serves charges in the order they reserved the timeline.
-        _monitor.active().chain(self)
-        busy = ceil_us(elapsed_us)
+        # (Guarded so the no-monitor common case pays two attribute
+        # reads instead of a no-op method call.)
+        mon = _monitor.active()
+        if mon.enabled:
+            mon.chain(self)
         frame = active_frame(self.clock)
         now = frame.cursor_us if frame is not None else self.clock.now_us
         start = max(now, self.busy_until_us)

@@ -82,29 +82,38 @@ class DiskTimingModel:
         """
         if n_sectors <= 0:
             raise ValueError("request must cover at least one sector")
-        geometry.check_sector(start_sector)
-        geometry.check_sector(start_sector + n_sectors - 1)
+        # Every disk reference lands here, so the walk works on local
+        # ints and validates bounds with two comparisons; the slow
+        # check_sector calls only run to raise their exact errors.  The
+        # float arithmetic is kept operation-for-operation identical to
+        # the pre-optimization code — same terms, same order — so every
+        # modelled service time is bit-equal to what it always was.
+        per_track = geometry.sectors_per_track
+        per_cylinder = geometry.sectors_per_cylinder
+        if not 0 <= start_sector < geometry.total_sectors:
+            geometry.check_sector(start_sector)
+        if start_sector + n_sectors > geometry.total_sectors:
+            geometry.check_sector(start_sector + n_sectors - 1)
 
         total = self.controller_overhead_us
-        cylinder = geometry.cylinder_of(start_sector)
+        cylinder = start_sector // per_cylinder
         total += self.seek_time_us(current_cylinder, cylinder)
-        target_slot = geometry.rotational_position(start_sector)
-        total += self.rotational_latency_us(geometry, angular_now, target_slot)
+        target_slot = start_sector % per_track
+        slot = self.rotation_time_us / per_track
+        total += ((target_slot - angular_now) % per_track) * slot
 
-        slot = self.slot_time_us(geometry)
         remaining = n_sectors
         sector = start_sector
         angular = float(target_slot)
         while remaining > 0:
-            track = geometry.track_of(sector)
-            _, track_end = geometry.track_bounds(track)
+            track_end = (sector // per_track + 1) * per_track
             in_track = min(remaining, track_end - sector)
             total += in_track * slot
-            angular = (angular + in_track) % geometry.sectors_per_track
+            angular = (angular + in_track) % per_track
             sector += in_track
             remaining -= in_track
             if remaining > 0:
-                next_cylinder = geometry.cylinder_of(sector)
+                next_cylinder = sector // per_cylinder
                 if next_cylinder != cylinder:
                     total += self.seek_time_us(cylinder, next_cylinder)
                     cylinder = next_cylinder

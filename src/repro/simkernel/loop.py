@@ -18,6 +18,8 @@ from repro.common.clock import SimClock
 class EventLoop:
     """Priority queue of timed callbacks sharing a :class:`SimClock`."""
 
+    __slots__ = ("clock", "_heap", "_seq", "_pending", "_cancelled", "_ran_tasks")
+
     def __init__(self, clock: SimClock) -> None:
         self.clock = clock
         self._heap: List[Tuple[int, int, Callable[[], None], int]] = []
@@ -53,6 +55,27 @@ class EventLoop:
         """Cancel a scheduled callback by its handle (no-op if already run)."""
         if handle in self._pending:
             self._cancelled.add(handle)
+            self._audit_heap()
+
+    def _audit_heap(self) -> None:
+        """Keep the ready heap within 2x of its live entries.
+
+        Cancellation is lazy (entries are skipped when they surface at
+        the heap top), which is O(log n) per event — but a workload
+        that cancels far more than it runs (retransmission timers,
+        lease renewals) would otherwise grow the heap without bound and
+        inflate every push/pop to O(log dead+live).  When cancelled
+        entries outnumber live ones, rebuild the heap from the live
+        entries alone: O(live) when it fires, amortised O(1) per
+        cancel, and every later heap operation stays O(log live).
+        """
+        if len(self._cancelled) > 64 and 2 * len(self._cancelled) > len(self._heap):
+            self._heap = [
+                entry for entry in self._heap if entry[1] not in self._cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._pending.difference_update(self._cancelled)
+            self._cancelled.clear()
 
     def next_event_time(self) -> int | None:
         """Time of the earliest pending (non-cancelled) event, or None."""

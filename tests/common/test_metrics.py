@@ -234,3 +234,117 @@ class TestTracking:
         except RuntimeError:
             pass
         assert Metrics._live is None
+
+
+class TestHandles:
+    def test_counter_handle_feeds_every_read_path(self):
+        metrics = Metrics()
+        handle = metrics.counter("disk.0.reads")
+        handle.add()
+        handle.add(4)
+        assert metrics.get("disk.0.reads") == 5
+        assert metrics.total("disk.") == 5
+        assert metrics.snapshot()["disk.0.reads"] == 5
+        assert metrics.diff({})["disk.0.reads"] == 5
+
+    def test_handle_and_named_add_share_one_counter(self):
+        metrics = Metrics()
+        handle = metrics.counter("disk.0.reads")
+        handle.add()
+        metrics.add("disk.0.reads")
+        assert metrics.get("disk.0.reads") == 2
+
+    def test_histogram_handle_observe_and_extend(self):
+        metrics = Metrics()
+        handle = metrics.histogram_handle("disk.0.service_us")
+        handle.observe(10)
+        handle.extend([20, 30])
+        metrics.observe("disk.0.service_us", 40)
+        assert metrics.histogram_samples("disk.0.service_us") == [10, 20, 30, 40]
+
+    def test_gauge_handle_last_write_wins(self):
+        metrics = Metrics()
+        handle = metrics.gauge_handle("disk.0.utilization")
+        handle.set(10)
+        handle.set(90)
+        assert metrics.get_gauge("disk.0.utilization") == 90
+
+    def test_handles_survive_reset(self):
+        metrics = Metrics()
+        counter = metrics.counter("disk.0.reads")
+        gauge = metrics.gauge_handle("disk.0.utilization")
+        counter.add()
+        gauge.set(5)
+        metrics.reset()
+        counter.add()
+        gauge.set(7)
+        assert metrics.get("disk.0.reads") == 1
+        assert metrics.get_gauge("disk.0.utilization") == 7
+
+    def test_summary_cache_reused_until_new_sample(self):
+        metrics = Metrics()
+        handle = metrics.histogram_handle("h.us")
+        handle.observe(3)
+        first = metrics.histogram("h.us")
+        assert metrics.histogram("h.us") == first
+        handle.observe(100)
+        assert metrics.histogram("h.us")["count"] == 2
+
+
+class TestDeferredFlush:
+    def _registry_with_batch(self):
+        metrics = Metrics()
+        counter = metrics.counter("disk.0.reads")
+        histogram = metrics.histogram_handle("disk.0.service_us")
+        gauge = metrics.gauge_handle("disk.0.utilization")
+        batch = {"reads": 0, "samples": [], "util": None}
+
+        def drain():
+            if batch["reads"]:
+                counter.add(batch["reads"])
+                batch["reads"] = 0
+            if batch["samples"]:
+                histogram.extend(batch["samples"])
+                batch["samples"].clear()
+            if batch["util"] is not None:
+                gauge.set(batch["util"])
+                batch["util"] = None
+
+        metrics.register_flush(drain)
+        return metrics, batch
+
+    def test_reads_drain_the_batch_first(self):
+        metrics, batch = self._registry_with_batch()
+        batch["reads"] = 3
+        batch["samples"] = [7, 9]
+        batch["util"] = 42
+        assert metrics.get("disk.0.reads") == 3
+        assert metrics.histogram_samples("disk.0.service_us") == [7, 9]
+        assert metrics.get_gauge("disk.0.utilization") == 42
+
+    def test_every_read_entry_point_flushes(self):
+        probes = [
+            lambda m: m.get("disk.0.reads"),
+            lambda m: m.total("disk."),
+            lambda m: m.snapshot(),
+            lambda m: m.diff({}),
+            lambda m: m.histogram("disk.0.service_us"),
+            lambda m: m.histogram_names(),
+            lambda m: m.histogram_samples("disk.0.service_us"),
+            lambda m: m.get_gauge("disk.0.utilization"),
+            lambda m: m.gauges(),
+        ]
+        for probe in probes:
+            metrics, batch = self._registry_with_batch()
+            batch["reads"] = 1
+            probe(metrics)
+            assert batch["reads"] == 0, probe
+
+    def test_reset_drains_then_clears(self):
+        metrics, batch = self._registry_with_batch()
+        batch["reads"] = 5
+        metrics.reset()
+        # Pre-reset activity was consumed by the reset, not leaked
+        # into the new epoch.
+        assert batch["reads"] == 0
+        assert metrics.get("disk.0.reads") == 0

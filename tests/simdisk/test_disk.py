@@ -122,3 +122,79 @@ class TestFaults:
         disk.write_sectors(1, bytes(512))
         with pytest.raises(DiskCrashedError):
             disk.write_sectors(2, bytes(512))
+
+
+class TestReadInPassingAccounting:
+    """Regression: readahead transfer time must reach busy accounting.
+
+    read_in_passing once charged the timeline but skipped busy_us and
+    the utilization gauge, so metrics-derived utilization silently
+    diverged from the gauge under readahead-heavy loads.
+    """
+
+    def test_counts_busy_time(self, disk):
+        disk.read_sectors(0, 1)  # position the head
+        busy_before = disk.metrics.get("disk.t.busy_us")
+        disk.read_in_passing(1, 8)
+        assert disk.metrics.get("disk.t.busy_us") > busy_before
+
+    def test_updates_utilization_gauge(self):
+        clock = SimClock()
+        metrics = Metrics()
+        disk = SimDisk("t", DiskGeometry.small(), clock, metrics)
+        disk.read_sectors(0, 1)
+        # Let simulated idle time pass so utilization has headroom to
+        # visibly rise when the readahead transfer is charged.
+        clock.advance_to(clock.now_us * 100)
+        before = metrics.get_gauge("disk.t.utilization")
+        disk.read_in_passing(1, 32)
+        assert metrics.get_gauge("disk.t.utilization") != before
+
+    def test_emits_a_span_when_traced(self):
+        from repro.common.trace import Tracer
+
+        clock = SimClock()
+        tracer = Tracer(clock, enabled=True)
+        disk = SimDisk("t", DiskGeometry.small(), clock, Metrics(), tracer=tracer)
+        disk.read_sectors(0, 1)
+        disk.read_in_passing(1, 4)
+        assert [s.op for s in tracer.spans()] == ["read", "read_in_passing"]
+
+
+class TestDeferredAccountingEquivalence:
+    """The registry must read as if every update were applied inline."""
+
+    def test_interleaved_reads_observe_exact_counts(self, disk):
+        for index in range(5):
+            disk.write_sectors(index * 8, bytes(512) * 8)
+            disk.read_sectors(index * 8, 8)
+            # Reading mid-campaign must see everything so far.
+            assert disk.metrics.get("disk.t.references") == 2 * (index + 1)
+        assert disk.metrics.get("disk.t.reads") == 5
+        assert disk.metrics.get("disk.t.writes") == 5
+        assert disk.metrics.get("disk.t.sectors_written") == 40
+        samples = disk.metrics.histogram_samples("disk.t.service_us")
+        assert len(samples) == 10
+        assert disk.metrics.get("disk.t.busy_us") == sum(samples)
+
+    def test_utilization_gauge_matches_inline_computation(self, disk):
+        disk.write_sectors(0, bytes(512) * 4)
+        disk.read_sectors(0, 4)
+        expected = disk.timeline.utilization_percent()
+        assert disk.metrics.get_gauge("disk.t.utilization") == expected
+
+    def test_service_memo_does_not_change_modelled_time(self):
+        def campaign(defeat_memo):
+            clock, metrics = SimClock(), Metrics()
+            disk = SimDisk("t", DiskGeometry.small(), clock, metrics)
+            for _ in range(3):  # wraps: repeats hit the memo
+                for index in range(4):
+                    if defeat_memo:  # every reference recomputes
+                        disk._service_memo.clear()
+                    disk.write_sectors(index * 8, bytes(512) * 8)
+                    disk.read_sectors(index * 8, 8)
+            return clock.now_us, metrics.histogram_samples("disk.t.service_us")
+
+        warm = campaign(defeat_memo=False)
+        cold = campaign(defeat_memo=True)
+        assert warm == cold

@@ -204,3 +204,73 @@ class TestDeterminism:
 
     def test_pick_targets_small_population_returns_all(self):
         assert FaultInjector().pick_targets([9, 3, 7], 5) == [3, 7, 9]
+
+
+class _CrashingMonitor:
+    """A write monitor that crashes the disk, configurably noisily."""
+
+    def __init__(self, survivors, note=None):
+        self.survivors = survivors
+        self.note = note
+
+    def on_write(self, faults, disk_id, start, n_sectors):
+        if self.note is not None:
+            faults.last_crash_note = self.note
+        return self.survivors
+
+
+class TestMonitorCrashNotes:
+    def test_monitor_crash_without_note_synthesizes_one(self):
+        faults = FaultInjector(seed=3)
+        faults.monitor = _CrashingMonitor(survivors=1)
+        torn = faults.note_write(4, disk_id="d9", start=100)
+        assert torn == 1
+        assert faults.crashed
+        # The note names the write the monitor crashed, not some stale
+        # earlier schedule.
+        assert "d9" in faults.last_crash_note
+        assert "100" in faults.last_crash_note
+
+    def test_monitor_own_note_is_preserved(self):
+        faults = FaultInjector()
+        faults.monitor = _CrashingMonitor(survivors=0, note="scripted crash #7")
+        faults.note_write(4, disk_id="d", start=0)
+        assert faults.last_crash_note == "scripted crash #7"
+
+    def test_repair_clears_the_note(self):
+        faults = FaultInjector()
+        faults.monitor = _CrashingMonitor(survivors=0)
+        faults.note_write(4, disk_id="d", start=0)
+        assert faults.last_crash_note is not None
+        faults.repair()
+        assert faults.last_crash_note is None
+        assert not faults.crashed
+
+
+class TestSurvivorClamping:
+    def test_negative_survivors_clamped_to_zero(self):
+        faults = FaultInjector()
+        faults.monitor = _CrashingMonitor(survivors=-5)
+        assert faults.note_write(4, disk_id="d", start=0) == 0
+
+    def test_oversized_survivors_clamped_to_request(self):
+        faults = FaultInjector()
+        faults.monitor = _CrashingMonitor(survivors=99)
+        assert faults.note_write(4, disk_id="d", start=0) == 4
+
+    def test_clamped_crash_never_corrupts_sector_accounting(self):
+        disk = build_disk()
+        disk.faults.monitor = _CrashingMonitor(survivors=-5)
+        with pytest.raises(Exception):
+            disk.write_sectors(0, bytes(4 * 512))
+        assert disk.metrics.get("disk.t.sectors_written") == 0
+        assert disk.metrics.get("disk.t.writes") == 1
+
+
+class TestPickTargetsValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().pick_targets(range(10), -1)
+
+    def test_zero_count_is_empty(self):
+        assert FaultInjector().pick_targets(range(10), 0) == []

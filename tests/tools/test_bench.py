@@ -70,6 +70,27 @@ class TestRunSuite:
         }
 
 
+class TestStripWall:
+    def test_strips_only_wall_gauges(self):
+        document = {
+            "experiments": {
+                "m1": {
+                    "gauges": {
+                        "bench.m1_sequential.wall_us_new": 371000,
+                        "bench.m1_sequential.wall_speedup_pct": 552,
+                        "disk.0.utilization": 37,
+                    },
+                },
+                "e1": {"gauges": {}},
+            },
+        }
+        bench.strip_wall_gauges(document)
+        assert document["experiments"]["m1"]["gauges"] == {
+            "disk.0.utilization": 37,
+        }
+        assert document["experiments"]["e1"]["gauges"] == {}
+
+
 class TestCli:
     def test_smoke_writes_deterministic_json(self, tmp_path):
         first = tmp_path / "first.json"
