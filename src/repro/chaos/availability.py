@@ -39,6 +39,20 @@ exists, else from a peer replica via
 — while **no corrupt byte ever reaches a client or the track cache**
 (every read during the campaign is byte-checked).
 
+The RAID scenarios (``raid_member_loss``, ``raid_rebuild_interrupted``)
+measure the redundancy tier *below* volume replication: a volume whose
+data disk is a RAID-5 :class:`~repro.simdisk.raid.StripedVolume` loses
+member drives mid-workload via scripted
+:class:`~repro.recovery.schedule.MemberFailureEvent` entries.  Unlike a
+volume crash there is **no downtime window at all** — the SLOs are that
+every operation succeeds throughout (reads never unavailable, zero
+acked-write loss), the array walks OPTIMAL → DEGRADED → REBUILDING →
+OPTIMAL, and losing the rebuild target mid-rebuild degrades again
+rather than failing.  A destructive finale then exhausts redundancy on
+purpose: with two members dead the array must report FAILED and *every*
+read must raise — stale or reconstructed-from-garbage bytes are the one
+unforgivable outcome.
+
 Reports are byte-deterministic: the same seed emits the identical JSON
 document, which CI diffs across a double run.
 """
@@ -61,9 +75,16 @@ from repro.disk_service.addresses import Extent
 from repro.disk_service.scrub import Scrubber, ScrubFinding
 from repro.file_service.cache import WritePolicy
 from repro.naming.attributed import AttributedName
-from repro.recovery.schedule import FailureEvent, FailureSchedule
+from repro.recovery.schedule import (
+    FailureEvent,
+    FailureSchedule,
+    MemberFailureEvent,
+)
+from repro.replication.service import volume_component
 from repro.rpc.bus import FaultProfile
 from repro.rpc.retry import BackoffPolicy, BreakerPolicy
+from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.raid import ArrayFailedError, ArrayState
 from repro.verify.fsck import verify_checksums
 
 #: Fixed payload sizes keep every write the same shape, so version
@@ -198,6 +219,71 @@ SCRUB_SCENARIOS: Tuple[ScrubScenario, ...] = (
 )
 
 SCRUB_SMOKE = tuple(scenario.name for scenario in SCRUB_SCENARIOS)
+
+
+@dataclass(frozen=True)
+class RaidScenario:
+    """One RAID-tier campaign cell: a member kill/replace script.
+
+    Attributes:
+        level: array layout backing every volume's data disk.
+        members: member drives per array.
+        events: the member kill/replace script, fired through the same
+            :class:`FailureSchedule` the volume crashes use.
+        steps: workload operations (one per think-step).
+        exhaust_finale: after the scripted phase converges, kill two
+            members on purpose and demand the array report FAILED and
+            refuse — loudly — to serve a single byte.
+    """
+
+    name: str
+    level: str
+    events: Tuple[MemberFailureEvent, ...]
+    steps: int
+    members: int = 4
+    chunk_sectors: int = 64
+    rebuild_chunks: int = 32
+    exhaust_finale: bool = False
+    think_us: int = 5_000
+    seed: int = 0
+    description: str = ""
+
+
+#: One member dies at 300 ms; its blank replacement arrives 400 ms
+#: later and rebuilds in the idle slots between operations.
+SINGLE_MEMBER_LOSS = (
+    MemberFailureEvent(at_us=300_000, volume_id=0, member_index=1, down_us=400_000),
+)
+
+#: Member 2 dies, is replaced, then dies *again* 60 ms into its own
+#: rebuild — the second kill must cancel the rebuild and drop the array
+#: back to degraded, never to FAILED (three healthy members remain).
+REBUILD_INTERRUPTED = (
+    MemberFailureEvent(at_us=200_000, volume_id=0, member_index=2, down_us=300_000),
+    MemberFailureEvent(at_us=560_000, volume_id=0, member_index=2, down_us=340_000),
+)
+
+RAID_SCENARIOS: Tuple[RaidScenario, ...] = (
+    RaidScenario(
+        name="raid_member_loss",
+        level="raid5",
+        events=SINGLE_MEMBER_LOSS,
+        steps=240,
+        description="single member dies under mixed load; degraded "
+        "service, background rebuild, zero unavailability",
+    ),
+    RaidScenario(
+        name="raid_rebuild_interrupted",
+        level="raid5",
+        events=REBUILD_INTERRUPTED,
+        steps=240,
+        exhaust_finale=True,
+        description="rebuild target dies mid-rebuild (degrade, never "
+        "fail); finale exhausts redundancy and demands loud refusal",
+    ),
+)
+
+RAID_SMOKE = tuple(scenario.name for scenario in RAID_SCENARIOS)
 
 
 def recovery_allowance_us(
@@ -801,17 +887,270 @@ class _ScrubRun:
         }
 
 
+class _RaidRun:
+    """One RAID scenario: member kills mid-workload, rebuild, verdicts.
+
+    A single volume backed by a :class:`StripedVolume` serves a mixed
+    read/write workload over the client agent path (reliable bus — any
+    failed operation is attributable to the RAID tier, not bus luck).
+    The schedule kills and replaces member drives between operations;
+    :meth:`RhodosCluster.step_rebuilds` is pumped each step so the
+    background rebuild competes with foreground traffic for idle slots.
+    Unlike the volume-crash scenarios there is no unavailability budget
+    to spend: **every** operation must succeed, and at the end every
+    acked byte must read back exactly from the server's durable state.
+    """
+
+    def __init__(self, scenario: RaidScenario) -> None:
+        self.scenario = scenario
+        self.cluster = RhodosCluster(
+            ClusterConfig(
+                n_machines=1,
+                n_disks=1,
+                # 64 MB members keep the rebuild long enough to overlap
+                # dozens of foreground steps yet finish within the run.
+                geometry=DiskGeometry.small(),
+                replication_degree=1,
+                fault_profile=FaultProfile.reliable(),
+                write_policy=WritePolicy.WRITE_THROUGH,
+                # Every cache off: each read reaches the platters, so
+                # degraded reads really exercise XOR reconstruction on
+                # the client path rather than a cached block.
+                client_cache_blocks=0,
+                server_cache_blocks=0,
+                disk_cache_tracks=0,
+                disk_readahead=False,
+                raid_level=scenario.level,
+                raid_members=scenario.members,
+                raid_chunk_sectors=scenario.chunk_sectors,
+                raid_rebuild_chunks=scenario.rebuild_chunks,
+                seed=scenario.seed,
+            )
+        )
+        self.schedule = FailureSchedule(
+            scenario.events,
+            self.cluster.clock,
+            metrics=self.cluster.metrics,
+        )
+        self.rng = random.Random(scenario.seed)
+        self.action_log: List[str] = []
+        self.state_log: List[List[object]] = []
+        self.acked: Dict[int, bytes] = {}  # offset -> content
+        self.version = 0
+        self.stats = {
+            "reads": 0,
+            "writes": 0,
+            "reads_degraded": 0,
+            "writes_degraded": 0,
+        }
+        self.violations: List[str] = []
+        self.array = self.cluster.arrays[0]
+        # Chain onto the cluster's health wiring so the campaign sees
+        # the same transitions the failure detector does.
+        chain = self.array.on_state_change
+
+        def observe(old: ArrayState, new: ArrayState) -> None:
+            self.state_log.append(
+                [self.cluster.clock.now_us, old.name, new.name]
+            )
+            if chain is not None:
+                chain(old, new)
+
+        self.array.on_state_change = observe
+
+    # ------------------------------------------------------- workload
+
+    def run(self) -> Dict[str, object]:
+        cluster, schedule = self.cluster, self.schedule
+        agent = cluster.machine.file_agent
+        descriptor = agent.create(
+            AttributedName.file("/availability/raid"), volume_id=0
+        )
+        for _step in range(self.scenario.steps):
+            self.action_log.extend(schedule.poll(cluster))
+            cluster.step_rebuilds()
+            cluster.clock.advance_us(self.scenario.think_us)
+            if self.rng.random() < 0.55 or not self.acked:
+                self._write(agent, descriptor)
+            else:
+                self._read(agent, descriptor)
+
+        # Converge: fire the remaining replacements, then grant the
+        # rebuild exclusive slots until the array is whole again.
+        self.action_log.extend(schedule.run_out(cluster))
+        for _ in range(8 * self.scenario.steps):
+            if not cluster.rebuilders:
+                break
+            cluster.clock.advance_us(self.scenario.think_us)
+            cluster.step_rebuilds(force=True)
+        else:
+            self.violations.append("rebuild never completed at run-out")
+        self._verify_convergence(agent, descriptor)
+        finale = self._exhaust_redundancy() if self.scenario.exhaust_finale else None
+        return self._report(finale)
+
+    def _write(self, agent, descriptor: int) -> None:
+        cluster = self.cluster
+        version = self.version
+        offset = version * AGENT_LEN
+        content = version_content(version, AGENT_LEN)
+        start = cluster.clock.now_us
+        degraded = self.array.state is not ArrayState.OPTIMAL
+        self.stats["writes"] += 1
+        self.stats["writes_degraded"] += 1 if degraded else 0
+        try:
+            agent.pwrite(descriptor, content, offset)
+            cluster.machine.file_agent.router.flush_volume(0)
+        except (RpcError, RhodosError) as exc:
+            self.violations.append(
+                f"t={start}us write v{version} failed "
+                f"({type(exc).__name__}) — the volume must keep serving"
+            )
+            return
+        self.acked[offset] = content
+        self.version = version + 1
+
+    def _read(self, agent, descriptor: int) -> None:
+        cluster = self.cluster
+        offsets = sorted(self.acked)
+        offset = offsets[self.rng.randrange(len(offsets))]
+        start = cluster.clock.now_us
+        degraded = self.array.state is not ArrayState.OPTIMAL
+        self.stats["reads"] += 1
+        self.stats["reads_degraded"] += 1 if degraded else 0
+        try:
+            data = agent.pread(descriptor, AGENT_LEN, offset)
+        except (RpcError, RhodosError) as exc:
+            self.violations.append(
+                f"t={start}us read at {offset} failed "
+                f"({type(exc).__name__}) — reads are never unavailable"
+            )
+            return
+        if data != self.acked[offset]:
+            self.violations.append(
+                f"t={start}us read at {offset} returned wrong bytes "
+                f"({data[:8]!r}...)"
+            )
+
+    # ----------------------------------------------------- invariants
+
+    def _verify_convergence(self, agent, descriptor: int) -> None:
+        cluster = self.cluster
+        if self.array.state is not ArrayState.OPTIMAL:
+            self.violations.append(
+                f"array ended {self.array.state.name}, not OPTIMAL"
+            )
+        for entry in self.state_log:
+            if entry[2] == "FAILED":
+                self.violations.append(
+                    f"t={entry[0]}us array went FAILED with redundancy "
+                    f"remaining"
+                )
+        # Durability against the server's durable state, not bus luck.
+        agent_name = agent.system_name(descriptor)
+        server = cluster.file_servers[agent_name.volume_id]
+        for offset in sorted(self.acked):
+            data = server.read(agent_name, offset, AGENT_LEN)
+            if data != self.acked[offset]:
+                self.violations.append(
+                    f"acked write at offset {offset} lost after rebuild"
+                )
+        if cluster.health.is_down(volume_component(0)):
+            self.violations.append(
+                "health registry still holds the volume down after the "
+                "array returned to OPTIMAL"
+            )
+
+    def _exhaust_redundancy(self) -> Dict[str, object]:
+        """Kill two members: FAILED is mandatory, silence is forbidden."""
+        cluster = self.cluster
+        cluster.fail_member(0, 0)
+        cluster.fail_member(0, 1)
+        if self.array.state is not ArrayState.FAILED:
+            self.violations.append(
+                f"two members dead but array is {self.array.state.name}"
+            )
+        refused = served = 0
+        for sector in (0, 8, 64):
+            try:
+                data = cluster.disks[0].read_sectors(sector, 1)
+            except ArrayFailedError:
+                refused += 1
+                continue
+            served += 1
+            self.violations.append(
+                f"FAILED array served {len(data)} bytes at sector {sector}"
+            )
+        return {
+            "health_down": cluster.health.is_down(volume_component(0)),
+            "reads_refused": refused,
+            "reads_served": served,
+            "state": self.array.state.name,
+        }
+
+    def _report(self, finale: Optional[Dict[str, object]]) -> Dict[str, object]:
+        metrics = self.cluster.metrics
+        counters = {
+            name: metrics.get(name)
+            for name in (
+                "cluster.member_failures",
+                "cluster.member_replacements",
+                "health.marked_down",
+                "health.recoveries",
+                "health.transient_errors",
+                "recovery.member_kills_injected",
+                "recovery.member_replacements_injected",
+                "raid.0.degraded_reads",
+                "raid.0.degraded_writes",
+                "raid.0.journal_arms",
+                "raid.0.member_failures",
+                "raid.0.member_replacements",
+                "raid.0.parity_writes",
+                "raid.0.rebuild.chunks",
+                "raid.0.rebuild.steps_yielded",
+                "raid.0.segments_reconstructed",
+            )
+        }
+        return {
+            "counters": counters,
+            "description": self.scenario.description,
+            "events": [
+                [event.at_us, event.volume_id, event.member_index, event.down_us]
+                for event in self.scenario.events
+            ],
+            "finale": finale,
+            "final_versions": {"writes_acked": len(self.acked)},
+            "layout": {
+                "chunk_sectors": self.scenario.chunk_sectors,
+                "level": self.scenario.level,
+                "members": self.scenario.members,
+            },
+            "lifecycle_log": self.action_log,
+            "member_windows": [
+                list(window) for window in self.schedule.member_windows()
+            ],
+            "ops": dict(sorted(self.stats.items())),
+            "seed": self.scenario.seed,
+            "state_log": self.state_log,
+            "status": "pass" if not self.violations else "fail",
+            "violations": list(self.violations),
+        }
+
+
 def run_scenario(scenario) -> Dict[str, object]:
     """Execute one scenario; returns its deterministic report dict."""
     if isinstance(scenario, ScrubScenario):
         return _ScrubRun(scenario).run()
+    if isinstance(scenario, RaidScenario):
+        return _RaidRun(scenario).run()
     return _Run(scenario).run()
 
 
 def run_campaign(names: List[str]) -> Dict[str, object]:
     """Run the named scenarios; returns the full JSON document."""
     by_name: Dict[str, object] = {
-        scenario.name: scenario for scenario in (*SCENARIOS, *SCRUB_SCENARIOS)
+        scenario.name: scenario
+        for scenario in (*SCENARIOS, *SCRUB_SCENARIOS, *RAID_SCENARIOS)
     }
     unknown = sorted(set(names) - set(by_name))
     if unknown:
@@ -848,7 +1187,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="AVAILABILITY_pr6.json",
+        default="AVAILABILITY_pr9.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(
@@ -860,8 +1199,8 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.list:
-        for scenario in (*SCENARIOS, *SCRUB_SCENARIOS):
-            print(f"{scenario.name:20s} {scenario.description}")
+        for scenario in (*SCENARIOS, *SCRUB_SCENARIOS, *RAID_SCENARIOS):
+            print(f"{scenario.name:24s} {scenario.description}")
         return 0
     if args.only:
         names = list(args.only)
@@ -869,7 +1208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = list(SMOKE_SCENARIOS)
     else:
         names = [
-            scenario.name for scenario in (*SCENARIOS, *SCRUB_SCENARIOS)
+            scenario.name
+            for scenario in (*SCENARIOS, *SCRUB_SCENARIOS, *RAID_SCENARIOS)
         ]
     document = run_campaign(names)
     out_path = Path(args.out)

@@ -40,6 +40,7 @@ from repro.naming.attributed import AttributedName
 from repro.naming.service import NamingService
 from repro.simdisk.disk import SimDisk
 from repro.simdisk.geometry import DiskGeometry
+from repro.simdisk.raid import ArrayState, RaidRebuilder, StripedVolume
 from repro.simdisk.stable import StableStore
 from repro.simkernel.loop import EventLoop
 from repro.transactions.agent import TransactionAgentHost
@@ -447,6 +448,200 @@ class TwoVolumeCommitWorkload(_TransactionalWorkload):
     BLOCKS = 1
 
 
+class _RaidChaosWorkload(ChaosWorkload):
+    """Shared machinery for the RAID-tier workloads.
+
+    These run *below* the disk service: the script drives a
+    :class:`~repro.simdisk.raid.StripedVolume` directly, keeping a
+    shadow image of every **acked** ``write_sectors`` call.  There is
+    no file stack, so ``self.volumes`` stays empty and the content
+    promise is the array's own:
+
+    * every byte of an acked write reads back exactly after recovery —
+      including bytes served for a stale member through parity
+      reconstruction (zero acked-write loss);
+    * the region covered by the single in-flight write is *in flux*
+      (old, new, or torn — the array promises nothing below an ack);
+    * once recovery completes the rebuild, the parity invariant — the
+      XOR of a row's data chunks equals its parity chunk — holds on
+      **every** stripe row, read raw from the member platters.
+    """
+
+    LEVEL = "raid5"
+    MEMBERS = 4
+    CHUNK_SECTORS = 4
+
+    def build(self) -> None:
+        geometry = DiskGeometry(cylinders=4, heads=2, sectors_per_track=8)
+        self.members = [
+            SimDisk(f"raidchaos.m{index}", geometry, self.clock, self.metrics)
+            for index in range(self.MEMBERS)
+        ]
+        self.array = StripedVolume(
+            "raidchaos",
+            self.members,
+            level=self.LEVEL,
+            chunk_sectors=self.CHUNK_SECTORS,
+            metrics=self.metrics,
+        )
+        # Attach after construction: the freshly initialised
+        # superblocks are the pre-script state, not crash points.
+        self.monitor.attach(*self.members)
+        self.sector_size = geometry.sector_size
+        self.logical_sectors = self.array.geometry.total_sectors
+        self.shadow = bytearray(self.logical_sectors * self.sector_size)
+        #: The single in-flight (un-acked) write, as (start, n_sectors).
+        self.flux: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------- helpers
+
+    def _write(self, start: int, fill: str, n_sectors: int) -> None:
+        """One logical write; the shadow is updated only on the ack."""
+        payload = fill.encode() * (n_sectors * self.sector_size)
+        self.flux = (start, n_sectors)
+        self.array.write_sectors(start, payload)
+        self.flux = None
+        base = start * self.sector_size
+        self.shadow[base : base + len(payload)] = payload
+
+    def _assert_readback(self) -> None:
+        """In-script sanity read (reads add no crash points)."""
+        content = self.array.read_sectors(0, self.logical_sectors)
+        if content != bytes(self.shadow):
+            raise AssertionError(
+                "raid workload script read back wrong bytes at "
+                f"byte {_first_divergence(bytes(self.shadow), content)}"
+            )
+
+    def recover(self) -> None:
+        """Machine restart: repair drives, reassemble, rebuild to OPTIMAL."""
+        for member in self.members:
+            member.repair()
+        self.array.recover(resync=True)
+        for index in self.array.failed_members:
+            self.array.replace_member(index, blank=True)
+            RaidRebuilder(self.array, chunks_per_step=8).run_cycle()
+            break  # at most one stale member is recoverable
+
+    def check_content(self) -> List[str]:
+        violations: List[str] = []
+        if self.array.state is not ArrayState.OPTIMAL:
+            violations.append(
+                f"array recovered to {self.array.state.name}, not OPTIMAL "
+                f"(failed members {self.array.failed_members})"
+            )
+            return violations
+        size = self.sector_size
+        content = self.array.read_sectors(0, self.logical_sectors)
+        flux_lo, flux_hi = (0, 0) if self.flux is None else (
+            self.flux[0], self.flux[0] + self.flux[1]
+        )
+        for sector in range(self.logical_sectors):
+            if flux_lo <= sector < flux_hi:
+                continue  # covered by the un-acked in-flight write
+            base = sector * size
+            got = content[base : base + size]
+            want = bytes(self.shadow[base : base + size])
+            if got != want:
+                violations.append(
+                    f"logical sector {sector}: acked content diverged "
+                    f"(expected {_describe(want)}, read {_describe(got)})"
+                )
+        violations.extend(self._check_parity())
+        return violations
+
+    def _check_parity(self) -> List[str]:
+        """The parity invariant, read raw from the member platters."""
+        if self.array.level != 5:
+            return []
+        violations: List[str] = []
+        chunk = self.array.chunk_sectors
+        meta = self.array.meta_chunks
+        for row in range(self.array.member_chunks - meta):
+            physical = (meta + row) * chunk
+            acc: Optional[bytes] = None
+            for member in self.members:
+                column = member.read_sectors(physical, chunk)
+                acc = (
+                    column if acc is None
+                    else bytes(a ^ b for a, b in zip(acc, column))
+                )
+            assert acc is not None
+            if acc != bytes(len(acc)):
+                violations.append(
+                    f"stripe row {row}: parity invariant broken "
+                    "(XOR of data chunks != parity chunk)"
+                )
+        return violations
+
+
+class RaidDegradedWriteWorkload(_RaidChaosWorkload):
+    """RAID-5 service through a member loss: every degraded write path.
+
+    The script writes in OPTIMAL mode (full rows and read-modify-write
+    partial rows), kills member 1, then exercises each degraded write
+    shape: a full row, exact-slice partial rows on stripes where the
+    dead member held parity, and journalled partial rows where it held
+    data — with the stale column both covered and not covered by the
+    write.  Sweeping every crash point (member writes, parity updates,
+    journal arming, superblock rounds) proves the degraded write hole
+    stays shut: after recovery plus rebuild, acked bytes are exact and
+    the parity invariant holds on every row.
+    """
+
+    name = "raid-degraded"
+
+    def run(self) -> None:
+        # Optimal phase: full rows 0-1, then small-write partial rows.
+        self._write(0, "A", 24)
+        self._write(30, "B", 5)
+        self._write(50, "C", 10)
+        self._write(100, "D", 20)
+        self.array.fail_member(1)
+        # Degraded phase.  Stripe rows span 12 logical sectors; member
+        # 1 holds parity on rows 2, 6, 10 and data elsewhere.
+        self._write(12, "E", 12)   # full row, one column short
+        self._write(26, "F", 4)    # row 2: exact slices, no parity
+        self._write(40, "G", 6)    # row 3: stale data column, uncovered
+        self._write(36, "H", 3)    # row 3: stale data column, covered
+        self._write(60, "I", 12)   # full row again
+        self._write(73, "J", 2)    # row 6: exact slices, no parity
+        self._assert_readback()
+
+
+class RaidRebuildWorkload(_RaidChaosWorkload):
+    """Member replacement and background rebuild under foreground load.
+
+    The script loses member 2, keeps writing degraded, swaps in a
+    blank platter and interleaves rebuild steps with foreground writes
+    — covering write-through below the watermark, journalled updates
+    above it, and the rebuild's own reconstruction writes.  A crash at
+    any point (including mid-rebuild) must recover by restarting the
+    rebuild from scratch off the journalled, parity-consistent
+    survivors.
+    """
+
+    name = "raid-rebuild"
+
+    def run(self) -> None:
+        self._write(0, "A", 36)
+        self._write(40, "B", 6)
+        self._write(84, "C", 24)
+        self.array.fail_member(2)
+        self._write(13, "D", 10)
+        self.array.replace_member(2, blank=True)
+        rebuilder = RaidRebuilder(self.array, chunks_per_step=3)
+        fills = iter("EFGHIJKLMN")
+        while not rebuilder.done:
+            rebuilder.step(force=True)
+            fill = next(fills)
+            # Alternate below/above the advancing watermark.
+            self._write(2, fill, 5)
+            self._write(120, fill.lower(), 7)
+        self._write(70, "Z", 16)
+        self._assert_readback()
+
+
 def _first_divergence(a: bytes, b: bytes) -> int:
     for index, (x, y) in enumerate(zip(a, b)):
         if x != y:
@@ -478,6 +673,8 @@ WORKLOADS: Dict[str, Type[ChaosWorkload]] = {
     for workload in (
         AppendOverwriteWorkload,
         QueuedWriteWorkload,
+        RaidDegradedWriteWorkload,
+        RaidRebuildWorkload,
         ScrubRepairWorkload,
         TransactionCommitWorkload,
         TwoVolumeCommitWorkload,

@@ -57,6 +57,15 @@ class ClusterConfig:
         health_transient_tolerance: consecutive transient replica
             errors one volume may accumulate before the failure
             detector treats it as down.
+        raid_level: back each volume's data disk with a
+            :class:`~repro.simdisk.raid.StripedVolume` of this layout
+            (``raid0`` / ``raid1`` / ``raid5``) instead of a single
+            drive; None (default) keeps the single-disk configuration.
+        raid_members: member drives per array (each of ``geometry``).
+        raid_chunk_sectors: sectors per stripe unit; the default of one
+            track keeps a stripe unit a single-track reference.
+        raid_rebuild_chunks: physical chunks the background rebuilder
+            reconstructs per granted idle step.
         seed: RNG seed for every stochastic component.
         tracing: record cross-layer request spans (zero-cost when off).
         trace_capacity: completed spans retained in the tracer's ring
@@ -85,6 +94,10 @@ class ClusterConfig:
     rpc_breaker: Optional[BreakerPolicy] = None
     health_transient_tolerance: int = 3
     replication_degree: int = 2
+    raid_level: Optional[Literal["raid0", "raid1", "raid5"]] = None
+    raid_members: int = 4
+    raid_chunk_sectors: int = 64
+    raid_rebuild_chunks: int = 32
     seed: int = 0
     tracing: bool = False
     trace_capacity: int = 4096
@@ -94,6 +107,14 @@ class ClusterConfig:
             raise ValueError("need at least one machine")
         if self.n_disks < 1:
             raise ValueError("need at least one disk")
+        if self.raid_level is not None:
+            floor = 3 if self.raid_level == "raid5" else 2
+            if self.raid_members < floor:
+                raise ValueError(
+                    f"{self.raid_level} needs at least {floor} members"
+                )
+            if self.raid_chunk_sectors < 1:
+                raise ValueError("raid chunk size must be positive")
 
     @classmethod
     def bullet_style(cls, **overrides) -> "ClusterConfig":

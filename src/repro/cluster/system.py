@@ -40,6 +40,7 @@ from repro.rpc.bus import MessageBus
 from repro.rpc.endpoint import RpcClient, RpcServer
 from repro.rpc.retry import CircuitBreaker
 from repro.simdisk.disk import SimDisk
+from repro.simdisk.raid import ArrayState, RaidRebuilder, StripedVolume
 from repro.simdisk.stable import StableStore
 from repro.simkernel.loop import EventLoop
 from repro.transactions.agent import TransactionAgentHost
@@ -93,19 +94,50 @@ class RhodosCluster:
         self.loop = EventLoop(self.clock)
         self.naming = NamingService(self.metrics)
 
-        self.disks: List[SimDisk] = []
+        #: Per-volume data "disk": a SimDisk, or a StripedVolume duck-
+        #: typing the same surface when config.raid_level is set.
+        self.disks: List[SimDisk | StripedVolume] = []
+        #: volume id -> backing RAID array (empty unless config.raid_level).
+        self.arrays: Dict[int, StripedVolume] = {}
+        #: volume id -> in-flight background rebuild (see replace_member).
+        self.rebuilders: Dict[int, RaidRebuilder] = {}
         self.disk_servers: Dict[int, DiskServer] = {}
         self.pipelines: Dict[int, DiskPipeline] = {}
         self.file_servers: Dict[int, FileServer] = {}
         for volume_id in range(self.config.n_disks):
-            disk = SimDisk(
-                str(volume_id),
-                self.config.geometry,
-                self.clock,
-                self.metrics,
-                timing=self.config.timing,
-                tracer=self.tracer,
-            )
+            if self.config.raid_level is not None:
+                members = [
+                    SimDisk(
+                        f"{volume_id}.m{index}",
+                        self.config.geometry,
+                        self.clock,
+                        self.metrics,
+                        timing=self.config.timing,
+                        tracer=self.tracer,
+                    )
+                    for index in range(self.config.raid_members)
+                ]
+                disk = StripedVolume(
+                    str(volume_id),
+                    members,
+                    level=self.config.raid_level,
+                    chunk_sectors=self.config.raid_chunk_sectors,
+                    metrics=self.metrics,
+                )
+                disk.on_state_change = (
+                    lambda old, new, vid=volume_id:
+                    self._on_array_state(vid, old, new)
+                )
+                self.arrays[volume_id] = disk
+            else:
+                disk = SimDisk(
+                    str(volume_id),
+                    self.config.geometry,
+                    self.clock,
+                    self.metrics,
+                    timing=self.config.timing,
+                    tracer=self.tracer,
+                )
             stable = StableStore(
                 SimDisk(
                     f"{volume_id}.stable_a",
@@ -334,8 +366,84 @@ class RhodosCluster:
         self.metrics.add("cluster.volume_restarts")
         self.health.note_recovered(volume_component(volume_id))
 
+    # ------------------------------------------------- RAID lifecycle
+
+    def _on_array_state(self, volume_id: int, old: ArrayState, new: ArrayState) -> None:
+        """Route an array's state transition into the health registry.
+
+        FAILED is a volume-down verdict; DEGRADED and REBUILDING are
+        transient evidence (the volume still serves, redundancy is
+        reduced); a return to OPTIMAL clears suspicion — firing the
+        registry's repair hooks only if the volume had actually been
+        marked down.
+        """
+        component = volume_component(volume_id)
+        if new is ArrayState.FAILED:
+            self.health.mark_down(component)
+        elif new is ArrayState.OPTIMAL:
+            if self.health.is_down(component):
+                self.health.note_recovered(component)
+            else:
+                self.health.note_ok(component)
+        else:
+            self.health.note_error(component, permanent=False)
+
+    def fail_member(self, volume_id: int, member_index: int) -> None:
+        """Kill one member drive of a RAID-backed volume."""
+        self.arrays[volume_id].fail_member(member_index)
+        self.metrics.add("cluster.member_failures")
+
+    def replace_member(
+        self, volume_id: int, member_index: int, *, blank: bool = True
+    ) -> RaidRebuilder:
+        """Swap a failed member and start its background rebuild.
+
+        The rebuilder is idle-gated on the volume's disk pipeline —
+        reconstruction only proceeds from slots where no foreground
+        request is queued, the same discipline the scrubber follows.
+        Pump it with :meth:`step_rebuilds` (or force completion via the
+        returned rebuilder's ``run_cycle``).
+        """
+        array = self.arrays[volume_id]
+        array.replace_member(member_index, blank=blank)
+        pipeline = self.pipelines[volume_id]
+        rebuilder = RaidRebuilder(
+            array,
+            chunks_per_step=self.config.raid_rebuild_chunks,
+            idle_gate=lambda p=pipeline: p.busy,
+        )
+        self.rebuilders[volume_id] = rebuilder
+        self.metrics.add("cluster.member_replacements")
+        return rebuilder
+
+    def step_rebuilds(self, *, force: bool = False) -> int:
+        """Grant every in-flight rebuild one idle slot; returns chunks built.
+
+        Finished (or cancelled) rebuilders are retired from
+        :attr:`rebuilders`; call from workload idle points, as the
+        availability campaign does between operations.
+        """
+        built = 0
+        for volume_id in sorted(self.rebuilders):
+            rebuilder = self.rebuilders[volume_id]
+            built += rebuilder.step(force=force)
+            if rebuilder.done:
+                del self.rebuilders[volume_id]
+        return built
+
     def total_disk_references(self) -> int:
-        """Data-disk references only (stable mirrors excluded)."""
+        """Data-disk references only (stable mirrors excluded).
+
+        For RAID-backed volumes the member drives are the data disks:
+        their reference counters are the quantity the paper's argument
+        bounds (the array itself issues no references of its own).
+        """
+        if self.config.raid_level is not None:
+            return sum(
+                self.metrics.get(f"disk.{volume_id}.m{index}.references")
+                for volume_id in range(self.config.n_disks)
+                for index in range(self.config.raid_members)
+            )
         return sum(
             self.metrics.get(f"disk.{volume_id}.references")
             for volume_id in range(self.config.n_disks)

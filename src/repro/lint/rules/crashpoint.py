@@ -78,6 +78,16 @@ REGISTERED_WRITE_SITES: FrozenSet[Tuple[str, str]] = frozenset(
         ("repro.disk_service.scrub", "Scrubber._repair_mirrored"),
         # mid-read rollback of a torn mirrored extent to stable
         ("repro.disk_service.server", "DiskServer._read_repair"),
+        # RAID tier (DESIGN.md §14): the array's data-path fan-out,
+        # its parity updates, and its membership superblock rounds —
+        # every physical write the array issues funnels through these
+        ("repro.simdisk.raid", "StripedVolume._member_write"),
+        ("repro.simdisk.raid", "StripedVolume._parity_write"),
+        ("repro.simdisk.raid", "StripedVolume._superblock_write"),
+        # write-intent journal closing the degraded write hole
+        ("repro.simdisk.raid", "StripedVolume._journal_write"),
+        # background rebuild reconstructing a replaced member
+        ("repro.simdisk.raid", "RaidRebuilder._write_target"),
     }
 )
 

@@ -24,12 +24,20 @@ import downward into this package, never the reverse.
 """
 
 from repro.recovery.health import HealthRegistry, HealthState
-from repro.recovery.schedule import FailureEvent, FailureSchedule, VolumeLifecycleHost
+from repro.recovery.schedule import (
+    FailureEvent,
+    FailureSchedule,
+    MemberFailureEvent,
+    MemberLifecycleHost,
+    VolumeLifecycleHost,
+)
 
 __all__ = [
     "HealthRegistry",
     "HealthState",
     "FailureEvent",
     "FailureSchedule",
+    "MemberFailureEvent",
+    "MemberLifecycleHost",
     "VolumeLifecycleHost",
 ]

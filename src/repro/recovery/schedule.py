@@ -19,7 +19,7 @@ only on :mod:`repro.common`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.common.clock import SimClock
 from repro.common.metrics import Metrics
@@ -46,6 +46,42 @@ class FailureEvent:
         return self.at_us + self.down_us
 
 
+@dataclass(frozen=True, slots=True)
+class MemberFailureEvent:
+    """One member-disk kill/replace pair for a RAID-backed volume.
+
+    "Disk ``member_index`` of volume ``volume_id`` dies at ``at_us``;
+    a blank replacement arrives ``down_us`` later" — the scripted form
+    of the RAID tier's degraded/rebuild scenarios.  Unlike a
+    :class:`FailureEvent` the *volume keeps serving* throughout: the
+    kill drops the array to degraded mode, the replacement starts a
+    background rebuild.
+    """
+
+    at_us: int
+    volume_id: int
+    member_index: int
+    down_us: int
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("member kill time cannot be negative")
+        if self.down_us <= 0:
+            raise ValueError("replacement lag must be positive")
+        if self.volume_id < 0:
+            raise ValueError("volume id cannot be negative")
+        if self.member_index < 0:
+            raise ValueError("member index cannot be negative")
+
+    @property
+    def replace_at_us(self) -> int:
+        return self.at_us + self.down_us
+
+
+#: Anything a schedule can script.
+ScheduledEvent = Union[FailureEvent, MemberFailureEvent]
+
+
 class VolumeLifecycleHost(Protocol):
     """What a schedule drives: something that can crash and restart volumes."""
 
@@ -54,28 +90,54 @@ class VolumeLifecycleHost(Protocol):
     def restart_volume(self, volume_id: int) -> None: ...
 
 
+class MemberLifecycleHost(VolumeLifecycleHost, Protocol):
+    """A host that can additionally kill/replace RAID member disks.
+
+    Only required when the schedule contains
+    :class:`MemberFailureEvent` entries (in practice
+    :class:`~repro.cluster.system.RhodosCluster` with a RAID config).
+    """
+
+    def fail_member(self, volume_id: int, member_index: int) -> None: ...
+
+    def replace_member(self, volume_id: int, member_index: int) -> object: ...
+
+
 class FailureSchedule:
     """Polls the clock and fires due crash/restart events, in order.
 
     Args:
-        events: the script; windows of the same volume must not overlap
-            (a volume cannot crash while already down).
+        events: the script — volume crash/restart pairs and RAID member
+            kill/replace pairs, freely mixed; windows of the same
+            volume (or of the same member of the same volume) must not
+            overlap.
         clock: the shared simulated clock the script reads.
         metrics: optional registry (``recovery.*`` counters).
     """
 
+    #: Action kinds; the numeric order is the same-instant firing order,
+    #: so every repair precedes every failure scheduled at that time.
+    _RESTART, _REPLACE, _CRASH, _KILL = 0, 1, 2, 3
+
     def __init__(
         self,
-        events: Sequence[FailureEvent],
+        events: Sequence[ScheduledEvent],
         clock: SimClock,
         *,
         metrics: Optional[Metrics] = None,
     ) -> None:
         self.clock = clock
         self.metrics = metrics or Metrics()
-        ordered = sorted(events, key=lambda e: (e.at_us, e.volume_id))
+        volume_events = sorted(
+            (e for e in events if isinstance(e, FailureEvent)),
+            key=lambda e: (e.at_us, e.volume_id),
+        )
+        member_events = sorted(
+            (e for e in events if isinstance(e, MemberFailureEvent)),
+            key=lambda e: (e.at_us, e.volume_id, e.member_index),
+        )
         last_restart: dict[int, int] = {}
-        for event in ordered:
+        for event in volume_events:
             previous = last_restart.get(event.volume_id)
             if previous is not None and event.at_us < previous:
                 raise ValueError(
@@ -83,20 +145,45 @@ class FailureSchedule:
                     f"overlaps the window ending at {previous}us"
                 )
             last_restart[event.volume_id] = event.restart_at_us
-        #: (time, kind, volume) actions not yet fired; kind orders a
-        #: restart before a crash scheduled at the same instant.
-        self._pending: List[Tuple[int, int, int]] = sorted(
-            [(e.at_us, 1, e.volume_id) for e in ordered]
-            + [(e.restart_at_us, 0, e.volume_id) for e in ordered]
+        last_replace: dict[tuple[int, int], int] = {}
+        for event in member_events:
+            slot = (event.volume_id, event.member_index)
+            previous = last_replace.get(slot)
+            if previous is not None and event.at_us < previous:
+                raise ValueError(
+                    f"volume {event.volume_id} member {event.member_index}: "
+                    f"kill at {event.at_us}us overlaps the window "
+                    f"ending at {previous}us"
+                )
+            last_replace[slot] = event.replace_at_us
+        #: (time, kind, volume, member) actions not yet fired; member is
+        #: -1 for volume-level actions.
+        self._pending: List[Tuple[int, int, int, int]] = sorted(
+            [(e.at_us, self._CRASH, e.volume_id, -1) for e in volume_events]
+            + [
+                (e.restart_at_us, self._RESTART, e.volume_id, -1)
+                for e in volume_events
+            ]
+            + [
+                (e.at_us, self._KILL, e.volume_id, e.member_index)
+                for e in member_events
+            ]
+            + [
+                (e.replace_at_us, self._REPLACE, e.volume_id, e.member_index)
+                for e in member_events
+            ]
         )
-        self._events = tuple(ordered)
+        self._events = tuple(volume_events) + tuple(member_events)
         self._down_since: dict[int, int] = {}
         self._windows: List[Tuple[int, int, int]] = []  # (volume, start, end)
+        self._member_down_since: dict[tuple[int, int], int] = {}
+        #: Completed (volume, member, killed_at, replaced_at) windows.
+        self._member_windows: List[Tuple[int, int, int, int]] = []
 
     # ----------------------------------------------------------- api
 
     @property
-    def events(self) -> Tuple[FailureEvent, ...]:
+    def events(self) -> Tuple[ScheduledEvent, ...]:
         return self._events
 
     def done(self) -> bool:
@@ -116,18 +203,38 @@ class FailureSchedule:
         actions: List[str] = []
         now = self.clock.now_us
         while self._pending and self._pending[0][0] <= now:
-            at_us, kind, volume_id = self._pending.pop(0)
-            if kind == 1:
+            at_us, kind, volume_id, member = self._pending.pop(0)
+            if kind == self._CRASH:
                 self._down_since[volume_id] = at_us
                 host.fail_volume(volume_id)
                 self.metrics.add("recovery.crashes_injected")
                 actions.append(f"t={at_us}us crash volume {volume_id}")
-            else:
+            elif kind == self._RESTART:
                 started = self._down_since.pop(volume_id, at_us)
                 self._windows.append((volume_id, started, at_us))
                 host.restart_volume(volume_id)
                 self.metrics.add("recovery.restarts_injected")
                 actions.append(f"t={at_us}us restart volume {volume_id}")
+            elif kind == self._KILL:
+                self._member_down_since[(volume_id, member)] = at_us
+                host.fail_member(volume_id, member)
+                self.metrics.add("recovery.member_kills_injected")
+                actions.append(
+                    f"t={at_us}us kill member {member} of volume {volume_id}"
+                )
+            else:
+                started = self._member_down_since.pop(
+                    (volume_id, member), at_us
+                )
+                self._member_windows.append(
+                    (volume_id, member, started, at_us)
+                )
+                host.replace_member(volume_id, member)
+                self.metrics.add("recovery.member_replacements_injected")
+                actions.append(
+                    f"t={at_us}us replace member {member} "
+                    f"of volume {volume_id}"
+                )
         return actions
 
     def run_out(self, host: VolumeLifecycleHost) -> List[str]:
@@ -145,6 +252,10 @@ class FailureSchedule:
     def downtime_windows(self) -> List[Tuple[int, int, int]]:
         """Completed (volume_id, down_at_us, restarted_at_us) windows."""
         return list(self._windows)
+
+    def member_windows(self) -> List[Tuple[int, int, int, int]]:
+        """Completed (volume, member, killed_at, replaced_at) windows."""
+        return list(self._member_windows)
 
     def __repr__(self) -> str:
         return (

@@ -20,6 +20,12 @@ from repro.simdisk.timing import DiskTimingModel
 from repro.simdisk.disk import SimDisk
 from repro.simdisk.stable import StableStore
 from repro.simdisk.faults import FaultInjector
+from repro.simdisk.raid import (
+    ArrayFailedError,
+    ArrayState,
+    RaidRebuilder,
+    StripedVolume,
+)
 
 __all__ = [
     "DiskGeometry",
@@ -27,4 +33,8 @@ __all__ = [
     "SimDisk",
     "StableStore",
     "FaultInjector",
+    "ArrayFailedError",
+    "ArrayState",
+    "RaidRebuilder",
+    "StripedVolume",
 ]

@@ -448,6 +448,24 @@ class SimDisk:
         """Bring the disk back online after a crash."""
         self.faults.repair()
 
+    def replace_platter(self) -> None:
+        """Swap in a factory-fresh drive behind the same slot.
+
+        Models a whole-disk replacement (the RAID tier's member swap):
+        the sector store is discarded — all data gone, unwritten
+        sectors read as zeroes — every fault is cleared
+        (:meth:`FaultInjector.reset`, keeping a chaos monitor
+        attached), and the arm parks at cylinder 0.  The timeline and
+        metric handles survive: the slot's history of busy time and
+        reference counts belongs to the bay, not the platter.
+        """
+        self._sectors = SectorStore(self.geometry.sector_size)
+        self._store_read = self._sectors.read_range
+        self._store_write = self._sectors.write_range
+        self._head_cylinder = 0
+        self._head_angular = 0.0
+        self.faults.reset()
+
     @property
     def crashed(self) -> bool:
         return self.faults.crashed

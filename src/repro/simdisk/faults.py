@@ -98,6 +98,23 @@ class FaultInjector:
         self._writes_seen = 0
         self.last_crash_note = None
 
+    def reset(self) -> None:
+        """Factory-fresh fault state for a replacement drive.
+
+        Clears the crash, every media fault, and any scheduled crash
+        point, and re-seeds the private RNG so the replacement's torn
+        writes replay deterministically from the same seed.  The shared
+        :attr:`monitor` stays attached: a drive swapped into a monitored
+        group keeps its writes numbered by the chaos sweep.
+        """
+        self.crashed = False
+        self.bad_sectors.clear()
+        self._media_errors.clear()
+        self._crash_after_writes = None
+        self._writes_seen = 0
+        self.last_crash_note = None
+        self._rng = random.Random(self.seed)
+
     def crash_after_writes(self, n: int) -> None:
         """Schedule a crash during the n-th write from now (1-based).
 

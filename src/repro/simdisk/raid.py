@@ -1,0 +1,1665 @@
+"""RAID tier under the disk service: striped volumes with parity.
+
+The paper's disk service promises "any set of contiguous fragments in
+one disk reference" and backs vital structures with mirrored stable
+storage — but a whole-disk loss still takes the volume down with it.
+A :class:`StripedVolume` closes that gap: it presents one logical disk
+over N member :class:`~repro.simdisk.disk.SimDisk` drives with a
+pluggable layout —
+
+* **raid0** — chunk-interleaved striping, no redundancy (the
+  bandwidth/latency comparator of the Linux RAID study);
+* **raid1** — every member carries the full image; reads pick one
+  mirror (one reference), writes fan out to all of them;
+* **raid5** — rotating parity: each stripe row of ``n-1`` data chunks
+  carries one parity chunk (XOR of the row), the parity member
+  rotating row by row so parity traffic spreads across the array.
+
+**Single-reference contract.**  The stripe unit (``chunk_sectors``) is
+the largest run a member serves in one reference, and a logical
+request decomposes into *at most one* contiguous physical span per
+member: consecutive chunks of one member are physically adjacent in
+every layout, so a RAID-5 span simply over-reads the parity chunks it
+straddles rather than splitting the reference.  Member references
+overlap through the deferred-time frame machinery
+(:class:`~repro.common.frames.FrameFork`): inside a pipeline's service
+frame the spans replay from the fork point and join at the slowest
+member, while blocking callers get the classic sequential semantics.
+
+**Degraded mode.**  On a member :class:`DiskCrashedError` — or a media
+error a repair rewrite cannot heal — the array marks the member failed
+and keeps serving: raid1 falls back to a surviving mirror, raid5
+reconstructs the missing span as the XOR of every surviving member's
+same span (parity rotation makes that identity hold for data and
+parity chunks alike).  Degraded writes keep the parity invariant for
+the *surviving* state, so an acked write is always reconstructable —
+zero acked-write loss while redundancy lasts.
+
+**Membership is on disk.**  The leading chunks of every member form a
+metadata area: a superblock (layout parameters, a monotonically
+increasing *epoch*, the failed/rebuilding membership bitmaps) and a
+write-intent journal.  Every membership transition bumps the epoch and
+rewrites the superblocks of the surviving members, so a machine
+restart (:meth:`StripedVolume.recover`) re-learns from the platters
+which members are stale — a mirror that missed degraded writes can
+never be silently trusted again.  The state machine is OPTIMAL →
+DEGRADED → REBUILDING → (OPTIMAL | FAILED); transitions fire the
+``on_state_change`` listener the cluster routes into the
+:class:`~repro.recovery.health.HealthRegistry`.
+
+**The degraded write hole is journalled shut.**  With a stale data
+column in a row, that column's bytes exist only as the parity identity
+over the survivors, so a crash *between* the member writes of a row
+update would silently change what the column reconstructs to — losing
+data acked long before the in-flight write.  Before any such update
+the array journals the reconstructed old value on an in-sync member
+(payload first, then a single-sector header that commits the record);
+:meth:`StripedVolume.recover` replays armed records by recomputing the
+parity so the stale column reconstructs to its journalled value again.
+In OPTIMAL mode no journal is needed: a full resync recomputes
+redundancy from data, and only un-acked torn rows can differ.
+
+**Rebuild.**  Replacing a failed member (fresh platter via
+:meth:`~repro.simdisk.disk.SimDisk.replace_platter`) starts a
+background rebuild: :class:`RaidRebuilder` walks the member's physical
+chunks, reconstructing each from the survivors, gated on an idle
+predicate exactly like the PR 6 scrubber.  Writes that land below the
+rebuild watermark are written through to the target so the rebuilt
+region stays fresh; chunks above the watermark are reconstructed from
+the survivors' *current* content when the cursor reaches them.
+
+Every physical write funnels through one of the registered write
+sites (``_member_write`` / ``_parity_write`` / ``_superblock_write`` /
+``_journal_write`` / ``RaidRebuilder._write_target``), so the chaos
+sweep's crash-point numbering covers parity updates, journal arming,
+and rebuild traffic like any other platter mutation.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import monitor as _monitor
+from repro.common.errors import (
+    BadAddressError,
+    DiskCrashedError,
+    DiskError,
+    MediaError,
+)
+from repro.common.frames import FrameFork
+from repro.common.metrics import Metrics
+from repro.simdisk.disk import SimDisk
+from repro.simdisk.geometry import DiskGeometry
+
+
+class ArrayFailedError(DiskCrashedError):
+    """More members lost than the layout's redundancy covers.
+
+    A :class:`DiskCrashedError` subclass so every existing caller that
+    treats a crashed disk as "volume down" needs no new handling — the
+    array delivers the same verdict, never stale or corrupt bytes.
+    """
+
+
+class _RetryOp(DiskError):
+    """Internal signal: membership changed mid-operation, replay it.
+
+    Raised after a member failure discovered inside a fan-out has been
+    recorded (epoch bumped, superblocks rewritten); the operation
+    re-plans against the new membership.  Never escapes the array.
+    """
+
+
+class ArrayState(enum.Enum):
+    """Array serving states, ordered by how much redundancy is left."""
+
+    OPTIMAL = 0
+    DEGRADED = 1
+    REBUILDING = 2
+    FAILED = 3
+
+
+#: Accepted layout names -> on-disk level codes.
+LEVELS: Dict[str, int] = {"raid0": 0, "raid1": 1, "raid5": 5}
+
+_SB_MAGIC = b"RHODRAID"
+_SB_VERSION = 1
+#: magic, version, level, n_members, chunk_sectors, member_index,
+#: epoch, failed_bits, rebuilding_bits, reserved
+_SB_BODY = struct.Struct("<8sHBBIIQIIQ")
+_SB_CRC = struct.Struct("<I")
+
+
+def _pack_superblock(
+    level: int,
+    n_members: int,
+    chunk_sectors: int,
+    member_index: int,
+    epoch: int,
+    failed_bits: int,
+    rebuilding_bits: int,
+    sector_size: int,
+) -> bytes:
+    body = _SB_BODY.pack(
+        _SB_MAGIC, _SB_VERSION, level, n_members, chunk_sectors,
+        member_index, epoch, failed_bits, rebuilding_bits, 0,
+    )
+    blob = body + _SB_CRC.pack(zlib.crc32(body))
+    return blob + bytes(sector_size - len(blob))
+
+
+def _parse_superblock(
+    raw: bytes, *, level: int, n_members: int, chunk_sectors: int,
+    member_index: int,
+) -> Optional[Tuple[int, int, int]]:
+    """``(epoch, failed_bits, rebuilding_bits)`` or None if not ours.
+
+    A blank replacement platter, a foreign disk, or a superblock torn
+    by a crash all parse as None — the member is then *stale* and must
+    be rebuilt before it is trusted.
+    """
+    size = _SB_BODY.size
+    if len(raw) < size + _SB_CRC.size:
+        return None
+    body, (crc,) = raw[:size], _SB_CRC.unpack_from(raw, size)
+    if zlib.crc32(body) != crc:
+        return None
+    magic, version, sb_level, sb_n, sb_chunk, sb_index, epoch, failed, rebuilding, _ = (
+        _SB_BODY.unpack(body)
+    )
+    if magic != _SB_MAGIC or version != _SB_VERSION:
+        return None
+    if (sb_level, sb_n, sb_chunk, sb_index) != (
+        level, n_members, chunk_sectors, member_index
+    ):
+        return None
+    return epoch, failed, rebuilding
+
+
+_JR_MAGIC = b"RHODRJNL"
+#: magic, version, stale_member, pad, row, lo, n_sectors, epoch,
+#: payload_crc
+_JR_BODY = struct.Struct("<8sHBBIIIQI")
+_JR_CRC = struct.Struct("<I")
+
+
+def _pack_journal(
+    stale: int,
+    row: int,
+    lo: int,
+    n_sectors: int,
+    epoch: int,
+    payload: bytes,
+    sector_size: int,
+) -> bytes:
+    body = _JR_BODY.pack(
+        _JR_MAGIC, _SB_VERSION, stale, 0, row, lo, n_sectors, epoch,
+        zlib.crc32(payload),
+    )
+    blob = body + _JR_CRC.pack(zlib.crc32(body))
+    return blob + bytes(sector_size - len(blob))
+
+
+def _parse_journal(raw: bytes) -> Optional[Tuple[int, int, int, int, int]]:
+    """``(stale_member, row, lo, n_sectors, payload_crc)`` or None.
+
+    A cleared slot (zeros), a torn header, or a foreign sector all
+    parse as None — the journal is then simply inactive.
+    """
+    size = _JR_BODY.size
+    if len(raw) < size + _JR_CRC.size:
+        return None
+    body, (crc,) = raw[:size], _JR_CRC.unpack_from(raw, size)
+    if zlib.crc32(body) != crc:
+        return None
+    magic, version, stale, _, row, lo, n_sectors, _, payload_crc = (
+        _JR_BODY.unpack(body)
+    )
+    if magic != _JR_MAGIC or version != _SB_VERSION:
+        return None
+    return stale, row, lo, n_sectors, payload_crc
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (the parity identity)."""
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(len(a), "little")
+
+
+def _overlay(base: bytes, offset: int, piece: bytes) -> bytes:
+    """``base`` with ``piece`` spliced in at ``offset``."""
+    buf = bytearray(base)
+    buf[offset : offset + len(piece)] = piece
+    return bytes(buf)
+
+
+class StripedVolume:
+    """One logical disk over N member disks with a pluggable RAID layout.
+
+    Duck-types the :class:`~repro.simdisk.disk.SimDisk` surface the
+    disk service consumes (``disk_id``, ``geometry``, ``read_sectors``,
+    ``write_sectors``, ``read_in_passing``, ``track_of``,
+    ``track_bounds``, ``head_cylinder``, ``crash``/``repair``/
+    ``crashed``), so a :class:`~repro.disk_service.server.DiskServer`
+    and its :class:`~repro.disk_service.pipeline.DiskPipeline` stack on
+    an array exactly as on a single drive.
+
+    Args:
+        array_id: identifies the array in metric names (``raid.<id>.*``).
+        members: the member drives — same geometry, same clock.  The
+            leading member chunks are reserved for the array metadata
+            (superblock + write-intent journal).
+        level: ``raid0`` / ``raid1`` / ``raid5``.
+        chunk_sectors: sectors per stripe unit (must divide into the
+            member capacity at least twice).
+        metrics: shared counter registry.
+        init: write fresh superblocks (a newly created array).  Pass
+            False to assemble from existing platters via :meth:`recover`.
+    """
+
+    def __init__(
+        self,
+        array_id: str,
+        members: Sequence[SimDisk],
+        *,
+        level: str = "raid5",
+        chunk_sectors: int = 64,
+        metrics: Optional[Metrics] = None,
+        init: bool = True,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown RAID level {level!r}")
+        self.level = LEVELS[level]
+        if len(members) < 2:
+            raise ValueError("an array needs at least two members")
+        if self.level == 5 and len(members) < 3:
+            raise ValueError("raid5 needs at least three members")
+        if chunk_sectors <= 0:
+            raise ValueError("chunk size must be positive")
+        base = members[0].geometry
+        for member in members:
+            if member.geometry.total_sectors != base.total_sectors:
+                raise ValueError("members must share one geometry")
+            if member.clock is not members[0].clock:
+                raise ValueError("members must share one clock")
+        self.array_id = array_id
+        self.disk_id = array_id
+        self.clock = members[0].clock
+        self.metrics = metrics if metrics is not None else members[0].metrics
+        self.chunk_sectors = chunk_sectors
+        self._members: List[SimDisk] = list(members)
+        self._n = len(members)
+        self._sector_size = base.sector_size
+        self._chunk_bytes = chunk_sectors * base.sector_size
+        #: Physical chunks per member.
+        self.member_chunks = base.total_sectors // chunk_sectors
+        #: Member metadata area: sector 0 the superblock, sector 1 the
+        #: write-intent journal header, sectors 2.. the journal payload
+        #: (up to one full chunk).  Data starts at the chunk after it.
+        self._meta_chunks = -(-(2 + chunk_sectors) // chunk_sectors)
+        if self.member_chunks <= self._meta_chunks:
+            raise ValueError("chunk size leaves no data chunks per member")
+        self._data_start = self._meta_chunks * chunk_sectors
+        data_members = {0: self._n, 1: 1, 5: self._n - 1}[self.level]
+        self.data_members = data_members
+        data_sectors = (
+            data_members
+            * (self.member_chunks - self._meta_chunks)
+            * chunk_sectors
+        )
+        per_cylinder = base.sectors_per_cylinder
+        cylinders = data_sectors // per_cylinder
+        if cylinders < 1:
+            raise ValueError("array too small for one logical cylinder")
+        #: The logical geometry the disk service sees; capacity is the
+        #: data capacity trimmed down to whole cylinders.
+        self.geometry = DiskGeometry(
+            cylinders=cylinders,
+            heads=base.heads,
+            sectors_per_track=base.sectors_per_track,
+        )
+        self._total_sectors = self.geometry.total_sectors
+        self._head_cylinder = 0
+        # ----------------------------------------------- array state
+        self._failed: Set[int] = set()
+        self._rebuilding: Optional[int] = None
+        #: Physical chunks of the rebuild target already reconstructed
+        #: (exclusive bound); writes below it write through.
+        self._rebuild_watermark = 0
+        self._epoch = 0
+        self._state = ArrayState.OPTIMAL
+        #: ``listener(old_state, new_state)``; the cluster routes this
+        #: into the health registry (the array cannot import recovery —
+        #: layering).
+        self.on_state_change: Optional[
+            Callable[[ArrayState, ArrayState], None]
+        ] = None
+        # -------------------------------------------------- metrics
+        self._prefix = f"raid.{array_id}"
+        m = self.metrics
+        self._c_reads = m.counter(f"{self._prefix}.reads")
+        self._c_writes = m.counter(f"{self._prefix}.writes")
+        self._c_degraded_reads = m.counter(f"{self._prefix}.degraded_reads")
+        self._c_degraded_writes = m.counter(f"{self._prefix}.degraded_writes")
+        self._c_reconstructed = m.counter(
+            f"{self._prefix}.segments_reconstructed"
+        )
+        self._c_parity_writes = m.counter(f"{self._prefix}.parity_writes")
+        self._g_state = m.gauge_handle(f"{self._prefix}.state")
+        self._g_failed = m.gauge_handle(f"{self._prefix}.failed_members")
+        self._g_rebuild = m.gauge_handle(f"{self._prefix}.rebuild_percent")
+        self._g_state.set(0)
+        self._g_failed.set(0)
+        if init:
+            self._epoch = 1
+            self._write_superblocks(range(self._n))
+
+    # ------------------------------------------------------ identity
+
+    @property
+    def members(self) -> Tuple[SimDisk, ...]:
+        return tuple(self._members)
+
+    @property
+    def meta_chunks(self) -> int:
+        """Physical chunks reserved per member for array metadata."""
+        return self._meta_chunks
+
+    @property
+    def state(self) -> ArrayState:
+        return self._state
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def failed_members(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._failed))
+
+    @property
+    def rebuild_target(self) -> Optional[int]:
+        return self._rebuilding
+
+    @property
+    def crashed(self) -> bool:
+        """Down for callers: redundancy exhausted or every member dark."""
+        return self._state is ArrayState.FAILED or all(
+            member.crashed for member in self._members
+        )
+
+    @property
+    def head_cylinder(self) -> int:
+        """Logical cylinder of the last request (schedulers sort by it)."""
+        return self._head_cylinder
+
+    def track_of(self, sector: int) -> int:
+        return self.geometry.track_of(sector)
+
+    def track_bounds(self, track: int) -> Tuple[int, int]:
+        return self.geometry.track_bounds(track)
+
+    # ------------------------------------------------ layout algebra
+
+    def chunk_to_member(self, chunk: int) -> Tuple[int, int]:
+        """Logical data chunk -> ``(member_index, physical_chunk)``.
+
+        The metadata area (superblock + journal) occupies the first
+        physical chunks, so data starts at ``_meta_chunks``.  For raid1
+        the image lands on *every* member; the mapping returns member 0
+        as the canonical placement.
+        """
+        if chunk < 0:
+            raise BadAddressError(f"chunk {chunk} is negative")
+        meta = self._meta_chunks
+        if self.level == 0:
+            return chunk % self._n, meta + chunk // self._n
+        if self.level == 1:
+            return 0, meta + chunk
+        row, k = divmod(chunk, self._n - 1)
+        parity = self.parity_member(row)
+        member = k if k < parity else k + 1
+        return member, meta + row
+
+    def member_to_chunk(self, member: int, physical_chunk: int) -> Optional[int]:
+        """Inverse mapping; None for metadata and parity chunks."""
+        if not 0 <= member < self._n:
+            raise BadAddressError(f"no member {member}")
+        meta = self._meta_chunks
+        if physical_chunk < meta or physical_chunk >= self.member_chunks:
+            return None
+        if self.level == 0:
+            return (physical_chunk - meta) * self._n + member
+        if self.level == 1:
+            return physical_chunk - meta
+        row = physical_chunk - meta
+        parity = self.parity_member(row)
+        if member == parity:
+            return None
+        k = member if member < parity else member - 1
+        return row * (self._n - 1) + k
+
+    def parity_member(self, row: int) -> int:
+        """The member holding row ``row``'s parity chunk (raid5).
+
+        Left-asymmetric rotation: row 0 parks parity on the last
+        member, each following row moves it one member to the left.
+        """
+        if self.level != 5:
+            raise ValueError("only raid5 has parity rows")
+        return (self._n - 1 - row) % self._n
+
+    def _segments(
+        self, start: int, n_sectors: int
+    ) -> List[Tuple[int, int, int, int]]:
+        """Decompose a logical run into ``(member, phys, len, logical)``.
+
+        Consecutive chunks of one member are physically adjacent in
+        every layout, so the per-member union of these segments is one
+        contiguous span — the single-reference contract.
+        """
+        chunk_sectors = self.chunk_sectors
+        out: List[Tuple[int, int, int, int]] = []
+        sector, end = start, start + n_sectors
+        while sector < end:
+            chunk, offset = divmod(sector, chunk_sectors)
+            length = min(chunk_sectors - offset, end - sector)
+            member, physical = self.chunk_to_member(chunk)
+            out.append(
+                (member, physical * chunk_sectors + offset, length, sector)
+            )
+            sector += length
+        return out
+
+    # --------------------------------------------------- fan-out core
+
+    def _fanout(self, calls: List[Tuple[int, Callable[[], object]]]) -> Dict:
+        """Run member operations as overlapping fork branches.
+
+        Returns ``{member_index: ("ok", value) | ("crashed", exc) |
+        ("media", exc)}``.  Inside a service frame the branches replay
+        from the fork point and the join charges the slowest member;
+        in blocking mode they run sequentially, as blocking callers
+        always did.
+        """
+        fork = FrameFork(self.clock)
+        outcomes: Dict[int, Tuple[str, object]] = {}
+        for index, thunk in calls:
+            with fork.branch():
+                try:
+                    outcomes[index] = ("ok", thunk())
+                except DiskCrashedError as exc:
+                    outcomes[index] = ("crashed", exc)
+                except MediaError as exc:
+                    outcomes[index] = ("media", exc)
+        fork.join()
+        return outcomes
+
+    def _crashed_members(self, outcomes: Dict) -> List[int]:
+        return sorted(
+            index for index, (kind, _) in outcomes.items() if kind == "crashed"
+        )
+
+    def _handle_crashes(self, outcomes: Dict) -> None:
+        """Record fan-out crashes; replay the operation if still serving."""
+        crashed = self._crashed_members(outcomes)
+        if not crashed:
+            return
+        self._note_member_failures(crashed)
+        self._raise_if_failed()
+        raise _RetryOp(f"{self.array_id}: membership changed, replaying")
+
+    def _raise_if_failed(self) -> None:
+        if self._state is ArrayState.FAILED:
+            raise ArrayFailedError(
+                f"{self.array_id}: redundancy exhausted "
+                f"(failed members {self.failed_members})"
+            )
+
+    # ------------------------------------------------- write funnels
+    #
+    # Every physical write the array issues goes through exactly one
+    # of these three methods (plus RaidRebuilder._write_target); they
+    # are the reviewed crash-point sites the chaos sweep numbers.
+
+    def _member_write(self, index: int, physical_sector: int, data: bytes) -> None:
+        """Data-path write to one member (registered write site)."""
+        self._members[index].write_sectors(physical_sector, data)
+
+    def _parity_write(self, index: int, physical_sector: int, data: bytes) -> None:
+        """Parity write to one member (registered write site)."""
+        self._members[index].write_sectors(physical_sector, data)
+        self._c_parity_writes.add()
+
+    def _superblock_write(self, index: int, blob: bytes) -> None:
+        """Superblock write to one member (registered write site)."""
+        self._members[index].write_sectors(0, blob)
+        self.metrics.add(f"{self._prefix}.superblock_writes")
+
+    def _journal_write(
+        self, index: int, physical_sector: int, data: bytes
+    ) -> None:
+        """Write-intent journal write to one member (registered site)."""
+        self._members[index].write_sectors(physical_sector, data)
+
+    # ------------------------------------------- write-intent journal
+    #
+    # The degraded write hole: with a stale data column in a row, the
+    # column's content exists only as parity XOR data, so a crash
+    # between a row update's member writes changes what the column
+    # reconstructs to — losing bytes that were acked long before the
+    # in-flight write.  Before such an update the array journals the
+    # reconstructed old value (payload, then a single-sector header
+    # that commits the record) on the lowest in-sync member; recovery
+    # replays armed records by recomputing the parity so the stale
+    # column reconstructs to its journalled value again.  Replay is
+    # idempotent: after a completed update the recomputation reproduces
+    # the parity already on disk.
+
+    def _journal_arm(
+        self,
+        member: int,
+        stale: int,
+        row: int,
+        lo: int,
+        n_sectors: int,
+        payload: bytes,
+    ) -> None:
+        """Persist the stale column's old value before mutating a row."""
+        self._journal_write(member, 2, payload)
+        header = _pack_journal(
+            stale, row, lo, n_sectors, self._epoch, payload,
+            self._sector_size,
+        )
+        self._journal_write(member, 1, header)
+        self.metrics.add(f"{self._prefix}.journal_arms")
+
+    def _journal_clear(self, member: int) -> None:
+        self._journal_write(member, 1, bytes(self._sector_size))
+
+    def _replay_journal(self) -> None:
+        """Replay armed write-intent records after a restart."""
+        if self.level != 5:
+            return
+        for index, member in enumerate(self._members):
+            if index in self._failed or member.crashed:
+                continue
+            try:
+                raw = member.read_sectors(1, 1)
+            except (DiskCrashedError, MediaError):
+                continue
+            parsed = _parse_journal(raw)
+            if parsed is None:
+                continue
+            stale, row, lo, n_sectors, payload_crc = parsed
+            replayed = False
+            if (
+                stale in self._failed
+                and stale < self._n
+                and 0 <= row < self.member_chunks - self._meta_chunks
+                and stale != self.parity_member(row)
+                and 0 < n_sectors
+                and lo + n_sectors <= self.chunk_sectors
+            ):
+                replayed = self._replay_record(
+                    index, stale, row, lo, n_sectors, payload_crc
+                )
+            try:
+                self._journal_clear(index)
+            except DiskCrashedError:
+                continue
+            if replayed:
+                self.metrics.add(f"{self._prefix}.journal_replays")
+
+    def _replay_record(
+        self,
+        member: int,
+        stale: int,
+        row: int,
+        lo: int,
+        n_sectors: int,
+        payload_crc: int,
+    ) -> bool:
+        parity_member = self.parity_member(row)
+        span_lo = (self._meta_chunks + row) * self.chunk_sectors + lo
+        try:
+            payload = self._members[member].read_sectors(2, n_sectors)
+        except (DiskCrashedError, MediaError):
+            return False
+        if zlib.crc32(payload) != payload_crc:
+            return False
+        acc: Optional[bytes] = None
+        try:
+            for other in range(self._n):
+                if other in (parity_member, stale):
+                    continue
+                column = self._members[other].read_sectors(span_lo, n_sectors)
+                acc = column if acc is None else _xor(acc, column)
+            assert acc is not None
+            self._parity_write(parity_member, span_lo, _xor(acc, payload))
+        except (DiskCrashedError, MediaError):
+            return False
+        return True
+
+    # --------------------------------------------------- membership
+
+    def _write_superblocks(self, targets) -> None:
+        """Best-effort superblock round to ``targets``, in member order.
+
+        A member that crashes during its superblock write is folded
+        into the failed set by the caller's next round; a torn
+        superblock parses as stale on recovery, which is the safe
+        direction.
+        """
+        failed_bits = 0
+        for index in self._failed:
+            failed_bits |= 1 << index
+        rebuilding_bits = (
+            1 << self._rebuilding if self._rebuilding is not None else 0
+        )
+        for index in sorted(targets):
+            if self._members[index].crashed:
+                continue
+            blob = _pack_superblock(
+                self.level, self._n, self.chunk_sectors, index, self._epoch,
+                failed_bits, rebuilding_bits, self._sector_size,
+            )
+            try:
+                self._superblock_write(index, blob)
+            except DiskCrashedError:
+                # Recorded by the caller's failure loop; the torn
+                # superblock reads as stale, never as fresher state.
+                continue
+
+    def _note_member_failures(self, indices: Sequence[int]) -> None:
+        """Fold newly failed members in; one epoch bump per batch.
+
+        Iterates until the superblock round itself stops crashing
+        members (bounded by the member count), then recomputes state.
+        """
+        pending = [
+            i for i in sorted(set(indices))
+            # The rebuild target is already in the failed set; losing it
+            # again must still cancel the rebuild it anchors.
+            if i not in self._failed or i == self._rebuilding
+        ]
+        if not pending:
+            return
+        while pending:
+            for index in pending:
+                self._failed.add(index)
+                if not self._members[index].crashed:
+                    self._members[index].crash()
+                if self._rebuilding == index:
+                    # A mid-rebuild target is stale again: the rebuild
+                    # is cancelled, the member stays failed.
+                    self._rebuilding = None
+                    self._rebuild_watermark = 0
+                self.metrics.add(f"{self._prefix}.member_failures")
+            self._epoch += 1
+            survivors = [
+                i for i in range(self._n)
+                if i not in self._failed and not self._members[i].crashed
+            ]
+            self._write_superblocks(survivors)
+            pending = [
+                i for i in survivors if self._members[i].crashed
+            ]
+        self._refresh_state()
+
+    def fail_member(self, index: int) -> None:
+        """Kill one member drive (the scriptable whole-disk loss).
+
+        Idempotent; crashes the drive if it is still up, records the
+        failure, bumps the epoch, and rewrites the survivors'
+        superblocks.
+        """
+        if not 0 <= index < self._n:
+            raise BadAddressError(f"no member {index}")
+        if index in self._failed and index != self._rebuilding:
+            return
+        self._note_member_failures([index])
+
+    def replace_member(self, index: int, *, blank: bool = True) -> None:
+        """Swap a failed member's platter and mark it rebuilding.
+
+        ``blank=True`` models a replacement drive
+        (:meth:`~repro.simdisk.disk.SimDisk.replace_platter`); False
+        re-adds the old platter after a transient outage — either way
+        the member stays untrusted until the rebuild completes.
+        """
+        if self.level == 0:
+            raise ValueError("raid0 has no redundancy to rebuild from")
+        if index not in self._failed:
+            raise ValueError(f"member {index} is not failed")
+        if self._rebuilding is not None:
+            raise ValueError(
+                f"member {self._rebuilding} is already rebuilding"
+            )
+        member = self._members[index]
+        if blank:
+            member.replace_platter()
+        else:
+            member.repair()
+        self._rebuilding = index
+        self._rebuild_watermark = self._meta_chunks  # metadata area below
+        self._epoch += 1
+        self.metrics.add(f"{self._prefix}.member_replacements")
+        self._g_rebuild.set(0)
+        self._write_superblocks(range(self._n))
+        self._refresh_state()
+
+    def _complete_rebuild(self) -> None:
+        target = self._rebuilding
+        self._rebuilding = None
+        self._rebuild_watermark = 0
+        if target is not None:
+            self._failed.discard(target)
+        self._epoch += 1
+        self._g_rebuild.set(100)
+        self._write_superblocks(range(self._n))
+        self._refresh_state()
+
+    def _refresh_state(self) -> None:
+        if self.level == 0:
+            serving = not self._failed
+        elif self.level == 1:
+            serving = len(self._failed) < self._n
+        else:
+            serving = len(self._failed) <= 1
+        if not serving:
+            new = ArrayState.FAILED
+        elif self._rebuilding is not None:
+            new = ArrayState.REBUILDING
+        elif self._failed:
+            new = ArrayState.DEGRADED
+        else:
+            new = ArrayState.OPTIMAL
+        old, self._state = self._state, new
+        self._g_state.set(new.value)
+        self._g_failed.set(len(self._failed))
+        if new is not old and self.on_state_change is not None:
+            self.on_state_change(old, new)
+
+    # ---------------------------------------------------- lifecycle
+
+    def crash(self) -> None:
+        """Machine crash: every member goes dark (contents persist)."""
+        for member in self._members:
+            if not member.crashed:
+                member.crash()
+
+    def repair(self) -> None:
+        """Machine restart: repair the members, re-learn membership.
+
+        The full parity resync belongs to :meth:`recover`; callers on
+        the restart path that cannot afford a platter walk pass through
+        here and schedule a rebuild for whatever the superblocks say is
+        stale.
+        """
+        for member in self._members:
+            member.repair()
+        self.recover(resync=False)
+
+    def recover(self, *, resync: bool = True) -> None:
+        """Re-learn membership from the superblocks after a restart.
+
+        The highest valid epoch wins; its failed/rebuilding bitmaps are
+        the authoritative stale set (an interrupted rebuild restarts
+        from scratch).  Members whose superblock is unreadable or not
+        ours are stale too.  With ``resync=True`` and no stale member,
+        the parity of every row (raid5) or the mirror agreement of
+        every chunk (raid1) is then re-established from the data —
+        closing the write hole a crash mid-stripe leaves.
+        """
+        per_member: List[Optional[Tuple[int, int, int]]] = []
+        for index, member in enumerate(self._members):
+            parsed = None
+            if not member.crashed:
+                try:
+                    raw = member.read_sectors(0, 1)
+                    parsed = _parse_superblock(
+                        raw, level=self.level, n_members=self._n,
+                        chunk_sectors=self.chunk_sectors, member_index=index,
+                    )
+                except (DiskCrashedError, MediaError):
+                    parsed = None
+            per_member.append(parsed)
+        best: Optional[Tuple[int, int, int]] = None
+        for parsed in per_member:
+            if parsed is not None and (best is None or parsed[0] > best[0]):
+                best = parsed
+        self._rebuilding = None
+        self._rebuild_watermark = 0
+        if best is None:
+            # Virgin platters everywhere: initialise a fresh array.
+            self._failed = {
+                i for i, m in enumerate(self._members) if m.crashed
+            }
+            self._epoch = 1
+        else:
+            _, failed_bits, rebuilding_bits = best
+            stale = failed_bits | rebuilding_bits
+            failed = {i for i in range(self._n) if stale >> i & 1}
+            for index, parsed in enumerate(per_member):
+                if parsed is None:
+                    failed.add(index)
+            self._failed = failed
+            self._epoch = best[0] + 1
+        self._refresh_state()
+        if self._state is not ArrayState.FAILED:
+            self._replay_journal()
+        if (
+            resync
+            and self.level != 0
+            and not self._failed
+            and self._state is not ArrayState.FAILED
+        ):
+            self._resync()
+        survivors = [i for i in range(self._n) if i not in self._failed]
+        self._write_superblocks(survivors)
+        self._refresh_state()
+
+    def _resync(self) -> None:
+        """Recompute redundancy from data over every row (write hole).
+
+        Only runs with every member in sync: a stale member is the
+        rebuild's job, not resync's.  Acked rows already satisfy the
+        invariant, so only rows torn by an un-acked in-flight write are
+        rewritten — and those carry no content promise.
+        """
+        chunk_sectors = self.chunk_sectors
+        for row in range(self.member_chunks - self._meta_chunks):
+            physical = (self._meta_chunks + row) * chunk_sectors
+            if self.level == 1:
+                reference = self._members[0].read_sectors(
+                    physical, chunk_sectors
+                )
+                for index in range(1, self._n):
+                    if self._members[index].read_sectors(
+                        physical, chunk_sectors
+                    ) != reference:
+                        self._member_write(index, physical, reference)
+                        self.metrics.add(f"{self._prefix}.resync_repairs")
+                continue
+            parity_member = self.parity_member(row)
+            expected: Optional[bytes] = None
+            for index in range(self._n):
+                if index == parity_member:
+                    continue
+                chunk = self._members[index].read_sectors(
+                    physical, chunk_sectors
+                )
+                expected = chunk if expected is None else _xor(expected, chunk)
+            assert expected is not None
+            stored = self._members[parity_member].read_sectors(
+                physical, chunk_sectors
+            )
+            if stored != expected:
+                self._parity_write(parity_member, physical, expected)
+                self.metrics.add(f"{self._prefix}.resync_repairs")
+
+    # -------------------------------------------------------- reads
+
+    def read_sectors(self, start: int, n_sectors: int) -> bytes:
+        """Read a contiguous logical run — one span per member."""
+        mon = _monitor.active()
+        if mon.enabled:
+            mon.chain(self)
+        self._check_request(start, n_sectors)
+        for _ in range(self._n + 1):
+            self._raise_if_failed()
+            try:
+                data = self._read_attempt(start, n_sectors, in_passing=False)
+            except _RetryOp:
+                continue
+            self._c_reads.add()
+            if self._failed:
+                self._c_degraded_reads.add()
+            self._head_cylinder = self.geometry.cylinder_of(
+                start + n_sectors - 1
+            )
+            return data
+        raise ArrayFailedError(f"{self.array_id}: no serving membership")
+
+    def read_in_passing(self, start: int, n_sectors: int) -> bytes:
+        """Track readahead across the members (no disk references)."""
+        self._check_request(start, n_sectors)
+        for _ in range(self._n + 1):
+            self._raise_if_failed()
+            try:
+                return self._read_attempt(start, n_sectors, in_passing=True)
+            except _RetryOp:
+                continue
+        raise ArrayFailedError(f"{self.array_id}: no serving membership")
+
+    def _read_attempt(
+        self, start: int, n_sectors: int, *, in_passing: bool
+    ) -> bytes:
+        if self.level == 1:
+            return self._read_raid1(start, n_sectors, in_passing=in_passing)
+        segments = self._segments(start, n_sectors)
+        stale = self._stale_member()
+        size = self._sector_size
+        # One contiguous span per member: its own segments, plus (in
+        # degraded raid5) every stale segment's range for the XOR.
+        spans: Dict[int, Tuple[int, int]] = {}
+
+        def widen(index: int, lo: int, hi: int) -> None:
+            held = spans.get(index)
+            spans[index] = (
+                (lo, hi) if held is None
+                else (min(held[0], lo), max(held[1], hi))
+            )
+
+        stale_segments = []
+        for member, physical, length, logical in segments:
+            if member == stale:
+                if self.level == 0:
+                    raise ArrayFailedError(
+                        f"{self.array_id}: raid0 member {member} lost"
+                    )
+                stale_segments.append((member, physical, length, logical))
+                for other in range(self._n):
+                    if other != stale and other not in self._failed:
+                        widen(other, physical, physical + length)
+            else:
+                widen(member, physical, physical + length)
+        calls = []
+        for index in sorted(spans):
+            lo, hi = spans[index]
+            member = self._members[index]
+            reader = member.read_in_passing if in_passing else member.read_sectors
+            calls.append(
+                (index, (lambda r=reader, l=lo, n=hi - lo: r(l, n)))
+            )
+        outcomes = self._fanout(calls)
+        self._handle_crashes(outcomes)
+        buffers = self._settle_media(outcomes, spans, in_passing=in_passing)
+        out = bytearray(n_sectors * size)
+        for member, physical, length, logical in segments:
+            if member == stale:
+                continue
+            lo, _ = spans[member]
+            offset = (physical - lo) * size
+            out[(logical - start) * size : (logical - start + length) * size] = (
+                buffers[member][offset : offset + length * size]
+            )
+        for member, physical, length, logical in stale_segments:
+            piece: Optional[bytes] = None
+            for other in sorted(spans):
+                lo, _ = spans[other]
+                offset = (physical - lo) * size
+                slice_ = buffers[other][offset : offset + length * size]
+                piece = slice_ if piece is None else _xor(piece, slice_)
+            assert piece is not None
+            out[(logical - start) * size : (logical - start + length) * size] = piece
+            self._c_reconstructed.add()
+        return bytes(out)
+
+    def _read_raid1(
+        self, start: int, n_sectors: int, *, in_passing: bool
+    ) -> bytes:
+        physical = self._data_start + start
+        last_media: Optional[MediaError] = None
+        for index in range(self._n):
+            if index in self._failed:
+                continue
+            member = self._members[index]
+            reader = member.read_in_passing if in_passing else member.read_sectors
+            try:
+                return reader(physical, n_sectors)
+            except DiskCrashedError:
+                self._note_member_failures([index])
+                self._raise_if_failed()
+                raise _RetryOp(f"{self.array_id}: mirror {index} lost")
+            except MediaError as exc:
+                last_media = exc
+                if in_passing:
+                    continue
+                healed = self._repair_mirror_media(index, physical, n_sectors)
+                if healed is not None:
+                    return healed
+        assert last_media is not None
+        raise last_media
+
+    def _repair_mirror_media(
+        self, index: int, physical: int, n_sectors: int
+    ) -> Optional[bytes]:
+        """Rewrite a mirror's failing range from a surviving mirror.
+
+        Returns the content on success; marks the member failed (and
+        returns None, letting the caller fall through to the next
+        mirror) when the rewrite does not take — the *unrepairable*
+        media case.
+        """
+        for other in range(self._n):
+            if other == index or other in self._failed:
+                continue
+            try:
+                content = self._members[other].read_sectors(physical, n_sectors)
+            except (DiskCrashedError, MediaError):
+                continue
+            try:
+                self._member_write(index, physical, content)
+                self._members[index].read_sectors(physical, n_sectors)
+            except DiskCrashedError:
+                self._note_member_failures([index])
+                return content
+            except MediaError:
+                self._note_member_failures([index])
+                return content
+            self.metrics.add(f"{self._prefix}.media_repairs")
+            return content
+        return None
+
+    def _settle_media(
+        self, outcomes: Dict, spans: Dict[int, Tuple[int, int]], *,
+        in_passing: bool,
+    ) -> Dict[int, bytes]:
+        """Resolve media errors from a read fan-out, repairing in place.
+
+        A failing span is reconstructed from the surviving members and
+        rewritten (a rewrite heals latent errors); if the platter still
+        will not serve it, the member is *unrepairably* failing and is
+        retired from the array.
+        """
+        buffers: Dict[int, bytes] = {}
+        media = []
+        for index in sorted(outcomes):
+            kind, value = outcomes[index]
+            if kind == "ok":
+                buffers[index] = value  # type: ignore[assignment]
+            elif kind == "media":
+                media.append((index, value))
+        for index, error in media:
+            lo, hi = spans[index]
+            if self.level == 0:
+                raise error  # type: ignore[misc]
+            content = self._reconstruct_span(index, lo, hi - lo)
+            if content is None:
+                raise error  # type: ignore[misc]
+            try:
+                self._member_write(index, lo, content)
+                self._members[index].read_sectors(lo, hi - lo)
+                self.metrics.add(f"{self._prefix}.media_repairs")
+            except (DiskCrashedError, MediaError):
+                self._note_member_failures([index])
+                self._raise_if_failed()
+                raise _RetryOp(
+                    f"{self.array_id}: member {index} unrepairable"
+                )
+            buffers[index] = content
+        return buffers
+
+    def _reconstruct_span(
+        self, index: int, physical: int, n_sectors: int
+    ) -> Optional[bytes]:
+        """A member's physical span, rebuilt from the survivors.
+
+        raid5: XOR of every other in-sync member's same span (valid for
+        data and parity chunks alike).  Returns None when redundancy is
+        already spent.
+        """
+        if self.level != 5:
+            return None
+        others = [
+            i for i in range(self._n) if i != index and i not in self._failed
+        ]
+        if len(others) != self._n - 1:
+            return None
+        piece: Optional[bytes] = None
+        for other in others:
+            chunk = self._members[other].read_sectors(physical, n_sectors)
+            piece = chunk if piece is None else _xor(piece, chunk)
+        return piece
+
+    def _stale_member(self) -> Optional[int]:
+        """The single member reads must avoid, if any (raid5/raid0)."""
+        if not self._failed:
+            return None
+        return min(self._failed)
+
+    # -------------------------------------------------------- writes
+
+    def write_sectors(self, start: int, data: bytes) -> None:
+        """Write a contiguous logical run, maintaining redundancy."""
+        mon = _monitor.active()
+        if mon.enabled:
+            mon.chain(self)
+        size = self._sector_size
+        n_bytes = len(data)
+        if n_bytes == 0 or n_bytes % size != 0:
+            raise BadAddressError(
+                f"write length {n_bytes} is not a positive multiple of {size}"
+            )
+        n_sectors = n_bytes // size
+        self._check_request(start, n_sectors)
+        for _ in range(self._n + 1):
+            self._raise_if_failed()
+            try:
+                if self.level == 0:
+                    self._write_raid0(start, data, n_sectors)
+                elif self.level == 1:
+                    self._write_raid1(start, data, n_sectors)
+                else:
+                    self._write_raid5(start, data, n_sectors)
+            except _RetryOp:
+                continue
+            self._c_writes.add()
+            if self._failed:
+                self._c_degraded_writes.add()
+            self._head_cylinder = self.geometry.cylinder_of(
+                start + n_sectors - 1
+            )
+            return
+        raise ArrayFailedError(f"{self.array_id}: no serving membership")
+
+    def _write_raid0(self, start: int, data: bytes, n_sectors: int) -> None:
+        if self._failed:
+            raise ArrayFailedError(f"{self.array_id}: raid0 member lost")
+        size = self._sector_size
+        pieces: Dict[int, List[bytes]] = {}
+        first: Dict[int, int] = {}
+        for member, physical, length, logical in self._segments(start, n_sectors):
+            first.setdefault(member, physical)
+            pieces.setdefault(member, []).append(
+                data[(logical - start) * size : (logical - start + length) * size]
+            )
+        calls = [
+            (
+                index,
+                (
+                    lambda i=index, lo=first[index],
+                    payload=b"".join(pieces[index]): self._member_write(
+                        i, lo, payload
+                    )
+                ),
+            )
+            for index in sorted(pieces)
+        ]
+        outcomes = self._fanout(calls)
+        if self._crashed_members(outcomes):
+            self._note_member_failures(self._crashed_members(outcomes))
+            self._raise_if_failed()
+        for index in sorted(outcomes):
+            kind, value = outcomes[index]
+            if kind == "media":
+                raise value  # type: ignore[misc]
+
+    def _raid1_write_targets(self, physical: int, n_sectors: int) -> List[
+        Tuple[int, int, int]
+    ]:
+        """``(member, phys, n)`` per mirror, clipping the rebuild target
+        to its watermark (the rebuilt prefix must stay fresh; the rest
+        is the rebuilder's job)."""
+        targets = []
+        for index in range(self._n):
+            if index in self._failed and index != self._rebuilding:
+                continue
+            if index == self._rebuilding:
+                limit = self._rebuild_watermark * self.chunk_sectors
+                if physical >= limit:
+                    continue
+                targets.append((index, physical, min(n_sectors, limit - physical)))
+            else:
+                targets.append((index, physical, n_sectors))
+        return targets
+
+    def _write_raid1(self, start: int, data: bytes, n_sectors: int) -> None:
+        physical = self._data_start + start
+        size = self._sector_size
+        targets = self._raid1_write_targets(physical, n_sectors)
+        calls = [
+            (
+                index,
+                (
+                    lambda i=index, lo=lo, payload=data[: n * size]:
+                    self._member_write(i, lo, payload)
+                ),
+            )
+            for index, lo, n in targets
+        ]
+        outcomes = self._fanout(calls)
+        crashed = self._crashed_members(outcomes)
+        full_copies = sum(
+            1
+            for index, lo, n in targets
+            if outcomes[index][0] == "ok"
+            and n == n_sectors
+            and index != self._rebuilding
+        )
+        if crashed:
+            self._note_member_failures(crashed)
+            self._raise_if_failed()
+            if full_copies == 0:
+                raise _RetryOp(f"{self.array_id}: no mirror took the write")
+
+    def _write_raid5(self, start: int, data: bytes, n_sectors: int) -> None:
+        chunk_sectors = self.chunk_sectors
+        d = self._n - 1
+        size = self._sector_size
+        row_sectors = d * chunk_sectors
+        rows: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        segment_sector, end = start, start + n_sectors
+        while segment_sector < end:
+            chunk, offset = divmod(segment_sector, chunk_sectors)
+            length = min(chunk_sectors - offset, end - segment_sector)
+            row, k = divmod(chunk, d)
+            rows.setdefault(row, []).append(
+                (k, offset, length, segment_sector)
+            )
+            segment_sector += length
+        full = [
+            row for row, segs in rows.items()
+            if sum(length for _, _, length, _ in segs) == row_sectors
+        ]
+        full.sort()
+        runs: List[Tuple[int, int]] = []
+        for row in full:
+            if runs and runs[-1][1] + 1 == row:
+                runs[-1] = (runs[-1][0], row)
+            else:
+                runs.append((row, row))
+        for first_row, last_row in runs:
+            self._write_full_rows(first_row, last_row, start, data)
+        for row in sorted(rows):
+            if row not in full:
+                self._write_partial_row(row, rows[row], start, data)
+
+    def _row_buffers(
+        self, first_row: int, last_row: int, start: int, data: bytes
+    ) -> Dict[int, bytes]:
+        """Per-member span payloads (data + rotated parity) for a run
+        of fully covered stripe rows."""
+        chunk_bytes = self._chunk_bytes
+        d = self._n - 1
+        parts: Dict[int, List[bytes]] = {i: [] for i in range(self._n)}
+        for row in range(first_row, last_row + 1):
+            base = (row * d * self.chunk_sectors - start) * self._sector_size
+            chunks = [
+                data[base + k * chunk_bytes : base + (k + 1) * chunk_bytes]
+                for k in range(d)
+            ]
+            parity = chunks[0]
+            for chunk in chunks[1:]:
+                parity = _xor(parity, chunk)
+            parity_member = self.parity_member(row)
+            for index in range(self._n):
+                if index == parity_member:
+                    parts[index].append(parity)
+                else:
+                    k = index if index < parity_member else index - 1
+                    parts[index].append(chunks[k])
+        return {index: b"".join(parts[index]) for index in parts}
+
+    def _write_full_rows(
+        self, first_row: int, last_row: int, start: int, data: bytes
+    ) -> None:
+        chunk_sectors = self.chunk_sectors
+        meta = self._meta_chunks
+        buffers = self._row_buffers(first_row, last_row, start, data)
+        physical = (meta + first_row) * chunk_sectors
+        calls = []
+        for index in range(self._n):
+            if index in self._failed and index != self._rebuilding:
+                continue
+            payload = buffers[index]
+            if index == self._rebuilding:
+                # Write through only the rebuilt prefix of the target.
+                if meta + first_row >= self._rebuild_watermark:
+                    continue
+                keep = min(
+                    last_row - first_row + 1,
+                    self._rebuild_watermark - (meta + first_row),
+                )
+                payload = payload[: keep * self._chunk_bytes]
+            calls.append(
+                (
+                    index,
+                    (
+                        lambda i=index, lo=physical, p=payload:
+                        self._member_write(i, lo, p)
+                    ),
+                )
+            )
+        outcomes = self._fanout(calls)
+        self._handle_crashes(outcomes)
+        for index in sorted(outcomes):
+            kind, value = outcomes[index]
+            if kind == "media":
+                raise value  # type: ignore[misc]
+
+    def _write_partial_row(
+        self,
+        row: int,
+        segments: List[Tuple[int, int, int, int]],
+        start: int,
+        data: bytes,
+    ) -> None:
+        """Read-modify-write one partially covered stripe row.
+
+        The small-write penalty lives here: covered columns and the
+        parity chunk are read over the union range, the parity delta is
+        folded in, and both are rewritten.  With a stale data column in
+        the row the old values are recovered through the parity
+        identity instead of reading the stale platter — and the
+        recovered value is journalled before any member write goes out,
+        so a crash between the row's writes cannot strand the stale
+        column's acked bytes (the degraded write hole).
+        """
+        chunk_sectors = self.chunk_sectors
+        size = self._sector_size
+        parity_member = self.parity_member(row)
+        physical = (self._meta_chunks + row) * chunk_sectors
+        stale = self._stale_member()
+        lo = min(offset for _, offset, _, _ in segments)
+        hi = max(offset + length for _, offset, length, _ in segments)
+        span_lo, span_n = physical + lo, hi - lo
+        covered: Dict[int, Tuple[int, bytes]] = {}
+        for k, offset, length, logical in segments:
+            member = k if k < parity_member else k + 1
+            piece = data[
+                (logical - start) * size : (logical - start + length) * size
+            ]
+            covered[member] = (offset, piece)
+        write_through = (
+            self._rebuilding is not None
+            and self._meta_chunks + row < self._rebuild_watermark
+        )
+        # --- read phase -------------------------------------------
+        # A stale *data* column makes any parity update hazardous (the
+        # column's value is the parity identity over the others), so
+        # its old value is recovered up front whether or not the write
+        # covers it, and journalled before the writes go out.
+        stale_data = stale is not None and stale != parity_member
+        need_all_columns = stale_data or (
+            stale == parity_member and write_through
+        )
+        reads: Dict[int, Tuple[int, int]] = {}
+        if need_all_columns:
+            for index in range(self._n):
+                if index == stale:
+                    continue
+                reads[index] = (span_lo, span_n)
+        elif stale == parity_member:
+            pass  # exact-slice writes only; no parity to maintain
+        else:
+            for member in covered:
+                if member in self._failed:
+                    continue
+                reads[member] = (span_lo, span_n)
+            reads[parity_member] = (span_lo, span_n)
+        calls = [
+            (
+                index,
+                (
+                    lambda m=self._members[index], lo_=reads[index][0],
+                    n_=reads[index][1]: m.read_sectors(lo_, n_)
+                ),
+            )
+            for index in sorted(reads)
+        ]
+        outcomes = self._fanout(calls)
+        self._handle_crashes(outcomes)
+        old = self._settle_media(
+            outcomes,
+            {index: (span_lo, span_lo + span_n) for index in reads},
+            in_passing=False,
+        )
+        # --- compute phase ----------------------------------------
+        posts: Dict[int, bytes] = {}
+        for member, (offset, piece) in sorted(covered.items()):
+            if member in old:
+                posts[member] = _overlay(
+                    old[member], (offset - lo) * size, piece
+                )
+        stale_old: Optional[bytes] = None
+        parity_new: Optional[bytes] = None
+        if need_all_columns:
+            if stale_data:
+                assert stale is not None
+                # Stale column's old value via the parity identity,
+                # then overlay the new slice if the write covers it.
+                recovered = old[parity_member]
+                for j in range(self._n):
+                    if j not in (parity_member, stale):
+                        recovered = _xor(recovered, old[j])
+                stale_old = recovered
+                if stale in covered:
+                    offset, piece = covered[stale]
+                    recovered = _overlay(
+                        recovered, (offset - lo) * size, piece
+                    )
+                posts[stale] = recovered
+            # Fresh parity over the union range from post-write state.
+            acc: Optional[bytes] = None
+            for index in range(self._n):
+                if index == parity_member:
+                    continue
+                column = posts.get(index, old.get(index))
+                if column is None:
+                    continue
+                acc = column if acc is None else _xor(acc, column)
+            parity_new = acc
+        elif stale != parity_member:
+            delta: Optional[bytes] = None
+            for member in sorted(posts):
+                change = _xor(old[member], posts[member])
+                delta = change if delta is None else _xor(delta, change)
+            assert delta is not None
+            parity_new = _xor(old[parity_member], delta)
+        # --- journal phase ----------------------------------------
+        journal_member: Optional[int] = None
+        if stale_data:
+            assert stale is not None and stale_old is not None
+            journal_member = min(
+                i for i in range(self._n) if i not in self._failed
+            )
+            try:
+                self._journal_arm(
+                    journal_member, stale, row, lo, span_n, stale_old
+                )
+            except DiskCrashedError:
+                self._note_member_failures([journal_member])
+                self._raise_if_failed()
+                raise _RetryOp(
+                    f"{self.array_id}: journal member {journal_member} lost"
+                )
+        # --- write phase ------------------------------------------
+        write_calls = []
+        for member in sorted(covered):
+            if member in self._failed and not (
+                member == self._rebuilding and write_through
+            ):
+                continue
+            if member in posts and member != stale:
+                payload, at = posts[member], span_lo
+            else:
+                offset, piece = covered[member]
+                payload, at = piece, physical + offset
+            write_calls.append(
+                (
+                    member,
+                    (
+                        lambda i=member, lo_=at, p=payload:
+                        self._member_write(i, lo_, p)
+                    ),
+                )
+            )
+        if parity_new is not None and (
+            parity_member not in self._failed
+            or (parity_member == self._rebuilding and write_through)
+        ):
+            write_calls.append(
+                (
+                    parity_member,
+                    (
+                        lambda i=parity_member, lo_=span_lo, p=parity_new:
+                        self._parity_write(i, lo_, p)
+                    ),
+                )
+            )
+        outcomes = self._fanout(write_calls)
+        self._handle_crashes(outcomes)
+        for index in sorted(outcomes):
+            kind, value = outcomes[index]
+            if kind == "media":
+                raise value  # type: ignore[misc]
+        if journal_member is not None:
+            try:
+                self._journal_clear(journal_member)
+            except DiskCrashedError:
+                # The row update itself landed; losing the journal
+                # member now only costs redundancy, never the write.
+                self._note_member_failures([journal_member])
+                self._raise_if_failed()
+
+    # ------------------------------------------------------ internal
+
+    def _check_request(self, start: int, n_sectors: int) -> None:
+        if n_sectors <= 0:
+            raise BadAddressError("request must cover at least one sector")
+        if not 0 <= start or start + n_sectors > self._total_sectors:
+            self.geometry.check_sector(start)
+            self.geometry.check_sector(start + n_sectors - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"StripedVolume({self.array_id!r}, raid{self.level}x{self._n}, "
+            f"{self._state.name.lower()})"
+        )
+
+
+class RaidRebuilder:
+    """Background reconstruction of a replaced member, scrubber-style.
+
+    Walks the target's physical data chunks (the metadata area is
+    rewritten by the membership machinery), reconstructing each from
+    the surviving members — a mirror copy for raid1, the XOR of every
+    survivor for raid5 — and advancing the array's write-through
+    watermark as it goes.  :meth:`step` yields to foreground traffic
+    when the ``idle_gate`` reports the pipeline busy, exactly like the
+    PR 6 scrubber; :meth:`run_cycle` forces completion.
+
+    Args:
+        array: the owning array; must currently be REBUILDING.
+        chunks_per_step: physical chunks reconstructed per granted step.
+        idle_gate: truthy return = foreground busy, skip this step.
+    """
+
+    def __init__(
+        self,
+        array: StripedVolume,
+        *,
+        chunks_per_step: int = 32,
+        idle_gate: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        if array.rebuild_target is None:
+            raise ValueError("array has no rebuild target")
+        if chunks_per_step < 1:
+            raise ValueError("need at least one chunk per step")
+        self.array = array
+        self.target = array.rebuild_target
+        self.chunks_per_step = chunks_per_step
+        self.idle_gate = idle_gate
+        self._cursor = array._meta_chunks  # data starts past metadata
+        self._prefix = f"raid.{array.array_id}.rebuild"
+
+    @property
+    def done(self) -> bool:
+        """True once the rebuild completed or was cancelled."""
+        return self.array.rebuild_target != self.target
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    def progress_percent(self) -> int:
+        meta = self.array._meta_chunks
+        total = self.array.member_chunks - meta
+        return min(100, (self._cursor - meta) * 100 // total)
+
+    def step(self, *, force: bool = False) -> int:
+        """Rebuild up to ``chunks_per_step`` chunks; 0 if gated or done.
+
+        A second failure mid-step cancels (raid5 → FAILED) and the
+        rebuilder reports done; the array state is authoritative.
+        """
+        if self.done or self.array.state is not ArrayState.REBUILDING:
+            return 0
+        if not force and self.idle_gate is not None and self.idle_gate():
+            self.array.metrics.add(f"{self._prefix}.steps_yielded")
+            return 0
+        built = 0
+        while built < self.chunks_per_step and not self.done:
+            if self._cursor >= self.array.member_chunks:
+                break
+            if not self._rebuild_chunk(self._cursor):
+                return built
+            self._cursor += 1
+            built += 1
+            self.array._rebuild_watermark = self._cursor
+            self.array.metrics.add(f"{self._prefix}.chunks")
+        self.array._g_rebuild.set(self.progress_percent())
+        if self._cursor >= self.array.member_chunks and not self.done:
+            self.array._complete_rebuild()
+        return built
+
+    def run_cycle(self) -> None:
+        """Force the rebuild to completion (ignoring the idle gate)."""
+        while not self.done:
+            if self.step(force=True) == 0 and not self.done:
+                return  # array left REBUILDING (second failure)
+
+    def _rebuild_chunk(self, physical_chunk: int) -> bool:
+        array = self.array
+        chunk_sectors = array.chunk_sectors
+        physical = physical_chunk * chunk_sectors
+        content: Optional[bytes] = None
+        try:
+            if array.level == 1:
+                for index in range(array._n):
+                    if index == self.target or index in array._failed:
+                        continue
+                    content = array._members[index].read_sectors(
+                        physical, chunk_sectors
+                    )
+                    break
+            else:
+                for index in range(array._n):
+                    if index == self.target or index in array._failed:
+                        continue
+                    piece = array._members[index].read_sectors(
+                        physical, chunk_sectors
+                    )
+                    content = piece if content is None else _xor(content, piece)
+        except DiskCrashedError:
+            crashed = [
+                i for i in range(array._n)
+                if array._members[i].crashed and i not in array._failed
+            ]
+            array._note_member_failures(crashed)
+            return False
+        except MediaError:
+            # Redundancy is already spent on the target; an unreadable
+            # survivor chunk means this stripe cannot be reconstructed.
+            array._note_member_failures([self.target])
+            return False
+        if content is None:
+            array._note_member_failures([self.target])
+            return False
+        try:
+            self._write_target(physical, content)
+        except DiskCrashedError:
+            array._note_member_failures([self.target])
+            return False
+        return True
+
+    def _write_target(self, physical: int, content: bytes) -> None:
+        """Rebuild write to the target member (registered write site)."""
+        self.array._members[self.target].write_sectors(physical, content)

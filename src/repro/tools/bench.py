@@ -52,6 +52,7 @@ SMOKE_EXPERIMENTS = (
     "e14_track_cache",
     "e16_scheduling",
     "e18_scrub_overhead",
+    "e19_raid",
     "t1_lock_compatibility",
 )
 
@@ -247,7 +248,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pr8.json",
+        default="BENCH_pr9.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(

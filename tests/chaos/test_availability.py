@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.chaos.availability import (
+    RAID_SCENARIOS,
+    RAID_SMOKE,
     SCENARIOS,
     SCRUB_SCENARIOS,
     SCRUB_SMOKE,
@@ -146,6 +148,88 @@ class TestScrubScenarios:
             s for s in SCRUB_SCENARIOS if s.name == "scrub_latent_rot"
         ))
         assert json.dumps(rot_report, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+class TestRaidScenarios:
+    """PR 9: the two RAID-tier scenarios and their SLOs."""
+
+    @pytest.fixture(scope="class")
+    def loss_report(self):
+        return run_scenario(next(
+            s for s in RAID_SCENARIOS if s.name == "raid_member_loss"
+        ))
+
+    @pytest.fixture(scope="class")
+    def interrupted_report(self):
+        return run_scenario(next(
+            s for s in RAID_SCENARIOS if s.name == "raid_rebuild_interrupted"
+        ))
+
+    def test_raid_smoke_names_the_catalogue(self):
+        assert set(RAID_SMOKE) == {s.name for s in RAID_SCENARIOS}
+        taken = {s.name for s in SCENARIOS} | {s.name for s in SCRUB_SCENARIOS}
+        assert not set(RAID_SMOKE) & taken
+
+    def test_member_loss_passes_its_slo(self, loss_report):
+        assert loss_report["status"] == "pass"
+        assert loss_report["violations"] == []
+
+    def test_volume_served_through_the_degraded_window(self, loss_report):
+        # Zero failed operations is the whole point: unlike a volume
+        # crash, member loss must cost no availability at all — and the
+        # coverage counters prove the window was actually traversed.
+        ops = loss_report["ops"]
+        assert ops["reads_degraded"] > 0
+        assert ops["writes_degraded"] > 0
+        counters = loss_report["counters"]
+        assert counters["raid.0.degraded_reads"] > 0
+        assert counters["raid.0.degraded_writes"] > 0
+        # Degraded partial-row updates armed the write-intent journal.
+        assert counters["raid.0.journal_arms"] > 0
+
+    def test_member_loss_walks_the_state_machine(self, loss_report):
+        transitions = [
+            (old, new) for _, old, new in loss_report["state_log"]
+        ]
+        assert transitions == [
+            ("OPTIMAL", "DEGRADED"),
+            ("DEGRADED", "REBUILDING"),
+            ("REBUILDING", "OPTIMAL"),
+        ]
+        assert loss_report["counters"]["raid.0.rebuild.chunks"] > 0
+        assert len(loss_report["member_windows"]) == 1
+
+    def test_interrupted_rebuild_degrades_instead_of_failing(
+        self, interrupted_report
+    ):
+        assert interrupted_report["status"] == "pass"
+        assert interrupted_report["violations"] == []
+        transitions = [
+            (old, new) for _, old, new in interrupted_report["state_log"]
+        ]
+        # The second kill lands mid-rebuild: REBUILDING -> DEGRADED
+        # (never FAILED — three healthy members remain), then the
+        # second replacement rebuilds to OPTIMAL before the finale.
+        assert ("REBUILDING", "DEGRADED") in transitions
+        assert transitions.count(("REBUILDING", "OPTIMAL")) == 1
+        scripted = transitions[: transitions.index(("REBUILDING", "OPTIMAL")) + 1]
+        assert all(new != "FAILED" for _, new in scripted)
+        assert interrupted_report["counters"]["cluster.member_replacements"] == 2
+
+    def test_exhausted_redundancy_fails_loudly(self, interrupted_report):
+        finale = interrupted_report["finale"]
+        assert finale["state"] == "FAILED"
+        assert finale["reads_served"] == 0
+        assert finale["reads_refused"] > 0
+        assert finale["health_down"] is True
+
+    def test_raid_reports_are_deterministic(self, loss_report):
+        again = run_scenario(next(
+            s for s in RAID_SCENARIOS if s.name == "raid_member_loss"
+        ))
+        assert json.dumps(loss_report, sort_keys=True) == json.dumps(
             again, sort_keys=True
         )
 

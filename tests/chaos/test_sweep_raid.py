@@ -1,0 +1,107 @@
+"""Exhaustive crash sweeps over the RAID tier's degraded and rebuild paths.
+
+The PR 9 acceptance sweep: every physical write a degraded or
+rebuilding array performs — member data writes, parity updates,
+superblock rounds, write-intent journal arming, and the rebuild's own
+reconstruction writes — is a numbered crash point, and a crash at any
+of them must recover to an OPTIMAL array whose acked bytes are exact
+and whose parity invariant (XOR of data chunks == parity chunk) holds
+on every stripe row.  A negative test disables the journal replay and
+shows the sweep then *does* catch the degraded write hole, proving the
+assertion has teeth.
+"""
+
+import pytest
+
+from repro.chaos.scheduler import CrashScheduler
+from repro.chaos.workloads import RaidDegradedWriteWorkload, RaidRebuildWorkload
+from repro.common.metrics import Metrics
+from repro.simdisk.raid import StripedVolume
+
+RAID_WORKLOADS = [RaidDegradedWriteWorkload, RaidRebuildWorkload]
+
+
+class TestCountingRun:
+    @pytest.mark.parametrize("workload_cls", RAID_WORKLOADS)
+    def test_workload_is_deterministic(self, workload_cls):
+        first = workload_cls()
+        first.run()
+        second = workload_cls()
+        second.run()
+        trace_a = [
+            (e.disk_id, e.start, e.n_sectors)
+            for e in first.monitor.write_entries()
+        ]
+        trace_b = [
+            (e.disk_id, e.start, e.n_sectors)
+            for e in second.monitor.write_entries()
+        ]
+        assert trace_a == trace_b
+        assert len(trace_a) > 0
+
+    def test_degraded_script_arms_the_journal(self):
+        """The script must hit the hazardous shape — a partial-row
+        update with a stale data column — or the sweep proves nothing
+        about the write hole."""
+        workload = RaidDegradedWriteWorkload()
+        workload.run()
+        assert workload.metrics.get("raid.raidchaos.journal_arms") >= 2
+        assert workload.metrics.get("raid.raidchaos.degraded_writes") >= 4
+
+    def test_rebuild_script_numbers_rebuild_writes(self):
+        """Rebuild reconstruction writes are crash points like any
+        other platter mutation."""
+        workload = RaidRebuildWorkload()
+        workload.run()
+        assert workload.metrics.get("raid.raidchaos.rebuild.chunks") > 0
+        assert workload.metrics.get("raid.raidchaos.member_replacements") == 1
+        # Foreground writes continued through the rebuild window.
+        assert workload.metrics.get("raid.raidchaos.journal_arms") >= 1
+
+
+class TestExhaustiveSweep:
+    @pytest.mark.parametrize("workload_cls", RAID_WORKLOADS)
+    def test_every_crash_point_recovers_cleanly(self, workload_cls):
+        metrics = Metrics()
+        scheduler = CrashScheduler(workload_cls, metrics=metrics)
+        report = scheduler.sweep()
+        assert report.points_run == report.total_points > 0
+        assert report.violations == []
+        prefix = f"chaos.sweep.{workload_cls.name}"
+        assert metrics.get(f"{prefix}.points") == report.points_run
+        assert metrics.get(f"{prefix}.violations") == 0
+
+    def test_some_crash_points_are_repaired_by_journal_replay(self):
+        """The sweep must actually traverse the window the journal
+        protects: recovery replays at least one armed record."""
+        scheduler = CrashScheduler(RaidDegradedWriteWorkload)
+        total = scheduler.count_crash_points()
+        replays = 0
+        for point in range(1, total + 1):
+            result = scheduler.run_at(point)
+            assert result.violations == []
+        # run_at builds a fresh workload per point; re-derive the replay
+        # count from one representative mid-journal crash instead.
+        for point in range(1, total + 1):
+            workload = RaidDegradedWriteWorkload()
+            workload.monitor.arm(point)
+            try:
+                workload.run()
+            except Exception:
+                pass
+            workload.recover()
+            replays += workload.metrics.get("raid.raidchaos.journal_replays")
+        assert replays > 0
+
+
+class TestWriteHoleDetection:
+    def test_sweep_catches_the_hole_without_journal_replay(self, monkeypatch):
+        """Disable recovery's journal replay: the degraded write hole
+        reopens and the sweep must report acked-content violations —
+        the assertion is not vacuous."""
+        monkeypatch.setattr(
+            StripedVolume, "_replay_journal", lambda self: None
+        )
+        report = CrashScheduler(RaidDegradedWriteWorkload).sweep()
+        assert report.violations != []
+        assert any("acked content diverged" in v for v in report.violations)

@@ -4,7 +4,11 @@ import pytest
 
 from repro.common.clock import SimClock
 from repro.common.metrics import Metrics
-from repro.recovery.schedule import FailureEvent, FailureSchedule
+from repro.recovery.schedule import (
+    FailureEvent,
+    FailureSchedule,
+    MemberFailureEvent,
+)
 
 
 class _Host:
@@ -18,6 +22,12 @@ class _Host:
 
     def restart_volume(self, volume_id):
         self.calls.append(("restart", volume_id))
+
+    def fail_member(self, volume_id, member_index):
+        self.calls.append(("kill", volume_id, member_index))
+
+    def replace_member(self, volume_id, member_index):
+        self.calls.append(("replace", volume_id, member_index))
 
 
 def build(events):
@@ -118,3 +128,108 @@ class TestPoll:
         schedule.run_out(_Host())
         assert metrics.get("recovery.crashes_injected") == 1
         assert metrics.get("recovery.restarts_injected") == 1
+
+
+class TestMemberEvents:
+    """PR 9: scripted RAID member kill/replace pairs."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemberFailureEvent(at_us=-1, volume_id=0, member_index=0, down_us=10)
+        with pytest.raises(ValueError):
+            MemberFailureEvent(at_us=0, volume_id=0, member_index=0, down_us=0)
+        with pytest.raises(ValueError):
+            MemberFailureEvent(at_us=0, volume_id=0, member_index=-1, down_us=10)
+        event = MemberFailureEvent(
+            at_us=100, volume_id=1, member_index=2, down_us=40
+        )
+        assert event.replace_at_us == 140
+
+    def test_kill_then_replace_with_windows(self):
+        schedule, clock, host = build(
+            [MemberFailureEvent(at_us=100, volume_id=0, member_index=2, down_us=50)]
+        )
+        clock.advance_to(100)
+        schedule.poll(host)
+        assert host.calls == [("kill", 0, 2)]
+        clock.advance_to(150)
+        schedule.poll(host)
+        assert host.calls == [("kill", 0, 2), ("replace", 0, 2)]
+        assert schedule.done()
+        assert schedule.member_windows() == [(0, 2, 100, 150)]
+
+    def test_same_member_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule(
+                [
+                    MemberFailureEvent(
+                        at_us=0, volume_id=0, member_index=1, down_us=100
+                    ),
+                    MemberFailureEvent(
+                        at_us=50, volume_id=0, member_index=1, down_us=100
+                    ),
+                ],
+                SimClock(),
+            )
+
+    def test_distinct_members_may_overlap(self):
+        # The schedule does not police redundancy; whether two members
+        # down at once is survivable is the array's verdict to deliver.
+        schedule, _, _ = build(
+            [
+                MemberFailureEvent(
+                    at_us=0, volume_id=0, member_index=0, down_us=100
+                ),
+                MemberFailureEvent(
+                    at_us=50, volume_id=0, member_index=1, down_us=100
+                ),
+            ]
+        )
+        assert len(schedule.events) == 2
+
+    def test_rekill_after_replace_allowed(self):
+        """Losing the same slot again after its replacement is the
+        rebuild-interrupted scenario — a legal script."""
+        schedule, clock, host = build(
+            [
+                MemberFailureEvent(
+                    at_us=0, volume_id=0, member_index=2, down_us=100
+                ),
+                MemberFailureEvent(
+                    at_us=100, volume_id=0, member_index=2, down_us=100
+                ),
+            ]
+        )
+        schedule.run_out(host)
+        # The same-instant replace fires before the second kill.
+        assert host.calls == [
+            ("kill", 0, 2),
+            ("replace", 0, 2),
+            ("kill", 0, 2),
+            ("replace", 0, 2),
+        ]
+        assert schedule.member_windows() == [(0, 2, 0, 100), (0, 2, 100, 200)]
+
+    def test_mixed_volume_and_member_script(self):
+        metrics = Metrics()
+        clock = SimClock()
+        host = _Host()
+        schedule = FailureSchedule(
+            [
+                FailureEvent(at_us=10, volume_id=1, down_us=30),
+                MemberFailureEvent(
+                    at_us=20, volume_id=0, member_index=3, down_us=30
+                ),
+            ],
+            clock,
+            metrics=metrics,
+        )
+        schedule.run_out(host)
+        assert host.calls == [
+            ("fail", 1),
+            ("kill", 0, 3),
+            ("restart", 1),
+            ("replace", 0, 3),
+        ]
+        assert metrics.get("recovery.member_kills_injected") == 1
+        assert metrics.get("recovery.member_replacements_injected") == 1
