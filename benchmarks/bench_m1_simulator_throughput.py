@@ -29,7 +29,7 @@ Three loads:
 
 Wall-clock results are recorded as gauges whose final name segment
 starts with ``wall_`` — ``python -m repro.tools.bench --strip-wall``
-removes exactly those, which is how the committed ``BENCH_pr9.json``
+removes exactly those, which is how the committed ``BENCH_pr10.json``
 and the CI determinism diff stay byte-identical across machines.
 Everything else in this file is simulated time and fully deterministic.
 """

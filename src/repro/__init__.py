@@ -13,7 +13,8 @@ simulated substrate:
   get/put;
 * :mod:`repro.file_service` — file index tables with contiguity
   counts, 512 KB direct coverage, delayed-write/write-through caching;
-* :mod:`repro.naming` — attributed names -> system names;
+* :mod:`repro.naming` — attributed names -> system names, optionally
+  partitioned across shard servers with rebalancing and failover;
 * :mod:`repro.agents` — device/file agents, object descriptors,
   client caching, the process model;
 * :mod:`repro.transactions` — 2PL (RO/IR/IW, Table 1) at record/page/
@@ -48,13 +49,25 @@ from repro.common.clock import SimClock
 from repro.common.errors import RhodosError
 from repro.common.ids import SystemName
 from repro.common.metrics import Metrics
+from repro.common.errors import ShardDownError, WrongShardError
 from repro.naming.attributed import AttributedName, ObjectType
 from repro.naming.directory import DirectoryService
+from repro.naming.shard import (
+    NamingShard,
+    PlacementPolicy,
+    ShardedNamespace,
+    ShardManager,
+    ShardMap,
+)
 from repro.naming.tdirectory import TransactionalDirectory
 from repro.file_service.attributes import LockingLevel, ServiceType
 from repro.file_service.cache import WritePolicy
 from repro.recovery.health import HealthRegistry, HealthState
-from repro.recovery.schedule import FailureEvent, FailureSchedule
+from repro.recovery.schedule import (
+    FailureEvent,
+    FailureSchedule,
+    ShardFailureEvent,
+)
 from repro.rpc.bus import FaultProfile
 from repro.rpc.retry import BackoffPolicy, BreakerPolicy
 from repro.simkernel.runner import InterleavedRunner, LockWaitPending
@@ -75,6 +88,13 @@ __all__ = [
     "AttributedName",
     "ObjectType",
     "DirectoryService",
+    "NamingShard",
+    "PlacementPolicy",
+    "ShardedNamespace",
+    "ShardManager",
+    "ShardMap",
+    "ShardDownError",
+    "WrongShardError",
     "TransactionalDirectory",
     "LockingLevel",
     "ServiceType",
@@ -86,6 +106,7 @@ __all__ = [
     "HealthState",
     "FailureEvent",
     "FailureSchedule",
+    "ShardFailureEvent",
     "InterleavedRunner",
     "LockWaitPending",
     "TimeoutPolicy",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.clock import SimClock
 from repro.common.errors import BadDescriptorError, FileSizeError
@@ -95,6 +95,7 @@ class FileAgent:
         metrics: Metrics,
         *,
         cache_blocks: int = 128,
+        placement: Optional[Callable[[], int]] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.machine_id = machine_id
@@ -102,6 +103,7 @@ class FileAgent:
         self.router = router
         self.clock = clock
         self.metrics = metrics
+        self.placement = placement
         self.tracer = tracer or NULL_TRACER
         self.cache_blocks = cache_blocks
         self._prefix = f"file_agent.{machine_id}"
@@ -122,12 +124,19 @@ class FileAgent:
         """Create a file, bind its attributed name, and open it.
 
         The target volume comes from, in order: the explicit argument,
-        the name's ``volume`` attribute, the first volume the router
-        knows.  Returns an object descriptor (> 100 000).
+        the name's ``volume`` attribute, the agent's placement policy
+        (chunk->volume write placement, e.g. least-loaded), the first
+        volume the router knows.  Returns an object descriptor
+        (> 100 000).
         """
         if volume_id is None:
             hinted = name.get("volume")
-            volume_id = int(hinted) if hinted is not None else self.router.volume_ids()[0]
+            if hinted is not None:
+                volume_id = int(hinted)
+            elif self.placement is not None:
+                volume_id = self.placement()
+            else:
+                volume_id = self.router.volume_ids()[0]
         system_name = self.router.create(
             volume_id,
             service_type=service_type,

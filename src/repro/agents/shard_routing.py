@@ -1,0 +1,85 @@
+"""Transports between a :class:`ShardedNamespace` and its shard servers.
+
+The router speaks one tiny protocol — ``caller(op, args)`` — and this
+module provides both ends of it, mirroring ``agents.routing`` for file
+servers: a direct in-process closure (unit tests, flat clusters) and
+an RPC stub over the message bus (the cluster facade), plus the
+exposure table that puts a :class:`NamingShard` behind an
+:class:`~repro.rpc.endpoint.RpcServer` endpoint.  Payloads are
+positional ``(args,)`` tuples, so every operation is idempotent under
+retransmission — binds are guarded server-side by the slot check and
+``NameExistsError`` exactly as a re-sent create is guarded by the FIT.
+
+Because shard endpoints ride the same :class:`~repro.rpc.bus.MessageBus`
+as the file servers, the whole reliability stack — retries, seeded
+backoff, per-destination circuit breakers, fault profiles — applies to
+metadata traffic unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.naming.shard import NamingShard, ShardCaller
+from repro.rpc.endpoint import RpcClient, RpcServer
+
+#: Every operation a shard server answers; shared by the exposure and
+#: the stubs so the two sides cannot drift apart.
+NAMING_SHARD_OPS = (
+    "bind",
+    "rebind",
+    "unbind",
+    "resolve",
+    "contains",
+    "unbind_path",
+    "match",
+    "list_paths",
+    "size",
+    "names",
+    "dump",
+    "replica_dump",
+    "replica_resolve",
+    "replica_match",
+    "replica_contains",
+    "replica_list_paths",
+    "replica_size",
+    "replica_names",
+)
+
+
+def shard_address(shard_id: int) -> str:
+    """The bus address of one shard server's endpoint."""
+    return f"naming_shard.{shard_id}"
+
+
+def expose_naming_shard(shard: NamingShard, rpc_server: RpcServer) -> None:
+    """Expose a shard server's operations on an RPC endpoint."""
+
+    def wrap(method_name: str):
+        method = getattr(shard, method_name)
+
+        def handler(payload: Any) -> Any:
+            return method(*payload)
+
+        return handler
+
+    for op in NAMING_SHARD_OPS:
+        rpc_server.expose(op, wrap(op))
+
+
+def direct_shard_caller(shard: NamingShard) -> ShardCaller:
+    """In-process transport: dispatch straight into the shard object."""
+
+    def caller(op: str, args: tuple) -> Any:
+        return getattr(shard, op)(*args)
+
+    return caller
+
+
+def rpc_shard_caller(client: RpcClient, address: str) -> ShardCaller:
+    """Bus transport: one RPC per operation, faults and breakers apply."""
+
+    def caller(op: str, args: tuple) -> Any:
+        return client.call(address, op, args)
+
+    return caller

@@ -75,10 +75,12 @@ from repro.disk_service.addresses import Extent
 from repro.disk_service.scrub import Scrubber, ScrubFinding
 from repro.file_service.cache import WritePolicy
 from repro.naming.attributed import AttributedName
+from repro.naming.service import NamingService
 from repro.recovery.schedule import (
     FailureEvent,
     FailureSchedule,
     MemberFailureEvent,
+    ShardFailureEvent,
 )
 from repro.replication.service import volume_component
 from repro.rpc.bus import FaultProfile
@@ -284,6 +286,60 @@ RAID_SCENARIOS: Tuple[RaidScenario, ...] = (
 )
 
 RAID_SMOKE = tuple(scenario.name for scenario in RAID_SCENARIOS)
+
+
+@dataclass(frozen=True)
+class ShardScenario:
+    """One sharded-namespace campaign cell (PR 10).
+
+    Attributes:
+        kind: ``"storm"`` — a metadata workload over the RPC bus while
+            a :class:`ShardFailureEvent` kills a shard server mid-run —
+            or ``"rebalance"`` — an online migration whose destination
+            dies mid-stream (direct calls; the interruption under test
+            is the shard's, not the bus's).
+        n_shards: shard servers the binding space partitions across.
+        events: the shard kill/restart script (``storm`` only).
+    """
+
+    name: str
+    kind: str
+    profile: FaultProfile
+    events: Tuple[ShardFailureEvent, ...] = ()
+    n_shards: int = 4
+    steps: int = 360
+    think_us: int = 5_000
+    seed: int = 0
+    description: str = ""
+
+
+SHARD_SCENARIOS: Tuple[ShardScenario, ...] = (
+    ShardScenario(
+        name="shard_death_metadata_storm",
+        kind="storm",
+        profile=FaultProfile(
+            request_loss=0.03, reply_loss=0.03, duplication=0.02
+        ),
+        events=(
+            ShardFailureEvent(at_us=400_000, shard_id=1, down_us=400_000),
+        ),
+        description="a shard server dies mid-metadata-storm over a lossy "
+        "bus; resolves fail over to the replica, binds bounded to the "
+        "window, restart resyncs every acked binding",
+    ),
+    ShardScenario(
+        name="rebalance_interrupted",
+        kind="rebalance",
+        profile=FaultProfile.reliable(),
+        n_shards=2,
+        steps=0,
+        description="the migration destination dies mid-stream; the "
+        "migration aborts with zero resolve misses, then re-runs to "
+        "completion after the restart",
+    ),
+)
+
+SHARD_SMOKE = tuple(scenario.name for scenario in SHARD_SCENARIOS)
 
 
 def recovery_allowance_us(
@@ -1137,12 +1193,337 @@ class _RaidRun:
         }
 
 
+class _ShardRun:
+    """One sharded-namespace scenario: kills, failover, verdicts.
+
+    The ``storm`` kind binds fresh names and resolves acked ones over
+    the lossy RPC bus while the schedule kills and restarts one shard
+    server.  SLOs: an acked name **never** fails to resolve (reads fail
+    over to the replica peer), bind failures fall only inside the
+    scheduled kill window plus the parametric recovery allowance, and
+    after the restart every acked binding resolves with its exact
+    target while the per-shard dumps stay pairwise disjoint.
+
+    The ``rebalance`` kind runs an online migration and kills its
+    destination mid-stream: the migration must abort (sources keep sole
+    ownership — zero resolve misses at every step), then re-run to
+    completion after the restart with the map epoch bumped.
+    """
+
+    def __init__(self, scenario: ShardScenario) -> None:
+        self.scenario = scenario
+        profile = scenario.profile if scenario.kind == "storm" else None
+        self.cluster = RhodosCluster(
+            ClusterConfig(
+                n_machines=1,
+                n_disks=1,
+                n_shards=scenario.n_shards,
+                fault_profile=profile,
+                rpc_backoff=BACKOFF,
+                rpc_breaker=BREAKER,
+                client_cache_blocks=0,
+                seed=scenario.seed,
+            )
+        )
+        self.schedule = FailureSchedule(
+            scenario.events, self.cluster.clock, metrics=self.cluster.metrics
+        )
+        self.rng = random.Random(scenario.seed)
+        self.action_log: List[str] = []
+        self.acked: Dict[str, Tuple[AttributedName, str]] = {}
+        self.attempted: Dict[str, Tuple[AttributedName, str]] = {}
+        self.failures: List[Tuple[int, int, str]] = []
+        self.stats = {
+            "binds": 0,
+            "resolves": 0,
+            "failed_binds": 0,
+            "failed_resolves": 0,
+        }
+        self.violations: List[str] = []
+
+    # ------------------------------------------------------- workload
+
+    def run(self) -> Dict[str, object]:
+        if self.scenario.kind == "rebalance":
+            return self._run_rebalance()
+        return self._run_storm()
+
+    def _run_storm(self) -> Dict[str, object]:
+        cluster, schedule = self.cluster, self.schedule
+        for step in range(self.scenario.steps):
+            self.action_log.extend(schedule.poll(cluster))
+            cluster.clock.advance_us(self.scenario.think_us)
+            if self.rng.random() < 0.45 or not self.acked:
+                self._bind(step)
+            else:
+                self._resolve()
+        self.action_log.extend(schedule.run_out(cluster))
+        if cluster.bus is not None:
+            cluster.bus.drain_delayed()
+        self._verify_convergence()
+        self._check_bind_windows()
+        if cluster.metrics.get("naming_shard.failovers") == 0:
+            self.violations.append(
+                "the storm never exercised a failover read — the kill "
+                "window missed the workload entirely"
+            )
+        return self._report()
+
+    def _bind(self, step: int) -> None:
+        cluster = self.cluster
+        path = f"/storm/dev{step}"
+        name = AttributedName.tty(f"dev{step}", path=path)
+        target = f"host{step % 4}:{path}"
+        start = cluster.clock.now_us
+        self.stats["binds"] += 1
+        self.attempted[path] = (name, target)
+        try:
+            # rebind, not bind: a reply lost after the server applied
+            # the write makes a retried bind a duplicate — rebind is
+            # idempotent at the workload layer, and the shard's reply
+            # cache absorbs bus-level duplicates below it.
+            cluster.naming.rebind(name, target)
+        except (RpcError, RhodosError) as exc:
+            self.stats["failed_binds"] += 1
+            self.failures.append(
+                (start, cluster.clock.now_us, f"bind:{type(exc).__name__}")
+            )
+            return
+        self.acked[path] = (name, target)
+
+    def _resolve(self) -> None:
+        cluster = self.cluster
+        paths = sorted(self.acked)
+        path = paths[self.rng.randrange(len(paths))]
+        name, target = self.acked[path]
+        start = cluster.clock.now_us
+        self.stats["resolves"] += 1
+        try:
+            observed = cluster.naming.resolve(name)
+        except (RpcError, RhodosError) as exc:
+            self.stats["failed_resolves"] += 1
+            self.violations.append(
+                f"t={start}us resolve {path} failed "
+                f"({type(exc).__name__}) — acked names must fail over"
+            )
+            return
+        if observed != target:
+            self.violations.append(
+                f"t={start}us resolve {path} returned {observed!r}, "
+                f"acked {target!r}"
+            )
+
+    # ----------------------------------------------------- rebalancing
+
+    def _run_rebalance(self) -> Dict[str, object]:
+        cluster = self.cluster
+        manager = cluster.shard_manager
+        for index in range(40):
+            path = f"/reb/dev{index}"
+            name = AttributedName.tty(f"dev{index}", path=path)
+            target = f"host{index % 4}:{path}"
+            cluster.naming.rebind(name, target)
+            self.acked[path] = self.attempted[path] = (name, target)
+            self.stats["binds"] += 1
+        epoch_before = cluster.naming.map_epoch
+
+        spare = cluster.add_shard()
+        slots = manager.begin_rebalance(spare)
+        self.action_log.append(
+            f"rebalance {len(slots)} slot(s) -> shard {spare}"
+        )
+        streamed_before_kill = 0
+        for _round in range(3):
+            if manager.rebalance_done:
+                break
+            streamed_before_kill += manager.step_rebalance(max_bindings=4)
+            self._resolve_all("mid-stream")
+        cluster.fail_shard(spare)
+        self.action_log.append(f"kill migration target shard {spare}")
+        manager.step_rebalance(max_bindings=4)
+        if manager.rebalance_in_flight:
+            self.violations.append(
+                "migration survived its destination's death"
+            )
+        self._resolve_all("post-abort")
+
+        cluster.restart_shard(spare)
+        self.action_log.append(f"restart shard {spare}")
+        slots = manager.begin_rebalance(spare)
+        while not manager.rebalance_done:
+            manager.step_rebalance(max_bindings=8)
+            self._resolve_all("re-run")
+        manager.complete_rebalance()
+        self.action_log.append(f"cutover: {len(slots)} slot(s) moved")
+        if manager.map.epoch <= epoch_before:
+            self.violations.append(
+                f"map epoch never advanced past {epoch_before}"
+            )
+        if cluster.shards[spare].size() == 0:
+            self.violations.append(
+                f"shard {spare} owns no bindings after the cutover"
+            )
+        self._resolve_all("post-cutover")
+        # The router learns the new map lazily — a post-cutover resolve
+        # of a moved name hits WrongShardError and re-fetches.
+        if cluster.naming.map_epoch != manager.map.epoch:
+            self.violations.append(
+                f"router stuck at epoch {cluster.naming.map_epoch}, "
+                f"manager at {manager.map.epoch}"
+            )
+        self._verify_convergence()
+        return self._report()
+
+    def _resolve_all(self, stage: str) -> None:
+        cluster = self.cluster
+        for path in sorted(self.acked):
+            name, target = self.acked[path]
+            self.stats["resolves"] += 1
+            try:
+                observed = cluster.naming.resolve(name)
+            except (RpcError, RhodosError) as exc:
+                self.stats["failed_resolves"] += 1
+                self.violations.append(
+                    f"{stage}: resolve {path} missed "
+                    f"({type(exc).__name__}) — migration must be invisible"
+                )
+                continue
+            if observed != target:
+                self.violations.append(
+                    f"{stage}: resolve {path} returned {observed!r}, "
+                    f"acked {target!r}"
+                )
+
+    # ----------------------------------------------------- invariants
+
+    def _verify_convergence(self) -> None:
+        cluster = self.cluster
+        for path in sorted(self.acked):
+            name, target = self.acked[path]
+            try:
+                observed = cluster.naming.resolve(name)
+            except (RpcError, RhodosError) as exc:
+                self.violations.append(
+                    f"{path}: acked binding lost after run-out ({exc})"
+                )
+                continue
+            if observed != target:
+                self.violations.append(
+                    f"{path}: resolves to {observed!r} after run-out, "
+                    f"acked {target!r}"
+                )
+        # The partition invariant: per-shard dumps pairwise disjoint,
+        # every acked binding present, nothing present that was never
+        # attempted (a failed bind may have applied server-side — its
+        # reply was lost — so the union may exceed the acked set, but
+        # never the attempted set).
+        seen: Dict[str, int] = {}
+        union: Dict[str, str] = {}
+        for shard_id, blob in sorted(cluster.naming.shard_dumps().items()):
+            part = NamingService.from_bytes(blob)
+            for name in part:
+                path = name.get("path") or repr(name)
+                if path in seen:
+                    self.violations.append(
+                        f"{path} lives on shards {seen[path]} and {shard_id}"
+                    )
+                seen[path] = shard_id
+                union[path] = part.resolve(name)
+        for path in sorted(self.acked):
+            _name, target = self.acked[path]
+            if union.get(path) != target:
+                self.violations.append(
+                    f"{path}: acked {target!r} but the dumps hold "
+                    f"{union.get(path)!r}"
+                )
+        # Only the campaign's own names are policed — the cluster seeds
+        # bindings of its own (the root directory).
+        prefix = "/storm/" if self.scenario.kind == "storm" else "/reb/"
+        for path in sorted(set(union) - set(self.attempted)):
+            if path.startswith(prefix):
+                self.violations.append(
+                    f"{path}: present in a shard dump but never attempted"
+                )
+
+    def _check_bind_windows(self) -> None:
+        """Bind failures are legal only inside kill windows + allowance."""
+        allowance = recovery_allowance_us(self.scenario)
+        scheduled = [
+            (event.at_us, event.restart_at_us)
+            for event in self.scenario.events
+        ]
+        out_of_bound = [
+            [start, end, kind]
+            for start, end, kind in self.failures
+            if not any(
+                s_start <= start and end <= s_end + allowance
+                for s_start, s_end in scheduled
+            )
+        ]
+        if out_of_bound:
+            self.violations.append(
+                f"bind failures outside scheduled-downtime bound: "
+                f"{out_of_bound}"
+            )
+
+    def _report(self) -> Dict[str, object]:
+        metrics = self.cluster.metrics
+        counters = {
+            name: metrics.get(name)
+            for name in (
+                "cluster.shard_failures",
+                "cluster.shard_restarts",
+                "cluster.shards_added",
+                "health.marked_down",
+                "health.recoveries",
+                "naming_shard.failovers",
+                "naming_shard.fan_outs",
+                "naming_shard.migrations_aborted",
+                "naming_shard.migrations_completed",
+                "naming_shard.migrations_started",
+                "naming_shard.redirects",
+                "naming_shard.resyncs",
+                "naming_shard.streamed_bindings",
+                "recovery.shard_kills_injected",
+                "recovery.shard_restarts_injected",
+                "rpc.breaker_opens",
+                "rpc.retransmissions",
+            )
+        }
+        return {
+            "counters": counters,
+            "description": self.scenario.description,
+            "events": [
+                [event.at_us, event.shard_id, event.down_us]
+                for event in self.scenario.events
+            ],
+            "failures": [
+                [start, end, kind] for start, end, kind in self.failures
+            ],
+            "final_versions": {
+                "acked_bindings": len(self.acked),
+                "attempted_bindings": len(self.attempted),
+            },
+            "lifecycle_log": self.action_log,
+            "n_shards": self.scenario.n_shards,
+            "ops": dict(sorted(self.stats.items())),
+            "seed": self.scenario.seed,
+            "shard_windows": [
+                list(window) for window in self.schedule.shard_windows()
+            ],
+            "status": "pass" if not self.violations else "fail",
+            "violations": list(self.violations),
+        }
+
+
 def run_scenario(scenario) -> Dict[str, object]:
     """Execute one scenario; returns its deterministic report dict."""
     if isinstance(scenario, ScrubScenario):
         return _ScrubRun(scenario).run()
     if isinstance(scenario, RaidScenario):
         return _RaidRun(scenario).run()
+    if isinstance(scenario, ShardScenario):
+        return _ShardRun(scenario).run()
     return _Run(scenario).run()
 
 
@@ -1150,7 +1531,12 @@ def run_campaign(names: List[str]) -> Dict[str, object]:
     """Run the named scenarios; returns the full JSON document."""
     by_name: Dict[str, object] = {
         scenario.name: scenario
-        for scenario in (*SCENARIOS, *SCRUB_SCENARIOS, *RAID_SCENARIOS)
+        for scenario in (
+            *SCENARIOS,
+            *SCRUB_SCENARIOS,
+            *RAID_SCENARIOS,
+            *SHARD_SCENARIOS,
+        )
     }
     unknown = sorted(set(names) - set(by_name))
     if unknown:
@@ -1187,7 +1573,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="AVAILABILITY_pr9.json",
+        default="AVAILABILITY_pr10.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(
@@ -1199,7 +1585,12 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.list:
-        for scenario in (*SCENARIOS, *SCRUB_SCENARIOS, *RAID_SCENARIOS):
+        for scenario in (
+            *SCENARIOS,
+            *SCRUB_SCENARIOS,
+            *RAID_SCENARIOS,
+            *SHARD_SCENARIOS,
+        ):
             print(f"{scenario.name:24s} {scenario.description}")
         return 0
     if args.only:
@@ -1209,7 +1600,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         names = [
             scenario.name
-            for scenario in (*SCENARIOS, *SCRUB_SCENARIOS, *RAID_SCENARIOS)
+            for scenario in (
+                *SCENARIOS,
+                *SCRUB_SCENARIOS,
+                *RAID_SCENARIOS,
+                *SHARD_SCENARIOS,
+            )
         ]
     document = run_campaign(names)
     out_path = Path(args.out)

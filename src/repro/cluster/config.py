@@ -57,6 +57,18 @@ class ClusterConfig:
         health_transient_tolerance: consecutive transient replica
             errors one volume may accumulate before the failure
             detector treats it as down.
+        n_shards: naming shard servers the binding space partitions
+            across (1 = the flat namespace, behaviourally identical to
+            the historical single ``NamingService``).
+        shard_slots: hash slots of the shard map; fixed for the life
+            of a namespace.
+        shard_service_us: modelled per-operation service time charged
+            to a shard server's timeline (0 = free metadata, the
+            historical timing).
+        placement_policy: chunk→volume placement for creates without a
+            volume hint — ``fixed`` (first volume, historical),
+            ``round_robin``, or ``least_loaded`` (steered by the live
+            ``disk.N.queue_depth``/``utilization`` gauges).
         raid_level: back each volume's data disk with a
             :class:`~repro.simdisk.raid.StripedVolume` of this layout
             (``raid0`` / ``raid1`` / ``raid5``) instead of a single
@@ -93,6 +105,10 @@ class ClusterConfig:
     rpc_backoff: Optional[BackoffPolicy] = None
     rpc_breaker: Optional[BreakerPolicy] = None
     health_transient_tolerance: int = 3
+    n_shards: int = 1
+    shard_slots: int = 64
+    shard_service_us: int = 0
+    placement_policy: Literal["fixed", "round_robin", "least_loaded"] = "fixed"
     replication_degree: int = 2
     raid_level: Optional[Literal["raid0", "raid1", "raid5"]] = None
     raid_members: int = 4
@@ -107,6 +123,12 @@ class ClusterConfig:
             raise ValueError("need at least one machine")
         if self.n_disks < 1:
             raise ValueError("need at least one disk")
+        if self.n_shards < 1:
+            raise ValueError("need at least one naming shard")
+        if self.shard_slots < self.n_shards:
+            raise ValueError("need at least one hash slot per shard")
+        if self.shard_service_us < 0:
+            raise ValueError("shard service time cannot be negative")
         if self.raid_level is not None:
             floor = 3 if self.raid_level == "raid5" else 2
             if self.raid_members < floor:

@@ -27,8 +27,8 @@ a pure function of (config, workload, seed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.simdisk.timeline import service_frame
 
@@ -37,7 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
 
 #: One client operation: ``op(cluster, client_index, op_index)``.  Runs
 #: synchronously inside a service frame; its disk charges are deferred.
-ClientOp = Callable[["RhodosCluster", int, int], None]
+#: It may return an operation-class label (e.g. ``"metadata"`` or
+#: ``"data"``, lower-case ``[a-z0-9_]``) to have its latency recorded
+#: per class as well as in the aggregate.
+ClientOp = Callable[["RhodosCluster", int, int], Optional[str]]
 
 
 @dataclass(slots=True)
@@ -49,12 +52,17 @@ class DriverReport:
         ops_completed: operations finished across all clients.
         elapsed_us: simulated span from first issue to last completion.
         op_latencies_us: per-operation latencies in completion order.
+        latencies_by_class: the same latencies keyed by the class label
+            the operation returned (operations returning None appear in
+            the aggregate only) — how E20 prices name-resolution cost
+            separately from data traffic.
     """
 
     n_clients: int
     ops_completed: int
     elapsed_us: int
     op_latencies_us: List[int]
+    latencies_by_class: Dict[str, List[int]] = field(default_factory=dict)
 
     @property
     def throughput_ops_per_s(self) -> float:
@@ -68,6 +76,21 @@ class DriverReport:
         if not self.op_latencies_us:
             return 0.0
         return sum(self.op_latencies_us) / len(self.op_latencies_us)
+
+    def class_ops(self, label: str) -> int:
+        return len(self.latencies_by_class.get(label, []))
+
+    def class_mean_latency_us(self, label: str) -> float:
+        latencies = self.latencies_by_class.get(label)
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    def class_throughput_ops_per_s(self, label: str) -> float:
+        """One class's completions per simulated second of the whole run."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.class_ops(label) * 1_000_000 / self.elapsed_us
 
 
 class ConcurrentDriver:
@@ -97,6 +120,7 @@ class ConcurrentDriver:
         self.n_clients = n_clients
         self.ops_per_client = ops_per_client
         self._latencies: List[int] = []
+        self._by_class: Dict[str, List[int]] = {}
 
     def run(self) -> DriverReport:
         """Issue every client's loop and run the event loop to idle."""
@@ -104,6 +128,7 @@ class ConcurrentDriver:
         loop = self.cluster.loop
         start_us = clock.now_us
         self._latencies = []
+        self._by_class = {}
         for client in range(self.n_clients):
             self._schedule(client, 0, at_us=start_us)
         loop.run_until_idle()
@@ -112,6 +137,7 @@ class ConcurrentDriver:
             ops_completed=len(self._latencies),
             elapsed_us=clock.now_us - start_us,
             op_latencies_us=self._latencies,
+            latencies_by_class=self._by_class,
         )
 
     # ------------------------------------------------------- internal
@@ -125,12 +151,15 @@ class ConcurrentDriver:
         clock = self.cluster.clock
         begin_us = clock.now_us
         with service_frame(clock) as frame:
-            self.op(self.cluster, client, op_index)
+            label = self.op(self.cluster, client, op_index)
             end_us = max(frame.cursor_us, begin_us)
         latency_us = end_us - begin_us
         self._latencies.append(latency_us)
         self.cluster.metrics.observe("cluster.op_us", latency_us)
         self.cluster.metrics.add("cluster.ops_completed")
+        if label is not None:
+            self._by_class.setdefault(label, []).append(latency_us)
+            self.cluster.metrics.observe(f"cluster.{label}_op_us", latency_us)
         if op_index + 1 < self.ops_per_client:
             # The closed loop: the next operation issues the instant
             # this one's modelled service completes.

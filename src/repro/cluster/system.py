@@ -22,6 +22,12 @@ from repro.agents.routing import (
     RpcRouter,
     expose_file_server,
 )
+from repro.agents.shard_routing import (
+    direct_shard_caller,
+    expose_naming_shard,
+    rpc_shard_caller,
+    shard_address,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Machine
 from repro.common.clock import SimClock
@@ -33,7 +39,13 @@ from repro.disk_service.server import DiskServer
 from repro.file_service.server import FileServer
 from repro.naming.directory import DirectoryService
 from repro.naming.tdirectory import TransactionalDirectory
-from repro.naming.service import NamingService
+from repro.naming.shard import (
+    NamingShard,
+    PlacementPolicy,
+    ShardedNamespace,
+    ShardManager,
+    shard_component,
+)
 from repro.recovery.health import HealthRegistry
 from repro.replication.service import ReplicationService, volume_component
 from repro.rpc.bus import MessageBus
@@ -50,12 +62,13 @@ from repro.transactions.coordinator import TransactionCoordinator
 class _VolumeHealthFeed:
     """Relay circuit-breaker transitions into the health registry.
 
-    The breaker speaks bus addresses (``file_server.N``); the registry
-    speaks components (``volume.N``).  Breaker-open means the detector
-    should stop routing work at the volume; breaker-close means a
-    half-open probe reached a live server, which *is* a recovery signal
-    — it fires the registry's repair hooks (replica resync, orphan
-    sweep) without waiting for an administrative restart.
+    The breaker speaks bus addresses (``file_server.N``,
+    ``naming_shard.N``); the registry speaks components (``volume.N``,
+    ``shard.N``).  Breaker-open means the detector should stop routing
+    work at the component; breaker-close means a half-open probe
+    reached a live server, which *is* a recovery signal — it fires the
+    registry's repair hooks (replica resync, orphan sweep) without
+    waiting for an administrative restart.
     """
 
     def __init__(self, health: HealthRegistry) -> None:
@@ -63,9 +76,12 @@ class _VolumeHealthFeed:
 
     @staticmethod
     def _component(address: str) -> Optional[str]:
-        prefix = "file_server."
-        if address.startswith(prefix) and address[len(prefix):].isdigit():
-            return volume_component(int(address[len(prefix):]))
+        for prefix, to_component in (
+            ("file_server.", volume_component),
+            ("naming_shard.", shard_component),
+        ):
+            if address.startswith(prefix) and address[len(prefix):].isdigit():
+                return to_component(int(address[len(prefix):]))
         return None
 
     def on_breaker_open(self, address: str) -> None:
@@ -92,7 +108,6 @@ class RhodosCluster:
             enabled=self.config.tracing,
         )
         self.loop = EventLoop(self.clock)
-        self.naming = NamingService(self.metrics)
 
         #: Per-volume data "disk": a SimDisk, or a StripedVolume duck-
         #: typing the same surface when config.raid_level is set.
@@ -232,6 +247,49 @@ class RhodosCluster:
         else:
             self.router = DirectRouter(self.file_servers)
 
+        # ---------------------------------------------- sharded naming
+        # The binding space partitions across n_shards shard servers;
+        # n_shards == 1 is the flat namespace, same surface, same
+        # behaviour.  With a bus, shard endpoints ride it — retries,
+        # breakers, and fault profiles cover metadata traffic too.
+        self.shards: Dict[int, NamingShard] = {
+            shard_id: NamingShard(
+                shard_id,
+                self.clock,
+                self.metrics,
+                service_us=self.config.shard_service_us,
+            )
+            for shard_id in range(self.config.n_shards)
+        }
+        self.shard_manager = ShardManager(
+            self.shards, n_slots=self.config.shard_slots, metrics=self.metrics
+        )
+        self._shard_client: Optional[RpcClient] = None
+        if self.bus is not None:
+            self._shard_client = RpcClient(
+                self.bus,
+                max_attempts=30,
+                backoff=self.config.rpc_backoff,
+                breaker=self.breaker,
+                seed=self.config.seed + 1,
+            )
+        callers = {
+            shard_id: self._make_shard_caller(shard)
+            for shard_id, shard in self.shards.items()
+        }
+        self.naming = ShardedNamespace(
+            callers,
+            self.shard_manager.get_map,
+            peer_of=self.shard_manager.peer_id_of,
+            metrics=self.metrics,
+            health=self.health,
+            placement=PlacementPolicy(
+                list(range(self.config.n_disks)),
+                self.config.placement_policy,
+                self.metrics,
+            ),
+        )
+
         self.coordinator = TransactionCoordinator(
             self.clock,
             self.metrics,
@@ -268,6 +326,7 @@ class RhodosCluster:
                 self.metrics,
                 cache_blocks=self.config.client_cache_blocks,
                 tracer=self.tracer,
+                placement=self.naming.place_volume,
             )
             transaction_host = TransactionAgentHost(
                 machine_id,
@@ -279,6 +338,66 @@ class RhodosCluster:
             self.machines.append(
                 Machine(machine_id, device_agent, file_agent, transaction_host)
             )
+
+    # ------------------------------------------------- shard lifecycle
+
+    def _make_shard_caller(self, shard: NamingShard):
+        """The transport for one shard: RPC when a bus exists, direct otherwise."""
+        if self.bus is not None:
+            address = shard_address(shard.shard_id)
+            expose_naming_shard(shard, RpcServer(self.bus, address))
+            assert self._shard_client is not None
+            return rpc_shard_caller(self._shard_client, address)
+        return direct_shard_caller(shard)
+
+    def add_shard(self) -> int:
+        """Register a spare shard server (owns no slots until a rebalance).
+
+        The ``split_shard`` entry point: follow with
+        ``shard_manager.begin_rebalance(new_id)`` and pump
+        ``step_rebalance`` from workload idle points.  Returns the new
+        shard's id.
+        """
+        shard_id = max(self.shards) + 1
+        shard = NamingShard(
+            shard_id,
+            self.clock,
+            self.metrics,
+            service_us=self.config.shard_service_us,
+        )
+        self.shards[shard_id] = shard
+        self.shard_manager.add_shard(shard)
+        self.naming.add_caller(shard_id, self._make_shard_caller(shard))
+        self.metrics.add("cluster.shards_added")
+        return shard_id
+
+    def fail_shard(self, shard_id: int) -> None:
+        """Kill one shard server mid-workload.
+
+        Volatile state (its binding tables) dies with the process; the
+        bus endpoint stops answering so clients time out and the
+        breaker eventually opens — detection is left to the failure
+        path, exactly as :meth:`fail_volume` leaves it.
+        """
+        self.shards[shard_id].crash()
+        if self.bus is not None:
+            self.bus.set_down(shard_address(shard_id))
+        self.metrics.add("cluster.shard_failures")
+
+    def restart_shard(self, shard_id: int) -> None:
+        """Bring a dead shard back: resync from its replica peer, announce.
+
+        The shard manager streams the primary table back from the
+        peer's replica copy and rebuilds the restarted shard's own
+        replica from its predecessor; the recovery event fires the
+        registry's repair hooks.  An open breaker is *not* reset — its
+        cooldown is modelled detection lag, charged to unavailability.
+        """
+        self.shard_manager.restart_shard(shard_id)
+        if self.bus is not None:
+            self.bus.set_down(shard_address(shard_id), False)
+        self.metrics.add("cluster.shard_restarts")
+        self.health.note_recovered(shard_component(shard_id))
 
     # --------------------------------------------------- conveniences
 

@@ -115,6 +115,30 @@ class NameExistsError(NamingError):
     """An attributed name is already bound."""
 
 
+class WrongShardError(NamingError):
+    """The addressed shard does not own the name's hash slot.
+
+    Raised by a shard server when a request arrives under a stale
+    shard map — after a rebalance moved the slot, or before a router
+    learned of one.  Carries the server's current map epoch so the
+    router knows to re-fetch before retrying.
+    """
+
+    def __init__(self, message: str, *, epoch: int, slot: int) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.slot = slot
+
+
+class ShardDownError(NamingError):
+    """A shard server is crashed and cannot serve the request.
+
+    The in-process analogue of an RPC timeout against a dead endpoint:
+    routers treat both identically (fail reads over to the replica
+    peer, surface writes as unavailability).
+    """
+
+
 # -------------------------------------------------------- transactions
 
 

@@ -46,6 +46,8 @@ ALLOWED_MODULES: FrozenSet[str] = frozenset(
         "repro.recovery.schedule",
         # retransmission timer: the caller blocks for the retry interval
         "repro.rpc.endpoint",
+        # shard-server timeline: blocking mode waits on shard busy-until
+        "repro.naming.shard",
         # availability campaign driver: owns the clock between client ops
         "repro.chaos.availability",
     }

@@ -38,6 +38,9 @@ ALLOWED_CURSOR_MODULES: FrozenSet[str] = frozenset(
         # operation for operation (DESIGN.md §13) and therefore move
         # the cursor exactly where the timeline would
         "repro.simdisk.disk",
+        # the shard server's busy-until timeline prices metadata ops
+        # under the same reservation discipline as a disk's
+        "repro.naming.shard",
     }
 )
 

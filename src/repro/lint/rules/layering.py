@@ -41,8 +41,9 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "disk_service": {"common", "simdisk", "simkernel", "analysis"},
     # the basic file service (paper section 5)
     "file_service": {"common", "disk_service"},
-    # the service triple above it (paper sections 6-8)
-    "naming": {"common", "file_service"},
+    # the service triple above it (paper sections 6-8); recovery for
+    # the shard layer's failure-detector integration (PR 10)
+    "naming": {"common", "file_service", "recovery"},
     "transactions": {
         "common", "simkernel", "simdisk", "disk_service", "file_service",
         "naming",

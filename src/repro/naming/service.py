@@ -10,6 +10,17 @@ The service also offers directory-flavoured helpers over the ``path``
 attribute convention, and a codec so a naming database can itself be
 stored in a RHODOS file (used by the cluster facade to make naming
 survive restarts).
+
+Subset matching is served from a **per-attribute inverted index**: for
+every ``(object_type, key, value)`` attribute a binding carries, the
+index keeps an insertion-ordered posting of the names carrying it.  A
+query intersects its attributes' postings starting from the smallest,
+so the cost is proportional to the rarest attribute's posting — not to
+the whole binding table, which matters once a shard holds thousands of
+names and every client operation resolves through it.  Posting order
+is first-install order, so results come back in exactly the order the
+historical linear scan produced (the equivalence test in
+``tests/naming`` proves it against a defeated-lane oracle).
 """
 
 from __future__ import annotations
@@ -24,6 +35,9 @@ from repro.naming.attributed import AttributedName, ObjectType
 
 Target = Union[SystemName, str]
 
+#: One inverted-index posting key: (object type, attribute key, value).
+_Posting = Tuple[ObjectType, str, str]
+
 
 class NamingService:
     """An in-memory binding store with subset-match resolution."""
@@ -31,6 +45,8 @@ class NamingService:
     def __init__(self, metrics: Metrics | None = None) -> None:
         self.metrics = metrics or Metrics()
         self._bindings: Dict[AttributedName, Target] = {}
+        #: posting -> insertion-ordered set (a dict-to-None) of names.
+        self._index: Dict[_Posting, Dict[AttributedName, None]] = {}
 
     # ---------------------------------------------------------- bind
 
@@ -39,19 +55,19 @@ class NamingService:
         if name in self._bindings:
             raise NameExistsError(f"{name} is already bound")
         self._check_target(name, target)
-        self._bindings[name] = target
+        self._install(name, target)
         self.metrics.add("naming.binds")
 
     def rebind(self, name: AttributedName, target: Target) -> None:
         """Bind or replace ``name`` (used by replication failover)."""
         self._check_target(name, target)
-        self._bindings[name] = target
+        self._install(name, target)
         self.metrics.add("naming.rebinds")
 
     def unbind(self, name: AttributedName) -> Target:
         """Remove a binding; returns the old target."""
         try:
-            target = self._bindings.pop(name)
+            target = self._remove(name)
         except KeyError:
             raise NameNotFoundError(f"{name} is not bound") from None
         self.metrics.add("naming.unbinds")
@@ -70,11 +86,7 @@ class NamingService:
         exact = self._bindings.get(query)
         if exact is not None:
             return exact
-        matches = [
-            (name, target)
-            for name, target in self._bindings.items()
-            if name.matches(query)
-        ]
+        matches = self._subset_matches(query)
         if not matches:
             raise NameNotFoundError(f"nothing matches {query}")
         if len(matches) > 1:
@@ -95,11 +107,7 @@ class NamingService:
     def lookup(self, query: AttributedName) -> List[Tuple[AttributedName, Target]]:
         """All bindings matching a query (attribute search)."""
         self.metrics.add("naming.lookups")
-        return [
-            (name, target)
-            for name, target in self._bindings.items()
-            if name.matches(query)
-        ]
+        return self._subset_matches(query)
 
     def __contains__(self, name: AttributedName) -> bool:
         return name in self._bindings
@@ -122,14 +130,12 @@ class NamingService:
         return self.resolve_file(AttributedName.file(path=self._norm_path(path)))
 
     def unbind_path(self, path: str) -> Target:
-        # Exact-match removal requires the full binding; find it by path.
+        # Exact-match removal requires the full binding; the path
+        # posting of the inverted index yields it directly.
         normalised = self._norm_path(path)
-        for name in list(self._bindings):
-            if (
-                name.object_type is ObjectType.FILE
-                and name.get("path") == normalised
-            ):
-                return self.unbind(name)
+        bucket = self._index.get((ObjectType.FILE, "path", normalised))
+        if bucket:
+            return self.unbind(next(iter(bucket)))
         raise NameNotFoundError(f"no binding for path {path!r}")
 
     def list_directory(self, prefix: str) -> List[str]:
@@ -183,14 +189,63 @@ class NamingService:
             name = AttributedName(ObjectType(record["type"]), record["attrs"])
             target = record["target"]
             if target["kind"] == "file":
-                service._bindings[name] = SystemName(
-                    target["volume"], target["fit"], target["generation"]
+                service._install(
+                    name,
+                    SystemName(target["volume"], target["fit"], target["generation"]),
                 )
             else:
-                service._bindings[name] = target["device"]
+                service._install(name, target["device"])
         return service
 
     # ----------------------------------------------------- internal
+
+    def _install(self, name: AttributedName, target: Target) -> None:
+        """Store a binding and index its attributes (first install only:
+        a rebind of an existing name keeps its posting positions, which
+        is what keeps index-served results in linear-scan order)."""
+        if name not in self._bindings:
+            for key, value in name:
+                self._index.setdefault(
+                    (name.object_type, key, value), {}
+                )[name] = None
+        self._bindings[name] = target
+
+    def _remove(self, name: AttributedName) -> Target:
+        """Drop a binding and its postings; raises ``KeyError`` if absent."""
+        target = self._bindings.pop(name)
+        for key, value in name:
+            posting = (name.object_type, key, value)
+            bucket = self._index.get(posting)
+            if bucket is not None:
+                bucket.pop(name, None)
+                if not bucket:
+                    del self._index[posting]
+        return target
+
+    def _subset_matches(
+        self, query: AttributedName
+    ) -> List[Tuple[AttributedName, Target]]:
+        """Bindings whose attributes are a superset of the query's.
+
+        Intersects the query attributes' postings starting from the
+        smallest bucket; candidates are verified with the same
+        ``matches`` predicate the linear scan used, and emitted in that
+        bucket's insertion order — which equals the binding table's
+        insertion order restricted to those names, so callers observe
+        results byte-identical to the historical full scan.
+        """
+        buckets: List[Dict[AttributedName, None]] = []
+        for key, value in query:
+            bucket = self._index.get((query.object_type, key, value))
+            if not bucket:
+                return []
+            buckets.append(bucket)
+        smallest = min(buckets, key=len)
+        return [
+            (name, self._bindings[name])
+            for name in smallest
+            if name.matches(query)
+        ]
 
     @staticmethod
     def _check_target(name: AttributedName, target: Target) -> None:

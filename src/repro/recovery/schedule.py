@@ -78,8 +78,36 @@ class MemberFailureEvent:
         return self.at_us + self.down_us
 
 
+@dataclass(frozen=True, slots=True)
+class ShardFailureEvent:
+    """One naming-shard kill/restart pair.
+
+    "Shard server ``shard_id`` crashes at ``at_us`` and restarts
+    ``down_us`` later" — the scripted form of the sharded namespace's
+    failover scenarios.  While the shard is down its keyed operations
+    fail over to the replica held by its ring successor; the restart
+    resyncs the primary from that replica.
+    """
+
+    at_us: int
+    shard_id: int
+    down_us: int
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("shard kill time cannot be negative")
+        if self.down_us <= 0:
+            raise ValueError("downtime must be positive")
+        if self.shard_id < 0:
+            raise ValueError("shard id cannot be negative")
+
+    @property
+    def restart_at_us(self) -> int:
+        return self.at_us + self.down_us
+
+
 #: Anything a schedule can script.
-ScheduledEvent = Union[FailureEvent, MemberFailureEvent]
+ScheduledEvent = Union[FailureEvent, MemberFailureEvent, ShardFailureEvent]
 
 
 class VolumeLifecycleHost(Protocol):
@@ -103,13 +131,27 @@ class MemberLifecycleHost(VolumeLifecycleHost, Protocol):
     def replace_member(self, volume_id: int, member_index: int) -> object: ...
 
 
+class ShardLifecycleHost(VolumeLifecycleHost, Protocol):
+    """A host that can additionally kill/restart naming shard servers.
+
+    Only required when the schedule contains
+    :class:`ShardFailureEvent` entries (in practice
+    :class:`~repro.cluster.system.RhodosCluster` with ``n_shards > 1``).
+    """
+
+    def fail_shard(self, shard_id: int) -> None: ...
+
+    def restart_shard(self, shard_id: int) -> None: ...
+
+
 class FailureSchedule:
     """Polls the clock and fires due crash/restart events, in order.
 
     Args:
-        events: the script — volume crash/restart pairs and RAID member
-            kill/replace pairs, freely mixed; windows of the same
-            volume (or of the same member of the same volume) must not
+        events: the script — volume crash/restart pairs, RAID member
+            kill/replace pairs, and naming-shard kill/restart pairs,
+            freely mixed; windows of the same volume (or the same
+            member of the same volume, or the same shard) must not
             overlap.
         clock: the shared simulated clock the script reads.
         metrics: optional registry (``recovery.*`` counters).
@@ -117,7 +159,14 @@ class FailureSchedule:
 
     #: Action kinds; the numeric order is the same-instant firing order,
     #: so every repair precedes every failure scheduled at that time.
-    _RESTART, _REPLACE, _CRASH, _KILL = 0, 1, 2, 3
+    (
+        _RESTART,
+        _REPLACE,
+        _SHARD_RESTART,
+        _CRASH,
+        _KILL,
+        _SHARD_KILL,
+    ) = range(6)
 
     def __init__(
         self,
@@ -135,6 +184,10 @@ class FailureSchedule:
         member_events = sorted(
             (e for e in events if isinstance(e, MemberFailureEvent)),
             key=lambda e: (e.at_us, e.volume_id, e.member_index),
+        )
+        shard_events = sorted(
+            (e for e in events if isinstance(e, ShardFailureEvent)),
+            key=lambda e: (e.at_us, e.shard_id),
         )
         last_restart: dict[int, int] = {}
         for event in volume_events:
@@ -156,8 +209,17 @@ class FailureSchedule:
                     f"ending at {previous}us"
                 )
             last_replace[slot] = event.replace_at_us
-        #: (time, kind, volume, member) actions not yet fired; member is
-        #: -1 for volume-level actions.
+        last_shard_restart: dict[int, int] = {}
+        for event in shard_events:
+            previous = last_shard_restart.get(event.shard_id)
+            if previous is not None and event.at_us < previous:
+                raise ValueError(
+                    f"shard {event.shard_id}: kill at {event.at_us}us "
+                    f"overlaps the window ending at {previous}us"
+                )
+            last_shard_restart[event.shard_id] = event.restart_at_us
+        #: (time, kind, volume-or-shard, member) actions not yet fired;
+        #: member is -1 for volume- and shard-level actions.
         self._pending: List[Tuple[int, int, int, int]] = sorted(
             [(e.at_us, self._CRASH, e.volume_id, -1) for e in volume_events]
             + [
@@ -172,13 +234,26 @@ class FailureSchedule:
                 (e.replace_at_us, self._REPLACE, e.volume_id, e.member_index)
                 for e in member_events
             ]
+            + [
+                (e.at_us, self._SHARD_KILL, e.shard_id, -1)
+                for e in shard_events
+            ]
+            + [
+                (e.restart_at_us, self._SHARD_RESTART, e.shard_id, -1)
+                for e in shard_events
+            ]
         )
-        self._events = tuple(volume_events) + tuple(member_events)
+        self._events = (
+            tuple(volume_events) + tuple(member_events) + tuple(shard_events)
+        )
         self._down_since: dict[int, int] = {}
         self._windows: List[Tuple[int, int, int]] = []  # (volume, start, end)
         self._member_down_since: dict[tuple[int, int], int] = {}
         #: Completed (volume, member, killed_at, replaced_at) windows.
         self._member_windows: List[Tuple[int, int, int, int]] = []
+        self._shard_down_since: dict[int, int] = {}
+        #: Completed (shard, killed_at, restarted_at) windows.
+        self._shard_windows: List[Tuple[int, int, int]] = []
 
     # ----------------------------------------------------------- api
 
@@ -222,7 +297,7 @@ class FailureSchedule:
                 actions.append(
                     f"t={at_us}us kill member {member} of volume {volume_id}"
                 )
-            else:
+            elif kind == self._REPLACE:
                 started = self._member_down_since.pop(
                     (volume_id, member), at_us
                 )
@@ -235,6 +310,17 @@ class FailureSchedule:
                     f"t={at_us}us replace member {member} "
                     f"of volume {volume_id}"
                 )
+            elif kind == self._SHARD_KILL:
+                self._shard_down_since[volume_id] = at_us
+                host.fail_shard(volume_id)
+                self.metrics.add("recovery.shard_kills_injected")
+                actions.append(f"t={at_us}us kill shard {volume_id}")
+            else:
+                started = self._shard_down_since.pop(volume_id, at_us)
+                self._shard_windows.append((volume_id, started, at_us))
+                host.restart_shard(volume_id)
+                self.metrics.add("recovery.shard_restarts_injected")
+                actions.append(f"t={at_us}us restart shard {volume_id}")
         return actions
 
     def run_out(self, host: VolumeLifecycleHost) -> List[str]:
@@ -256,6 +342,10 @@ class FailureSchedule:
     def member_windows(self) -> List[Tuple[int, int, int, int]]:
         """Completed (volume, member, killed_at, replaced_at) windows."""
         return list(self._member_windows)
+
+    def shard_windows(self) -> List[Tuple[int, int, int]]:
+        """Completed (shard_id, killed_at, restarted_at) windows."""
+        return list(self._shard_windows)
 
     def __repr__(self) -> str:
         return (

@@ -53,6 +53,7 @@ SMOKE_EXPERIMENTS = (
     "e16_scheduling",
     "e18_scrub_overhead",
     "e19_raid",
+    "e20_sharded_namespace",
     "t1_lock_compatibility",
 )
 
@@ -248,7 +249,7 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pr9.json",
+        default="BENCH_pr10.json",
         help="output path (default: %(default)s)",
     )
     parser.add_argument(

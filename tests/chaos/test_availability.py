@@ -10,6 +10,8 @@ from repro.chaos.availability import (
     SCENARIOS,
     SCRUB_SCENARIOS,
     SCRUB_SMOKE,
+    SHARD_SCENARIOS,
+    SHARD_SMOKE,
     SMOKE_SCENARIOS,
     recovery_allowance_us,
     run_campaign,
@@ -230,6 +232,75 @@ class TestRaidScenarios:
             s for s in RAID_SCENARIOS if s.name == "raid_member_loss"
         ))
         assert json.dumps(loss_report, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+class TestShardScenarios:
+    """PR 10: the two sharded-namespace scenarios and their SLOs."""
+
+    @pytest.fixture(scope="class")
+    def storm_report(self):
+        return run_scenario(next(
+            s for s in SHARD_SCENARIOS if s.name == "shard_death_metadata_storm"
+        ))
+
+    @pytest.fixture(scope="class")
+    def rebalance_report(self):
+        return run_scenario(next(
+            s for s in SHARD_SCENARIOS if s.name == "rebalance_interrupted"
+        ))
+
+    def test_shard_smoke_names_the_catalogue(self):
+        assert set(SHARD_SMOKE) == {s.name for s in SHARD_SCENARIOS}
+        taken = (
+            {s.name for s in SCENARIOS}
+            | {s.name for s in SCRUB_SCENARIOS}
+            | {s.name for s in RAID_SCENARIOS}
+        )
+        assert not set(SHARD_SMOKE) & taken
+
+    def test_storm_passes_its_slo(self, storm_report):
+        assert storm_report["status"] == "pass"
+        assert storm_report["violations"] == []
+
+    def test_storm_really_killed_a_shard(self, storm_report):
+        counters = storm_report["counters"]
+        assert counters["recovery.shard_kills_injected"] == 1
+        assert counters["recovery.shard_restarts_injected"] == 1
+        assert counters["cluster.shard_failures"] == 1
+        # Reads of acked names crossed the dead shard and failed over
+        # to the replica peer; the restart resynced the primary table.
+        assert counters["naming_shard.failovers"] > 0
+        assert counters["naming_shard.resyncs"] >= 1
+        assert len(storm_report["shard_windows"]) == 1
+
+    def test_storm_resolves_never_failed(self, storm_report):
+        ops = storm_report["ops"]
+        assert ops["failed_resolves"] == 0
+        assert ops["resolves"] > 0
+        # Binds may fail while the shard is down — but only there; an
+        # out-of-window failure would have been a violation.
+        assert storm_report["final_versions"]["acked_bindings"] > 0
+
+    def test_rebalance_passes_its_slo(self, rebalance_report):
+        assert rebalance_report["status"] == "pass"
+        assert rebalance_report["violations"] == []
+
+    def test_rebalance_aborted_then_completed(self, rebalance_report):
+        counters = rebalance_report["counters"]
+        assert counters["naming_shard.migrations_started"] == 2
+        assert counters["naming_shard.migrations_aborted"] == 1
+        assert counters["naming_shard.migrations_completed"] == 1
+        assert counters["cluster.shards_added"] == 1
+        # Not one resolve missed at any watermark position.
+        assert rebalance_report["ops"]["failed_resolves"] == 0
+
+    def test_shard_reports_are_deterministic(self, storm_report):
+        again = run_scenario(next(
+            s for s in SHARD_SCENARIOS if s.name == "shard_death_metadata_storm"
+        ))
+        assert json.dumps(storm_report, sort_keys=True) == json.dumps(
             again, sort_keys=True
         )
 

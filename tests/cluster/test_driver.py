@@ -159,3 +159,52 @@ class TestDeterminism:
         assert cluster.pipelines[0].scheduler.name == "scan+coalesce"
         with pytest.raises(ValueError):
             RhodosCluster(ClusterConfig(disk_scheduler="nope"))
+
+
+class TestPerClassLatencies:
+    """PR 10 satellite: DriverReport separates metadata and data ops."""
+
+    @staticmethod
+    def classed_op(cluster: RhodosCluster, client: int, op_index: int) -> str:
+        agent = cluster.machines[client % cluster.config.n_machines].file_agent
+        if op_index % 2 == 0:
+            descriptor = agent.create(
+                AttributedName.file(f"/c{client}/f{op_index}")
+            )
+            agent.write(descriptor, b"x" * BLOCK)
+            agent.close(descriptor)
+            return "data"
+        cluster.naming.resolve_path(f"/c{client}/f{op_index - 1}")
+        return "metadata"
+
+    def test_latencies_split_by_returned_label(self):
+        cluster = RhodosCluster(ClusterConfig(n_machines=2, n_disks=2))
+        report = cluster.run_concurrent(
+            self.classed_op, n_clients=2, ops_per_client=4
+        )
+        assert report.class_ops("data") == 4
+        assert report.class_ops("metadata") == 4
+        assert sorted(
+            report.latencies_by_class["data"]
+            + report.latencies_by_class["metadata"]
+        ) == sorted(report.op_latencies_us)
+        assert report.class_mean_latency_us("data") >= report.class_mean_latency_us(
+            "metadata"
+        )
+        total = report.class_throughput_ops_per_s(
+            "data"
+        ) + report.class_throughput_ops_per_s("metadata")
+        assert total == pytest.approx(report.throughput_ops_per_s)
+
+    def test_unlabelled_ops_stay_aggregate_only(self):
+        cluster, report = contention_run(n_clients=2, n_disks=2)
+        assert report.latencies_by_class == {}
+        assert report.ops_completed == 8
+
+    def test_per_class_histograms_reach_metrics(self):
+        cluster = RhodosCluster(ClusterConfig(n_machines=2, n_disks=2))
+        cluster.run_concurrent(self.classed_op, n_clients=2, ops_per_client=2)
+        histogram = cluster.metrics.histogram("cluster.data_op_us")
+        assert histogram["count"] == 2
+        histogram = cluster.metrics.histogram("cluster.metadata_op_us")
+        assert histogram["count"] == 2

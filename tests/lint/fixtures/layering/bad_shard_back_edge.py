@@ -1,0 +1,14 @@
+# lint-fixture-module: repro.recovery.fake_shard_back_edge
+"""Fixture: recovery reaching back up into the shard layer.
+
+PR 10 legalised ``naming -> recovery`` (the shard servers feed the
+failure detector); this proves the *reverse* edge is still rejected.
+"""
+
+from repro.naming.shard import NamingShard  # lint-expect: layering
+
+import repro.naming.service  # lint-expect: layering
+
+
+def peek(shard: NamingShard) -> object:
+    return repro.naming.service and shard

@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.naming.fake_shard_imports
+"""Fixture: the naming layer using its PR 10 edges legitimately."""
+
+from repro.common.metrics import Metrics
+from repro.file_service.server import FileServer
+from repro.recovery.health import HealthRegistry
+
+
+def peek(server: FileServer, health: HealthRegistry, metrics: Metrics) -> object:
+    return server and health and metrics

@@ -1,0 +1,115 @@
+"""Satellite: the inverted attribute index against a linear-scan oracle.
+
+``NamingService.resolve``/``lookup`` historically scanned every binding
+per query.  PR 10 replaced the scan with a per-attribute inverted index
+(posting lists keyed by ``(type, key, value)``).  This defeated-lane
+test proves the optimisation invisible: a shadow implementation of the
+original full scan answers every query identically — same matches,
+same order, same errors — over random bind/unbind/query scripts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import NameNotFoundError, NamingError
+from repro.common.ids import SystemName
+from repro.naming.attributed import AttributedName, ObjectType
+from repro.naming.service import NamingService
+
+KEYS = ["path", "owner", "kind", "room"]
+VALUES = ["a", "b", "c"]
+
+
+def linear_scan_matches(service, query):
+    """The defeated lane: the pre-index algorithm, verbatim semantics."""
+    return [
+        (name, target)
+        for name, target in service._bindings.items()
+        if name.matches(query)
+    ]
+
+
+def linear_scan_resolve(service, query):
+    matches = linear_scan_matches(service, query)
+    for name, target in matches:
+        if name == query:
+            return target
+    if not matches:
+        raise NameNotFoundError(f"nothing matches {query}")
+    if len(matches) > 1:
+        raise NamingError(f"{query} is ambiguous")
+    return matches[0][1]
+
+
+@st.composite
+def naming_scripts(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for index in range(n_ops):
+        kind = draw(st.sampled_from(["bind", "unbind", "rebind", "query"]))
+        n_attrs = draw(st.integers(min_value=1, max_value=3))
+        attrs = {}
+        for _ in range(n_attrs):
+            key = draw(st.sampled_from(KEYS))
+            attrs[key] = draw(st.sampled_from(VALUES))
+        ops.append((kind, attrs, index))
+    return ops
+
+
+@given(naming_scripts())
+@settings(max_examples=120, deadline=None)
+def test_index_matches_linear_scan(script):
+    service = NamingService()
+    for kind, attrs, index in script:
+        name = AttributedName(ObjectType.FILE, attrs)
+        target = SystemName(0, index, 1)
+        if kind == "bind":
+            try:
+                service.bind(name, target)
+            except Exception:
+                pass
+        elif kind == "rebind":
+            service.rebind(name, target)
+        elif kind == "unbind":
+            try:
+                service.unbind(name)
+            except NameNotFoundError:
+                pass
+        else:
+            # The query: indexed lookup == full scan, order included.
+            assert service.lookup(name) == linear_scan_matches(service, name)
+            try:
+                expected = linear_scan_resolve(service, name)
+            except NamingError as exc:
+                try:
+                    service.resolve(name)
+                except NamingError as got:
+                    assert type(got) is type(exc)
+                else:
+                    raise AssertionError("index resolve missed an error")
+            else:
+                assert service.resolve(name) == expected
+    # Closing sweep: every subset query, single- and multi-attribute.
+    for key in KEYS:
+        for value in VALUES:
+            query = AttributedName(ObjectType.FILE, {key: value})
+            assert service.lookup(query) == linear_scan_matches(service, query)
+
+
+@given(naming_scripts())
+@settings(max_examples=60, deadline=None)
+def test_index_survives_codec_round_trip(script):
+    service = NamingService()
+    for kind, attrs, index in script:
+        name = AttributedName(ObjectType.FILE, attrs)
+        if kind in ("bind", "rebind"):
+            service.rebind(name, SystemName(0, index, 1))
+        elif kind == "unbind":
+            try:
+                service.unbind(name)
+            except NameNotFoundError:
+                pass
+    restored = NamingService.from_bytes(service.to_bytes())
+    for key in KEYS:
+        for value in VALUES:
+            query = AttributedName(ObjectType.FILE, {key: value})
+            assert restored.lookup(query) == service.lookup(query)

@@ -8,6 +8,7 @@ from repro.recovery.schedule import (
     FailureEvent,
     FailureSchedule,
     MemberFailureEvent,
+    ShardFailureEvent,
 )
 
 
@@ -28,6 +29,12 @@ class _Host:
 
     def replace_member(self, volume_id, member_index):
         self.calls.append(("replace", volume_id, member_index))
+
+    def fail_shard(self, shard_id):
+        self.calls.append(("shard_kill", shard_id))
+
+    def restart_shard(self, shard_id):
+        self.calls.append(("shard_restart", shard_id))
 
 
 def build(events):
@@ -233,3 +240,71 @@ class TestMemberEvents:
         ]
         assert metrics.get("recovery.member_kills_injected") == 1
         assert metrics.get("recovery.member_replacements_injected") == 1
+
+
+class TestShardEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardFailureEvent(at_us=-1, shard_id=0, down_us=10)
+        with pytest.raises(ValueError):
+            ShardFailureEvent(at_us=0, shard_id=0, down_us=0)
+        with pytest.raises(ValueError):
+            ShardFailureEvent(at_us=0, shard_id=-1, down_us=10)
+
+    def test_kill_then_restart_with_windows(self):
+        schedule, clock, host = build(
+            [ShardFailureEvent(at_us=50, shard_id=2, down_us=100)]
+        )
+        clock.advance_to(50)
+        schedule.poll(host)
+        assert host.calls == [("shard_kill", 2)]
+        clock.advance_to(150)
+        schedule.poll(host)
+        assert host.calls == [("shard_kill", 2), ("shard_restart", 2)]
+        assert schedule.shard_windows() == [(2, 50, 150)]
+        assert schedule.done()
+
+    def test_same_shard_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            build(
+                [
+                    ShardFailureEvent(at_us=0, shard_id=1, down_us=100),
+                    ShardFailureEvent(at_us=50, shard_id=1, down_us=100),
+                ]
+            )
+
+    def test_distinct_shards_may_overlap(self):
+        schedule, _, host = build(
+            [
+                ShardFailureEvent(at_us=0, shard_id=0, down_us=100),
+                ShardFailureEvent(at_us=50, shard_id=1, down_us=100),
+            ]
+        )
+        schedule.run_out(host)
+        assert schedule.shard_windows() == [(0, 0, 100), (1, 50, 150)]
+
+    def test_shard_and_volume_windows_are_independent(self):
+        metrics = Metrics()
+        clock = SimClock()
+        host = _Host()
+        schedule = FailureSchedule(
+            [
+                FailureEvent(at_us=10, volume_id=1, down_us=50),
+                ShardFailureEvent(at_us=10, shard_id=1, down_us=50),
+            ],
+            clock,
+            metrics=metrics,
+        )
+        schedule.run_out(host)
+        # same-instant firing order: all repairs precede all failures,
+        # volume before shard within each class
+        assert host.calls == [
+            ("fail", 1),
+            ("shard_kill", 1),
+            ("restart", 1),
+            ("shard_restart", 1),
+        ]
+        assert schedule.downtime_windows() == [(1, 10, 60)]
+        assert schedule.shard_windows() == [(1, 10, 60)]
+        assert metrics.get("recovery.shard_kills_injected") == 1
+        assert metrics.get("recovery.shard_restarts_injected") == 1
